@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper at a
+configurable scale.  The scale is selected with the ``REPRO_BENCH_SCALE``
+environment variable:
+
+* ``smoke``   (default) — minutes on a laptop, preserves relative rankings,
+* ``default`` — tens of minutes, closer to the paper's sample-size ratios,
+* ``paper``   — overnight-sized run.
+
+Rendered result tables are printed and also written to
+``benchmarks/results/<name>.txt`` so the regenerated rows survive pytest's
+output capturing and can be pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.bench import ExperimentScale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> ExperimentScale:
+    """Experiment scale selected by the ``REPRO_BENCH_SCALE`` env var."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "smoke").lower()
+    if name == "paper":
+        return ExperimentScale.paper()
+    if name == "default":
+        return ExperimentScale.default()
+    return ExperimentScale.smoke()
+
+
+def record(name: str, text: str) -> None:
+    """Print a rendered experiment table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

@@ -1,0 +1,18 @@
+"""Ablation — GD-base-seeded initial bins vs min/max initial bins."""
+
+from bench_utils import bench_scale, record
+
+from repro.bench import AblationGDSeeding
+
+
+def test_ablation_gd_seeding(benchmark):
+    """Isolates the effect of seeding initial bin edges from GreedyGD bases (§3)."""
+    experiment = AblationGDSeeding(scale=bench_scale())
+    results = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    record("ablation_gd_seeding", experiment.render())
+
+    seeded = results["GD-seeded (with compression)"]
+    standalone = results["Min/max seeded (stand-alone)"]
+    # Both variants stay accurate; accuracy should not collapse either way.
+    assert seeded["median_error_percent"] < 20.0
+    assert standalone["median_error_percent"] < 20.0

@@ -1,0 +1,17 @@
+"""Ablation — recursive hypothesis-testing refinement vs equi-width histograms."""
+
+from bench_utils import bench_scale, record
+
+from repro.bench import AblationHypothesisTesting
+
+
+def test_ablation_hypothesis_testing(benchmark):
+    """Isolates the contribution of the chi-squared refinement (§4.1)."""
+    experiment = AblationHypothesisTesting(scale=bench_scale())
+    results = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    record("ablation_hypothesis_testing", experiment.render())
+
+    refined = results["PairwiseHist (refined)"]["median_error_percent"]
+    equi = results["Equi-width (no refinement)"]["median_error_percent"]
+    # Refinement should not hurt accuracy.
+    assert refined <= equi * 1.5 + 0.5

@@ -1,0 +1,14 @@
+"""Ablation — adaptive dense/sparse (Golomb) bin-count encoding vs dense-only."""
+
+from bench_utils import bench_scale, record
+
+from repro.bench import AblationStorageEncoding
+
+
+def test_ablation_storage_encoding(benchmark):
+    """Isolates the benefit of the §4.3 sparse bin-count encoding."""
+    experiment = AblationStorageEncoding(scale=bench_scale())
+    results = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    record("ablation_storage_encoding", experiment.render())
+
+    assert results["adaptive_mb"] <= results["dense_only_mb"]

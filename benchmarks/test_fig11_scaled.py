@@ -1,0 +1,28 @@
+"""Fig. 11 — synopsis size, total storage, query latency and construction time."""
+
+from bench_utils import bench_scale, record
+
+from repro.bench import Fig11ScaledPerformance
+
+
+def test_fig11_storage_latency_construction(benchmark):
+    """Regenerates all four panels of Fig. 11 on the scaled datasets."""
+    experiment = Fig11ScaledPerformance(scale=bench_scale())
+    results = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    record("fig11_scaled_performance", experiment.render())
+
+    for dataset, per_system in results.items():
+        ph = per_system["PairwiseHist"]
+        dd = per_system["DeepDB"]
+        raw = per_system["Raw data"]["total_storage_mb"]
+        # (a) the synopsis is smaller than the data it summarises.
+        assert ph["synopsis_mb"] < raw
+        # (b) compression makes PairwiseHist's total storage smaller than raw.
+        assert ph["total_storage_mb"] < raw
+        # (c) PairwiseHist answers queries faster than DeepDB (median).
+        assert ph["median_latency_ms"] <= dd["median_latency_ms"]
+        # (d) construction stays in the "seconds" regime claimed by Table 1.
+        #     (At laptop scale the DBEst++ stand-in trains only the handful of
+        #     workload templates, so the paper's hours-vs-minutes gap cannot
+        #     be asserted here; it is recorded in the table instead.)
+        assert ph["construction_seconds"] < 600.0

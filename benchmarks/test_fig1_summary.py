@@ -1,0 +1,17 @@
+"""Fig. 1 — relative performance summary of PairwiseHist vs the baselines."""
+
+from bench_utils import bench_scale, record
+
+from repro.bench import Fig1Summary
+
+
+def test_fig1_relative_performance(benchmark):
+    """Regenerates the Fig. 1 radar axes as improvement factors."""
+    experiment = Fig1Summary(scale=bench_scale())
+    results = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    record("fig1_summary", experiment.render())
+
+    # Shape checks for the headline claims: PairwiseHist is faster than
+    # DeepDB and builds faster than DBEst++.
+    assert results["DeepDB"]["latency"] >= 1.0
+    assert results["DBEst++"]["construction_time"] >= 1.0

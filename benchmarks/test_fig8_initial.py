@@ -1,0 +1,24 @@
+"""Fig. 8 — median error and synopsis size across the 11 real-world datasets."""
+
+from bench_utils import bench_scale, record
+
+from repro.bench import Fig8InitialExperiments
+
+
+def test_fig8_initial_experiments(benchmark):
+    """Regenerates Fig. 8(a) (median error) and Fig. 8(b) (synopsis size)."""
+    experiment = Fig8InitialExperiments(scale=bench_scale())
+    results = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    record("fig8_initial_experiments", experiment.render())
+
+    # Shape check mirroring the paper's headline claim against DeepDB:
+    # PairwiseHist is at least as accurate on a majority of the 11 datasets.
+    # (The DBEst++ stand-in is only trained on the workload's templates, so
+    # its size/accuracy at laptop scale is not directly comparable.)
+    ph_beats_deepdb = 0
+    for per_dataset in results.values():
+        ph = per_dataset["PairwiseHist 100k"]
+        dd = per_dataset["DeepDB 100k"]
+        if ph["median_error_percent"] <= dd["median_error_percent"] + 1e-9:
+            ph_beats_deepdb += 1
+    assert ph_beats_deepdb >= len(results) // 2

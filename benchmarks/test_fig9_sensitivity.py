@@ -1,0 +1,17 @@
+"""Fig. 9 — parameter sensitivity (M, alpha, Ns) on the scaled Flights dataset."""
+
+from bench_utils import bench_scale, record
+
+from repro.bench import Fig9ParameterSensitivity
+
+
+def test_fig9_parameter_sensitivity(benchmark):
+    """Regenerates Fig. 9(a) (median error) and Fig. 9(b) (synopsis size) series."""
+    experiment = Fig9ParameterSensitivity(scale=bench_scale())
+    results = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    record("fig9_parameter_sensitivity", experiment.render())
+
+    # Shape check: synopsis size decreases (weakly) as M grows, for every series.
+    for points in results.values():
+        sizes = [p["synopsis_mb"] for p in points]
+        assert all(sizes[i + 1] <= sizes[i] + 1e-6 for i in range(len(sizes) - 1))

@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the core kernels (repeated-measurement timings).
+
+Unlike the experiment benches (one full table/figure per test), these use
+pytest-benchmark's statistics to time the individual kernels the paper's
+latency and construction claims rest on: synopsis construction, single-query
+execution, synopsis serialization and GreedyGD compression.
+"""
+
+import pytest
+
+from bench_utils import bench_scale
+
+from repro import PairwiseHistEngine, PairwiseHistParams, load_dataset, parse_query
+from repro.core.serialization import deserialize, serialize
+from repro.gd.store import CompressedStore
+
+
+@pytest.fixture(scope="module")
+def scale():
+    return bench_scale()
+
+
+@pytest.fixture(scope="module")
+def power(scale):
+    return load_dataset("power", rows=scale.dataset_rows, seed=scale.seed)
+
+
+@pytest.fixture(scope="module")
+def engine(power, scale):
+    params = PairwiseHistParams.with_defaults(sample_size=scale.sample_small, seed=scale.seed)
+    return PairwiseHistEngine.from_table(power, params=params)
+
+
+def test_synopsis_construction(benchmark, power, scale):
+    """Time to build the full PairwiseHist synopsis (Fig. 11(d) kernel)."""
+    params = PairwiseHistParams.with_defaults(sample_size=scale.sample_tiny, seed=scale.seed)
+    benchmark.pedantic(
+        PairwiseHistEngine.from_table, args=(power,), kwargs={"params": params},
+        rounds=3, iterations=1,
+    )
+
+
+def test_single_predicate_query_latency(benchmark, engine):
+    """Single-predicate AVG query latency (Fig. 11(c) kernel)."""
+    query = parse_query("SELECT AVG(global_active_power) FROM power WHERE voltage > 240")
+    result = benchmark(engine.execute_scalar, query)
+    assert result.lower <= result.value <= result.upper
+
+
+def test_multi_predicate_query_latency(benchmark, engine):
+    """Five-predicate mixed AND/OR query latency."""
+    query = parse_query(
+        "SELECT SUM(global_active_power) FROM power WHERE "
+        "voltage > 238 AND voltage < 244 AND hour >= 6 AND hour < 22 OR global_intensity > 12"
+    )
+    result = benchmark(engine.execute_scalar, query)
+    assert result.value >= 0
+
+
+@pytest.fixture(scope="module")
+def light_engine(scale):
+    table = load_dataset("light", rows=scale.dataset_rows, seed=scale.seed)
+    params = PairwiseHistParams.with_defaults(sample_size=scale.sample_tiny, seed=scale.seed)
+    return PairwiseHistEngine.from_table(table, params=params)
+
+
+def test_group_by_query_latency(benchmark, light_engine):
+    """GROUP BY query latency (one estimate per category of a categorical column)."""
+    query = parse_query("SELECT COUNT(lux) FROM light WHERE battery > 50 GROUP BY device")
+    results = benchmark(light_engine.execute, query)
+    assert len(results) >= 1
+
+
+def test_synopsis_serialization_round_trip(benchmark, engine):
+    """Serialize + deserialize the synopsis (storage encoding of §4.3)."""
+    def round_trip():
+        return deserialize(serialize(engine.synopsis))
+
+    restored = benchmark(round_trip)
+    assert restored.columns == engine.synopsis.columns
+
+
+def test_greedygd_compression(benchmark, power):
+    """GreedyGD compression of the Power dataset (ingestion kernel of Fig. 2)."""
+    store = benchmark.pedantic(CompressedStore.compress, args=(power,), rounds=3, iterations=1)
+    assert store.num_rows == power.num_rows

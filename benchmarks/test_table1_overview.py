@@ -1,0 +1,18 @@
+"""Table 1 — qualitative overview with PairwiseHist's row measured live."""
+
+from bench_utils import bench_scale, record
+
+from repro.bench import Table1Qualitative
+
+
+def test_table1_overview(benchmark):
+    """Measures the PairwiseHist row of Table 1 (accuracy / latency / size / build)."""
+    experiment = Table1Qualitative(scale=bench_scale())
+    measured = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    record("table1_overview", experiment.render())
+
+    # The qualitative claims of Table 1's PairwiseHist row.
+    assert measured["median_error_percent"] < 5.0          # "<1%" at paper scale
+    assert measured["median_latency_ms"] < 50.0             # "sub-ms" at paper scale
+    assert measured["synopsis_mb"] < 5.0                    # "sub-MB" at paper scale
+    assert measured["construction_seconds"] < 600.0         # "secs"

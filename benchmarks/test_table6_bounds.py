@@ -1,0 +1,23 @@
+"""Table 6 — query-bound accuracy rate and width, PairwiseHist vs DeepDB."""
+
+import numpy as np
+
+from bench_utils import bench_scale, record
+
+from repro.bench import Table6Bounds
+
+
+def test_table6_bounds(benchmark):
+    """Regenerates Table 6 on original and scaled Power / Flights datasets."""
+    experiment = Table6Bounds(scale=bench_scale())
+    results = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    record("table6_bounds", experiment.render())
+
+    correct_ph = [v["PairwiseHist correct (%)"] for v in results.values()]
+    correct_dd = [v["DeepDB correct (%)"] for v in results.values()]
+    finite_ph = [v for v in correct_ph if np.isfinite(v)]
+    finite_dd = [v for v in correct_dd if np.isfinite(v)]
+    # Shape check (paper): PairwiseHist's bounds are correct more often than
+    # DeepDB's on average.
+    if finite_ph and finite_dd:
+        assert np.mean(finite_ph) >= np.mean(finite_dd) - 10.0

@@ -1,0 +1,6 @@
+"""Setuptools shim so editable installs work in offline environments
+where the ``wheel`` package (needed for PEP 660 builds) is unavailable."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""PairwiseHist reproduction: approximate query processing with data compression.
+
+The public API is re-exported at the top level for convenience:
+
+>>> from repro import PairwiseHistEngine, load_dataset
+>>> table = load_dataset("power", rows=10_000)
+>>> engine = PairwiseHistEngine.from_table(table)
+>>> result = engine.execute_scalar(
+...     "SELECT AVG(global_active_power) FROM power WHERE voltage > 240"
+... )
+>>> result.lower <= result.value <= result.upper
+True
+"""
+
+from .core.engine import AqpResult, PairwiseHistEngine
+from .core.aggregation import AqpEstimate
+from .core.params import PairwiseHistParams
+from .core.synopsis import PairwiseHist
+from .core.builder import build_pairwise_hist
+from .core.serialization import deserialize, serialize, synopsis_size_bytes
+from .data.table import Table
+from .data.schema import ColumnSchema, ColumnType, TableSchema
+from .data.datasets import available_datasets, load_dataset
+from .data.idebench import IdeBenchScaler, scale_dataset
+from .gd.store import CompressedStore
+from .gd.preprocessor import Preprocessor
+from .exactdb.executor import ExactQueryEngine
+from .sql.parser import parse_query
+from .sql.ast import AggregateFunction, Query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AqpResult",
+    "AqpEstimate",
+    "PairwiseHistEngine",
+    "PairwiseHistParams",
+    "PairwiseHist",
+    "build_pairwise_hist",
+    "serialize",
+    "deserialize",
+    "synopsis_size_bytes",
+    "Table",
+    "ColumnSchema",
+    "ColumnType",
+    "TableSchema",
+    "available_datasets",
+    "load_dataset",
+    "IdeBenchScaler",
+    "scale_dataset",
+    "CompressedStore",
+    "Preprocessor",
+    "ExactQueryEngine",
+    "parse_query",
+    "AggregateFunction",
+    "Query",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Baseline AQP systems used in the paper's evaluation, plus the common interface."""
+
+from .base import AqpSystem, BaselineResult, UnsupportedQueryError
+from .adapter import PairwiseHistSystem
+from .deepdb import DeepDBLike
+from .dbest import DBEstPlusPlusLike
+from .sampling_aqp import SamplingAQP
+from .spn import HistogramLeaf, SpnLearnerConfig, SumProductNetwork
+from .density import BinnedRegression, GaussianMixture1D
+
+__all__ = [
+    "AqpSystem",
+    "BaselineResult",
+    "UnsupportedQueryError",
+    "PairwiseHistSystem",
+    "DeepDBLike",
+    "DBEstPlusPlusLike",
+    "SamplingAQP",
+    "HistogramLeaf",
+    "SpnLearnerConfig",
+    "SumProductNetwork",
+    "BinnedRegression",
+    "GaussianMixture1D",
+]

@@ -1,0 +1,48 @@
+"""Adapter exposing :class:`~repro.core.engine.PairwiseHistEngine` through the
+common :class:`~repro.baselines.base.AqpSystem` interface used by the
+benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.engine import PairwiseHistEngine
+from ..core.params import PairwiseHistParams
+from ..data.table import Table
+from ..sql.ast import Query
+from .base import BaselineResult, UnsupportedQueryError
+
+
+@dataclass
+class PairwiseHistSystem:
+    """PairwiseHist wrapped as an evaluated AQP system."""
+
+    engine: PairwiseHistEngine
+    name: str = "PairwiseHist"
+
+    @classmethod
+    def fit(
+        cls,
+        table: Table,
+        sample_size: int | None = 100_000,
+        alpha: float = 0.001,
+        use_compression: bool = True,
+        name: str = "PairwiseHist",
+        params: PairwiseHistParams | None = None,
+    ) -> "PairwiseHistSystem":
+        params = params or PairwiseHistParams.with_defaults(sample_size=sample_size, alpha=alpha)
+        engine = PairwiseHistEngine.from_table(table, params=params, use_compression=use_compression)
+        return cls(engine=engine, name=name)
+
+    @property
+    def construction_seconds(self) -> float:
+        return self.engine.construction_seconds
+
+    def synopsis_bytes(self) -> int:
+        return self.engine.synopsis_bytes()
+
+    def estimate(self, query: Query) -> BaselineResult:
+        if query.group_by is not None:
+            raise UnsupportedQueryError("the harness compares non-GROUP BY queries")
+        result = self.engine.execute_scalar(query)
+        return BaselineResult(value=result.value, lower=result.lower, upper=result.upper)

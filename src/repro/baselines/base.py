@@ -1,0 +1,55 @@
+"""Common interface shared by PairwiseHist and the baseline AQP systems.
+
+The benchmark harness treats every system uniformly: it is built from a
+table (optionally from a sample), answers queries with an estimate and
+optional bounds, reports its synopsis size and its construction time, and
+may refuse queries it does not support (the paper carefully tracks which
+queries DeepDB and DBEst++ can answer, §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from ..sql.ast import Query
+
+
+class UnsupportedQueryError(ValueError):
+    """Raised by an AQP system for query shapes it cannot answer."""
+
+
+@dataclass
+class BaselineResult:
+    """Estimate (and optional bounds) returned by a baseline system."""
+
+    value: float
+    lower: float = float("nan")
+    upper: float = float("nan")
+
+    @property
+    def has_bounds(self) -> bool:
+        import numpy as np
+
+        return bool(np.isfinite(self.lower) and np.isfinite(self.upper))
+
+
+@runtime_checkable
+class AqpSystem(Protocol):
+    """Structural interface every evaluated system satisfies."""
+
+    #: Human-readable system name used in benchmark output.
+    name: str
+
+    def estimate(self, query: Query) -> BaselineResult:
+        """Answer a (non-GROUP BY) query approximately."""
+        ...
+
+    def synopsis_bytes(self) -> int:
+        """Size of the system's synopsis / models in bytes."""
+        ...
+
+    @property
+    def construction_seconds(self) -> float:
+        """Wall-clock time spent building the synopsis."""
+        ...

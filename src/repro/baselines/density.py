@@ -1,0 +1,147 @@
+"""Small density-estimation building blocks for the learned baselines.
+
+DBEst++ models column densities with mixture density networks; offline and
+without a deep-learning stack we substitute a classic one-dimensional
+Gaussian mixture fitted with EM (:class:`GaussianMixture1D`), which plays
+the same role in the query estimator: ``P(a <= X <= b)`` and conditional
+expectations are read from the fitted mixture rather than from data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import stats
+
+
+@dataclass
+class GaussianMixture1D:
+    """A one-dimensional Gaussian mixture model fitted with EM."""
+
+    num_components: int = 4
+    max_iterations: int = 50
+    tolerance: float = 1e-5
+    seed: int = 0
+    weights: np.ndarray = field(default=None, init=False)  # type: ignore[assignment]
+    means: np.ndarray = field(default=None, init=False)  # type: ignore[assignment]
+    stds: np.ndarray = field(default=None, init=False)  # type: ignore[assignment]
+
+    # ------------------------------------------------------------------ #
+
+    def fit(self, values: np.ndarray) -> "GaussianMixture1D":
+        """Fit the mixture to 1-d data with (plain) EM."""
+        values = np.asarray(values, dtype=float)
+        values = values[np.isfinite(values)]
+        if values.size == 0:
+            values = np.array([0.0])
+        k = max(1, min(self.num_components, len(np.unique(values))))
+        rng = np.random.default_rng(self.seed)
+        quantiles = np.linspace(0.05, 0.95, k)
+        self.means = np.quantile(values, quantiles)
+        spread = values.std() if values.std() > 0 else 1.0
+        self.stds = np.full(k, spread / k + 1e-6)
+        self.weights = np.full(k, 1.0 / k)
+        log_likelihood = -np.inf
+        for _ in range(self.max_iterations):
+            responsibilities = self._responsibilities(values)
+            totals = responsibilities.sum(axis=0) + 1e-12
+            self.weights = totals / len(values)
+            self.means = (responsibilities * values[:, None]).sum(axis=0) / totals
+            variance = (responsibilities * (values[:, None] - self.means) ** 2).sum(axis=0) / totals
+            self.stds = np.sqrt(np.maximum(variance, 1e-12))
+            new_log_likelihood = self._log_likelihood(values)
+            if abs(new_log_likelihood - log_likelihood) < self.tolerance:
+                break
+            log_likelihood = new_log_likelihood
+        _ = rng  # deterministic initialisation; rng kept for future extensions
+        return self
+
+    def _responsibilities(self, values: np.ndarray) -> np.ndarray:
+        densities = np.stack(
+            [w * stats.norm.pdf(values, m, s) for w, m, s in zip(self.weights, self.means, self.stds)],
+            axis=1,
+        )
+        totals = densities.sum(axis=1, keepdims=True)
+        totals[totals <= 0] = 1e-300
+        return densities / totals
+
+    def _log_likelihood(self, values: np.ndarray) -> float:
+        densities = np.stack(
+            [w * stats.norm.pdf(values, m, s) for w, m, s in zip(self.weights, self.means, self.stds)],
+            axis=1,
+        ).sum(axis=1)
+        return float(np.log(np.maximum(densities, 1e-300)).sum())
+
+    # ------------------------------------------------------------------ #
+
+    def pdf(self, x: np.ndarray | float) -> np.ndarray | float:
+        x = np.asarray(x, dtype=float)
+        values = sum(
+            w * stats.norm.pdf(x, m, s) for w, m, s in zip(self.weights, self.means, self.stds)
+        )
+        return values
+
+    def cdf(self, x: float) -> float:
+        return float(
+            sum(w * stats.norm.cdf(x, m, s) for w, m, s in zip(self.weights, self.means, self.stds))
+        )
+
+    def probability(self, lower: float, upper: float) -> float:
+        """``P(lower <= X <= upper)`` under the fitted mixture."""
+        if upper < lower:
+            return 0.0
+        return max(0.0, self.cdf(upper) - self.cdf(lower))
+
+    def storage_bytes(self) -> int:
+        """Parameters only: weights, means, stds as float64."""
+        return 3 * len(self.weights) * 8
+
+
+@dataclass
+class BinnedRegression:
+    """Piecewise-constant regression of ``y`` on ``x`` (the DBEst-style regressor).
+
+    Stores E[y | x in bin] and E[y^2 | x in bin] over an equi-width grid of
+    ``x`` so SUM / AVG queries with a range predicate on ``x`` can be
+    answered without data access.
+    """
+
+    num_bins: int = 64
+    edges: np.ndarray = field(default=None, init=False)  # type: ignore[assignment]
+    mean_y: np.ndarray = field(default=None, init=False)  # type: ignore[assignment]
+    mean_y_squared: np.ndarray = field(default=None, init=False)  # type: ignore[assignment]
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "BinnedRegression":
+        mask = np.isfinite(x) & np.isfinite(y)
+        x, y = x[mask], y[mask]
+        if x.size == 0:
+            self.edges = np.array([0.0, 1.0])
+            self.mean_y = np.array([0.0])
+            self.mean_y_squared = np.array([0.0])
+            return self
+        lo, hi = float(x.min()), float(x.max())
+        if hi <= lo:
+            hi = lo + 1.0
+        self.edges = np.linspace(lo, hi, self.num_bins + 1)
+        idx = np.clip(np.searchsorted(self.edges, x, side="right") - 1, 0, self.num_bins - 1)
+        counts = np.bincount(idx, minlength=self.num_bins).astype(float)
+        sums = np.bincount(idx, weights=y, minlength=self.num_bins)
+        sums_sq = np.bincount(idx, weights=y ** 2, minlength=self.num_bins)
+        overall_mean = float(y.mean())
+        overall_mean_sq = float((y ** 2).mean())
+        with np.errstate(divide="ignore", invalid="ignore"):
+            self.mean_y = np.where(counts > 0, sums / counts, overall_mean)
+            self.mean_y_squared = np.where(counts > 0, sums_sq / counts, overall_mean_sq)
+        return self
+
+    def predict(self, x: np.ndarray | float) -> np.ndarray | float:
+        x = np.asarray(x, dtype=float)
+        idx = np.clip(np.searchsorted(self.edges, x, side="right") - 1, 0, len(self.mean_y) - 1)
+        return self.mean_y[idx]
+
+    def bin_centres(self) -> np.ndarray:
+        return (self.edges[:-1] + self.edges[1:]) / 2.0
+
+    def storage_bytes(self) -> int:
+        return (len(self.edges) + 2 * len(self.mean_y)) * 8

@@ -1,0 +1,182 @@
+"""Ablation experiments for the design choices the paper motivates.
+
+Three decisions are called out in DESIGN.md as worth isolating:
+
+1. recursive hypothesis-testing refinement (§4.1) vs plain equi-width bins,
+2. seeding initial bin edges from GreedyGD bases (§3) vs min/max seeding,
+3. the sparse Golomb-coded bin-count encoding (§4.3) vs dense encoding.
+
+Each ablation builds PairwiseHist with and without the feature and reports
+accuracy, synopsis size and construction time on the same workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.adapter import PairwiseHistSystem
+from ..core.builder import build_pairwise_hist
+from ..core.params import PairwiseHistParams
+from ..core.serialization import synopsis_size_bytes
+from ..data.datasets import load_dataset
+from ..gd.preprocessor import Preprocessor
+from ..workload.runner import WorkloadRunner
+from .experiments import _initial_workload
+from .harness import ExperimentScale, fmt, format_table
+
+_MB = 1e6
+
+
+@dataclass
+class AblationHypothesisTesting:
+    """Hypothesis-test-driven refinement vs equi-width histograms with the same bin budget."""
+
+    scale: ExperimentScale = field(default_factory=ExperimentScale.default)
+    dataset: str = "power"
+    results: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def run(self) -> dict[str, dict[str, float]]:
+        table = load_dataset(self.dataset, rows=self.scale.dataset_rows, seed=self.scale.seed)
+        queries = _initial_workload(table, self.scale)
+        runner = WorkloadRunner(table)
+
+        refined = PairwiseHistSystem.fit(
+            table, sample_size=self.scale.sample_small, name="PairwiseHist (refined)"
+        )
+        refined_summary = runner.run(refined, queries)
+        mean_bins = float(
+            np.mean([h.num_bins for h in refined.engine.synopsis.hist1d.values()])
+        )
+
+        # Equi-width variant: same mean bin budget per column, no hypothesis
+        # testing (min_points larger than the sample prevents every split).
+        preprocessor = Preprocessor.fit(table)
+        codes, nulls = preprocessor.transform_table(table)
+        sample = self.scale.sample_small
+        bins = max(2, int(round(mean_bins)))
+        params = PairwiseHistParams(
+            sample_size=sample,
+            min_points=sample + 1,   # no bin ever reaches M, so nothing is refined
+            alpha=0.5,
+            seed=self.scale.seed,
+            max_initial_bins=bins,   # keep the provided equi-width grid intact
+        )
+        equi_edges = {}
+        for name in table.column_names:
+            col = np.asarray(codes[name], dtype=float)
+            col = col[~np.asarray(nulls[name], dtype=bool)] if name in nulls else col
+            if col.size == 0:
+                continue
+            equi_edges[name] = np.linspace(col.min(), col.max(), bins + 1)
+        synopsis = build_pairwise_hist(
+            codes,
+            params,
+            population_rows=table.num_rows,
+            null_masks=nulls,
+            initial_edges=equi_edges,
+            columns=table.column_names,
+        )
+        from ..core.engine import PairwiseHistEngine
+
+        equi_engine = PairwiseHistEngine(
+            synopsis=synopsis, preprocessor=preprocessor, table_name=table.name
+        )
+        equi_system = PairwiseHistSystem(engine=equi_engine, name="Equi-width (no refinement)")
+        equi_summary = runner.run(equi_system, queries)
+
+        self.results = {
+            "PairwiseHist (refined)": {
+                "median_error_percent": refined_summary.median_error_percent(),
+                "synopsis_mb": refined.synopsis_bytes() / _MB,
+                "mean_bins_per_column": mean_bins,
+            },
+            "Equi-width (no refinement)": {
+                "median_error_percent": equi_summary.median_error_percent(),
+                "synopsis_mb": synopsis_size_bytes(synopsis) / _MB,
+                "mean_bins_per_column": float(bins),
+            },
+        }
+        return self.results
+
+    def render(self) -> str:
+        if not self.results:
+            self.run()
+        headers = ["variant", "median error (%)", "synopsis (MB)", "bins/column"]
+        rows = [
+            [name, fmt(v["median_error_percent"]), fmt(v["synopsis_mb"], 3), fmt(v["mean_bins_per_column"], 1)]
+            for name, v in self.results.items()
+        ]
+        return format_table(headers, rows, "Ablation — recursive hypothesis testing")
+
+
+@dataclass
+class AblationGDSeeding:
+    """GD-base-seeded initial bin edges vs min/max initial edges."""
+
+    scale: ExperimentScale = field(default_factory=ExperimentScale.default)
+    dataset: str = "power"
+    results: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def run(self) -> dict[str, dict[str, float]]:
+        table = load_dataset(self.dataset, rows=self.scale.dataset_rows, seed=self.scale.seed)
+        queries = _initial_workload(table, self.scale)
+        runner = WorkloadRunner(table)
+        for label, use_compression in (("GD-seeded (with compression)", True), ("Min/max seeded (stand-alone)", False)):
+            system = PairwiseHistSystem.fit(
+                table,
+                sample_size=self.scale.sample_small,
+                use_compression=use_compression,
+                name=label,
+            )
+            summary = runner.run(system, queries)
+            self.results[label] = {
+                "median_error_percent": summary.median_error_percent(),
+                "construction_seconds": system.construction_seconds,
+                "synopsis_mb": system.synopsis_bytes() / _MB,
+            }
+        return self.results
+
+    def render(self) -> str:
+        if not self.results:
+            self.run()
+        headers = ["variant", "median error (%)", "construction (s)", "synopsis (MB)"]
+        rows = [
+            [name, fmt(v["median_error_percent"]), fmt(v["construction_seconds"]), fmt(v["synopsis_mb"], 3)]
+            for name, v in self.results.items()
+        ]
+        return format_table(headers, rows, "Ablation — GD base seeding of initial bins")
+
+
+@dataclass
+class AblationStorageEncoding:
+    """Adaptive dense/sparse (Golomb) bin-count encoding vs dense-only encoding."""
+
+    scale: ExperimentScale = field(default_factory=ExperimentScale.default)
+    dataset: str = "flights"
+    results: dict[str, float] = field(default_factory=dict)
+
+    def run(self) -> dict[str, float]:
+        table = load_dataset(self.dataset, rows=self.scale.dataset_rows, seed=self.scale.seed)
+        system = PairwiseHistSystem.fit(table, sample_size=self.scale.sample_small)
+        synopsis = system.engine.synopsis
+        adaptive = synopsis_size_bytes(synopsis)
+        dense = synopsis_size_bytes(synopsis, force_dense=True)
+        self.results = {
+            "adaptive_mb": adaptive / _MB,
+            "dense_only_mb": dense / _MB,
+            "savings_percent": 100.0 * (1.0 - adaptive / dense) if dense else 0.0,
+        }
+        return self.results
+
+    def render(self) -> str:
+        if not self.results:
+            self.run()
+        headers = ["encoding", "synopsis (MB)"]
+        rows = [
+            ["adaptive dense/sparse (paper)", fmt(self.results["adaptive_mb"], 3)],
+            ["dense only", fmt(self.results["dense_only_mb"], 3)],
+            ["savings", fmt(self.results["savings_percent"], 1) + "%"],
+        ]
+        return format_table(headers, rows, "Ablation — bin-count storage encoding")

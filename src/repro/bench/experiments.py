@@ -1,0 +1,569 @@
+"""Experiment classes regenerating every table and figure of §6.
+
+Each class owns one artefact of the paper's evaluation, exposes ``run()``
+returning structured results and ``render()`` producing the same rows /
+series the paper reports.  Scales are configurable (see
+:class:`~repro.bench.harness.ExperimentScale`): the defaults finish on a
+laptop, and all claims are relative (PairwiseHist vs the baselines on the
+same host and data), matching how the paper's findings are stated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.adapter import PairwiseHistSystem
+from ..baselines.dbest import DBEstPlusPlusLike
+from ..baselines.deepdb import DeepDBLike
+from ..core.params import PairwiseHistParams
+from ..data.datasets import available_datasets, load_dataset
+from ..data.idebench import scale_dataset
+from ..data.table import Table
+from ..gd.store import CompressedStore
+from ..sql.ast import AggregateFunction, Query
+from ..workload.generator import QueryGenerator, WorkloadSpec
+from ..workload.metrics import WorkloadSummary
+from ..workload.runner import WorkloadRunner
+from .harness import ExperimentScale, fmt, format_table, workload_templates
+
+_MB = 1e6
+
+
+def _initial_workload(table: Table, scale: ExperimentScale) -> list[Query]:
+    spec = WorkloadSpec.initial_experiments(num_queries=scale.queries, seed=scale.seed)
+    return QueryGenerator(table, spec).generate()
+
+
+def _scaled_workload(table: Table, scale: ExperimentScale) -> list[Query]:
+    spec = WorkloadSpec.scaled_experiments(num_queries=scale.queries, seed=scale.seed)
+    # The paper's minimum selectivity of 1e-6 targets 10^9-row tables (>=1000
+    # matching rows).  At laptop scale keep queries meaningful by requiring a
+    # comparable number of matching rows rather than the raw fraction.
+    spec.min_selectivity = max(spec.min_selectivity, 30.0 / max(table.num_rows, 1))
+    return QueryGenerator(table, spec).generate()
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 8 — initial experiments across the 11 real-world datasets
+
+
+@dataclass
+class Fig8InitialExperiments:
+    """Fig. 8: median error (a) and synopsis size (b) across the 11 datasets."""
+
+    scale: ExperimentScale = field(default_factory=ExperimentScale.default)
+    datasets: list[str] = field(default_factory=available_datasets)
+    results: dict[str, dict[str, dict[str, float]]] = field(default_factory=dict)
+
+    def run(self) -> dict[str, dict[str, dict[str, float]]]:
+        for name in self.datasets:
+            table = load_dataset(name, rows=self.scale.dataset_rows, seed=self.scale.seed)
+            queries = _initial_workload(table, self.scale)
+            runner = WorkloadRunner(table)
+            templates = workload_templates(queries)
+            systems = {
+                "PairwiseHist 100k": PairwiseHistSystem.fit(
+                    table, sample_size=self.scale.sample_small, name="PairwiseHist 100k"
+                ),
+                "PairwiseHist 10k": PairwiseHistSystem.fit(
+                    table, sample_size=self.scale.sample_tiny, name="PairwiseHist 10k"
+                ),
+                "DeepDB 100k": DeepDBLike.fit(table, sample_size=self.scale.sample_small),
+                "DeepDB 10k": DeepDBLike.fit(table, sample_size=self.scale.sample_tiny),
+                "DBEst++ 100k": DBEstPlusPlusLike.fit(
+                    table, sample_size=self.scale.sample_small, templates=templates
+                ),
+                "DBEst++ 10k": DBEstPlusPlusLike.fit(
+                    table, sample_size=self.scale.sample_tiny, templates=templates
+                ),
+            }
+            per_dataset: dict[str, dict[str, float]] = {}
+            for label, system in systems.items():
+                summary = runner.run(system, queries)
+                per_dataset[label] = {
+                    "median_error_percent": summary.median_error_percent(),
+                    "synopsis_mb": system.synopsis_bytes() / _MB,
+                    "supported_queries": float(len(summary.supported_records)),
+                }
+            self.results[name] = per_dataset
+        return self.results
+
+    def render(self) -> str:
+        if not self.results:
+            self.run()
+        labels = next(iter(self.results.values())).keys()
+        error_rows = [
+            [name] + [fmt(self.results[name][label]["median_error_percent"]) for label in labels]
+            for name in self.results
+        ]
+        size_rows = [
+            [name] + [fmt(self.results[name][label]["synopsis_mb"], 3) for label in labels]
+            for name in self.results
+        ]
+        headers = ["dataset"] + list(labels)
+        return "\n\n".join(
+            [
+                format_table(headers, error_rows, "Fig. 8(a) — median error (%)"),
+                format_table(headers, size_rows, "Fig. 8(b) — synopsis size (MB)"),
+            ]
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 9 — parameter sensitivity
+
+
+@dataclass
+class Fig9ParameterSensitivity:
+    """Fig. 9: accuracy and synopsis size vs M, alpha and Ns on scaled Flights."""
+
+    scale: ExperimentScale = field(default_factory=ExperimentScale.default)
+    dataset: str = "flights"
+    min_points_fractions: tuple[float, ...] = (0.01, 0.04, 0.07, 0.10)
+    series: tuple[tuple[str, str, float], ...] = (
+        ("1m, alpha=0.01", "large", 0.01),
+        ("100k, alpha=0.001", "small", 0.001),
+        ("100k, alpha=0.01", "small", 0.01),
+        ("100k, alpha=0.1", "small", 0.1),
+    )
+    results: dict[str, list[dict[str, float]]] = field(default_factory=dict)
+
+    def run(self) -> dict[str, list[dict[str, float]]]:
+        original = load_dataset(self.dataset, rows=self.scale.dataset_rows, seed=self.scale.seed)
+        table = scale_dataset(original, rows=self.scale.scaled_rows, seed=self.scale.seed)
+        queries = _initial_workload(table, self.scale)
+        runner = WorkloadRunner(table)
+        for label, size_key, alpha in self.series:
+            sample = self.scale.sample_large if size_key == "large" else self.scale.sample_small
+            points: list[dict[str, float]] = []
+            for fraction in self.min_points_fractions:
+                min_points = max(10, int(round(sample * fraction)))
+                params = PairwiseHistParams(
+                    sample_size=sample, min_points=min_points, alpha=alpha, seed=self.scale.seed
+                )
+                system = PairwiseHistSystem.fit(table, params=params, name=f"PH {label}")
+                summary = runner.run(system, queries)
+                points.append(
+                    {
+                        "min_points": float(min_points),
+                        "median_error_percent": summary.median_error_percent(),
+                        "synopsis_mb": system.synopsis_bytes() / _MB,
+                    }
+                )
+            self.results[label] = points
+        return self.results
+
+    def render(self) -> str:
+        if not self.results:
+            self.run()
+        headers = ["series", "M", "median error (%)", "synopsis (MB)"]
+        rows = []
+        for label, points in self.results.items():
+            for point in points:
+                rows.append(
+                    [
+                        label,
+                        fmt(point["min_points"], 0),
+                        fmt(point["median_error_percent"]),
+                        fmt(point["synopsis_mb"], 3),
+                    ]
+                )
+        return format_table(headers, rows, "Fig. 9 — parameter sensitivity (scaled Flights)")
+
+
+# --------------------------------------------------------------------------- #
+# Table 5 / Fig. 10 — scaled-up experiments
+
+
+@dataclass
+class ScaledExperimentRun:
+    """Shared machinery: run the scaled workload for one dataset on all systems."""
+
+    scale: ExperimentScale
+    dataset: str
+
+    def execute(self) -> tuple[Table, list[Query], dict[str, WorkloadSummary], dict[str, object]]:
+        original = load_dataset(self.dataset, rows=self.scale.dataset_rows, seed=self.scale.seed)
+        table = scale_dataset(original, rows=self.scale.scaled_rows, seed=self.scale.seed,
+                              name=f"{self.dataset}_scaled")
+        queries = _scaled_workload(table, self.scale)
+        runner = WorkloadRunner(table)
+        templates = workload_templates(queries)
+        systems = {
+            "PairwiseHist": PairwiseHistSystem.fit(table, sample_size=self.scale.sample_large),
+            "DeepDB": DeepDBLike.fit(table, sample_size=self.scale.sample_large),
+            "DBEst++": DBEstPlusPlusLike.fit(
+                table, sample_size=self.scale.sample_tiny, templates=templates
+            ),
+        }
+        summaries = {name: runner.run(system, queries) for name, system in systems.items()}
+        return table, queries, summaries, systems
+
+
+@dataclass
+class Table5AccuracyByAggregation:
+    """Table 5: median relative error (%) per aggregation function and system."""
+
+    scale: ExperimentScale = field(default_factory=ExperimentScale.default)
+    datasets: tuple[str, ...] = ("power", "flights")
+    results: dict[str, dict[str, dict[str, float]]] = field(default_factory=dict)
+
+    def run(self) -> dict[str, dict[str, dict[str, float]]]:
+        for dataset in self.datasets:
+            _, _, summaries, _ = ScaledExperimentRun(self.scale, dataset).execute()
+            per_system: dict[str, dict[str, float]] = {}
+            for system_name, summary in summaries.items():
+                by_agg = {
+                    agg: sub.median_error_percent() for agg, sub in summary.by_aggregation().items()
+                }
+                by_agg["Overall"] = summary.median_error_percent()
+                by_agg["supported"] = float(len(summary.supported_records))
+                per_system[system_name] = by_agg
+            self.results[dataset] = per_system
+        return self.results
+
+    def render(self) -> str:
+        if not self.results:
+            self.run()
+        functions = [f.value for f in AggregateFunction] + ["Overall"]
+        blocks = []
+        for dataset, per_system in self.results.items():
+            headers = ["aggregation"] + list(per_system.keys())
+            rows = []
+            for func in functions:
+                rows.append(
+                    [func] + [fmt(per_system[system].get(func, float("nan"))) for system in per_system]
+                )
+            rows.append(
+                ["supported queries"]
+                + [fmt(per_system[system].get("supported", float("nan")), 0) for system in per_system]
+            )
+            blocks.append(format_table(headers, rows, f"Table 5 — median relative error (%), {dataset} (scaled)"))
+        return "\n\n".join(blocks)
+
+
+@dataclass
+class Fig10ErrorCDF:
+    """Fig. 10(a)-(c): error CDFs over system-supported query subsets."""
+
+    scale: ExperimentScale = field(default_factory=ExperimentScale.default)
+    datasets: tuple[str, ...] = ("power", "flights")
+    percentiles: tuple[float, ...] = (25.0, 50.0, 75.0, 90.0, 95.0, 99.0)
+    results: dict[str, dict[str, object]] = field(default_factory=dict)
+
+    def run(self) -> dict[str, dict[str, object]]:
+        all_records: dict[str, list] = {"PairwiseHist": [], "DeepDB": [], "DBEst++": []}
+        for dataset in self.datasets:
+            _, _, summaries, _ = ScaledExperimentRun(self.scale, dataset).execute()
+            for system_name, summary in summaries.items():
+                all_records[system_name].extend(summary.records)
+        merged = {name: WorkloadSummary(records) for name, records in all_records.items()}
+
+        def subset(records, keep_sql: set[str]) -> WorkloadSummary:
+            return WorkloadSummary([r for r in records if r.sql in keep_sql])
+
+        deepdb_supported = {r.sql for r in merged["DeepDB"].records if r.supported}
+        dbest_supported = {r.sql for r in merged["DBEst++"].records if r.supported}
+        panels = {
+            "vs DBEst++ (supported subset)": {
+                "PairwiseHist": subset(merged["PairwiseHist"].records, dbest_supported),
+                "DBEst++": subset(merged["DBEst++"].records, dbest_supported),
+            },
+            "vs DeepDB (supported subset)": {
+                "PairwiseHist": subset(merged["PairwiseHist"].records, deepdb_supported),
+                "DeepDB": subset(merged["DeepDB"].records, deepdb_supported),
+            },
+            "all queries": {"PairwiseHist": merged["PairwiseHist"]},
+        }
+        rendered: dict[str, dict[str, object]] = {}
+        for panel, systems in panels.items():
+            rendered[panel] = {
+                name: {
+                    "num_queries": float(len(summary.supported_records)),
+                    "error_percentiles": summary.error_percentiles(list(self.percentiles)) * 100.0,
+                    "fraction_below_10pct": summary.fraction_below(0.10),
+                    "fraction_below_1pct": summary.fraction_below(0.01),
+                }
+                for name, summary in systems.items()
+            }
+        self.results = rendered
+        return rendered
+
+    def render(self) -> str:
+        if not self.results:
+            self.run()
+        blocks = []
+        for panel, systems in self.results.items():
+            headers = ["system", "n"] + [f"p{int(p)} err (%)" for p in self.percentiles] + [
+                "<1% err", "<10% err"
+            ]
+            rows = []
+            for name, stats in systems.items():
+                rows.append(
+                    [name, fmt(stats["num_queries"], 0)]
+                    + [fmt(v) for v in stats["error_percentiles"]]
+                    + [fmt(stats["fraction_below_1pct"] * 100, 1) + "%",
+                       fmt(stats["fraction_below_10pct"] * 100, 1) + "%"]
+                )
+            blocks.append(format_table(headers, rows, f"Fig. 10 — error distribution, {panel}"))
+        return "\n\n".join(blocks)
+
+
+@dataclass
+class Fig10RealVsIdebench:
+    """Fig. 10(d): PairwiseHist / DeepDB error on real vs IDEBench-generated data."""
+
+    scale: ExperimentScale = field(default_factory=ExperimentScale.default)
+    datasets: tuple[str, ...] = ("power", "flights")
+    results: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def run(self) -> dict[str, dict[str, float]]:
+        for dataset in self.datasets:
+            real = load_dataset(dataset, rows=self.scale.dataset_rows, seed=self.scale.seed)
+            synthetic = scale_dataset(
+                real, rows=self.scale.dataset_rows, seed=self.scale.seed, name=f"{dataset}_idebench"
+            )
+            queries = _initial_workload(real, self.scale)
+            row: dict[str, float] = {}
+            for label, table in (("Real", real), ("IDEBench", synthetic)):
+                runner = WorkloadRunner(table)
+                ph = PairwiseHistSystem.fit(table, sample_size=self.scale.sample_large)
+                dd = DeepDBLike.fit(table, sample_size=self.scale.sample_large)
+                row[f"PairwiseHist {label}"] = runner.run(ph, queries).median_error_percent()
+                row[f"DeepDB {label}"] = runner.run(dd, queries).median_error_percent()
+            self.results[dataset] = row
+        return self.results
+
+    def render(self) -> str:
+        if not self.results:
+            self.run()
+        labels = list(next(iter(self.results.values())).keys())
+        headers = ["dataset"] + labels
+        rows = [
+            [dataset] + [fmt(self.results[dataset][label]) for label in labels]
+            for dataset in self.results
+        ]
+        return format_table(headers, rows, "Fig. 10(d) — median error (%), real vs IDEBench data")
+
+
+# --------------------------------------------------------------------------- #
+# Table 6 — bounds accuracy and width
+
+
+@dataclass
+class Table6Bounds:
+    """Table 6: bounds correct-rate (%) and median width (%) for PairwiseHist vs DeepDB."""
+
+    scale: ExperimentScale = field(default_factory=ExperimentScale.default)
+    datasets: tuple[str, ...] = ("power", "flights")
+    results: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def run(self) -> dict[str, dict[str, float]]:
+        for dataset in self.datasets:
+            for variant in ("original", "scaled"):
+                if variant == "original":
+                    table = load_dataset(dataset, rows=self.scale.dataset_rows, seed=self.scale.seed)
+                else:
+                    original = load_dataset(dataset, rows=self.scale.dataset_rows, seed=self.scale.seed)
+                    table = scale_dataset(original, rows=self.scale.scaled_rows, seed=self.scale.seed)
+                queries = _initial_workload(table, self.scale)
+                runner = WorkloadRunner(table)
+                ph = PairwiseHistSystem.fit(table, sample_size=self.scale.sample_large)
+                dd = DeepDBLike.fit(table, sample_size=self.scale.sample_large)
+                ph_summary = runner.run(ph, queries)
+                dd_summary = runner.run(dd, queries)
+                supported = {r.sql for r in dd_summary.records if r.supported}
+                ph_subset = WorkloadSummary([r for r in ph_summary.records if r.sql in supported])
+                dd_subset = WorkloadSummary([r for r in dd_summary.records if r.sql in supported])
+                self.results[f"{dataset} ({variant})"] = {
+                    "PairwiseHist correct (%)": ph_subset.bounds_correct_rate_percent(),
+                    "DeepDB correct (%)": dd_subset.bounds_correct_rate_percent(),
+                    "PairwiseHist width (%)": ph_subset.median_bound_width_percent(),
+                    "DeepDB width (%)": dd_subset.median_bound_width_percent(),
+                }
+        return self.results
+
+    def render(self) -> str:
+        if not self.results:
+            self.run()
+        labels = list(next(iter(self.results.values())).keys())
+        headers = ["dataset"] + labels
+        rows = [
+            [name] + [fmt(values[label], 1) for label in labels]
+            for name, values in self.results.items()
+        ]
+        return format_table(headers, rows, "Table 6 — bounds accuracy rate and width")
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 11 — storage and runtime on the scaled datasets
+
+
+@dataclass
+class Fig11ScaledPerformance:
+    """Fig. 11(a)-(d): synopsis size, total storage, query latency, construction time."""
+
+    scale: ExperimentScale = field(default_factory=ExperimentScale.default)
+    datasets: tuple[str, ...] = ("power", "flights")
+    results: dict[str, dict[str, dict[str, float]]] = field(default_factory=dict)
+
+    def run(self) -> dict[str, dict[str, dict[str, float]]]:
+        for dataset in self.datasets:
+            table, _, summaries, systems = ScaledExperimentRun(self.scale, dataset).execute()
+            raw_bytes = table.memory_bytes()
+            ph_system = systems["PairwiseHist"]
+            store: CompressedStore | None = ph_system.engine.store
+            compressed_bytes = store.compressed_bytes() if store is not None else raw_bytes
+            per_system: dict[str, dict[str, float]] = {}
+            for name, system in systems.items():
+                summary = summaries[name]
+                synopsis_mb = system.synopsis_bytes() / _MB
+                if name == "PairwiseHist":
+                    total_storage = (compressed_bytes + system.synopsis_bytes()) / _MB
+                else:
+                    total_storage = (raw_bytes + system.synopsis_bytes()) / _MB
+                per_system[name] = {
+                    "synopsis_mb": synopsis_mb,
+                    "total_storage_mb": total_storage,
+                    "median_latency_ms": summary.median_latency_ms(),
+                    "construction_seconds": system.construction_seconds,
+                    "median_error_percent": summary.median_error_percent(),
+                }
+            per_system["Raw data"] = {
+                "synopsis_mb": float("nan"),
+                "total_storage_mb": raw_bytes / _MB,
+                "median_latency_ms": float("nan"),
+                "construction_seconds": float("nan"),
+                "median_error_percent": float("nan"),
+            }
+            self.results[dataset] = per_system
+        return self.results
+
+    def render(self) -> str:
+        if not self.results:
+            self.run()
+        blocks = []
+        metrics = [
+            ("synopsis_mb", "Fig. 11(a) — synopsis size (MB)", 3),
+            ("total_storage_mb", "Fig. 11(b) — total storage (MB)", 2),
+            ("median_latency_ms", "Fig. 11(c) — median query latency (ms)", 2),
+            ("construction_seconds", "Fig. 11(d) — construction time (s)", 2),
+        ]
+        for key, title, digits in metrics:
+            systems = list(next(iter(self.results.values())).keys())
+            headers = ["dataset"] + systems
+            rows = [
+                [dataset] + [fmt(self.results[dataset][system][key], digits) for system in systems]
+                for dataset in self.results
+            ]
+            blocks.append(format_table(headers, rows, title))
+        return "\n\n".join(blocks)
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 1 and Table 1 — summaries
+
+
+@dataclass
+class Fig1Summary:
+    """Fig. 1: relative performance of PairwiseHist vs DeepDB and DBEst++.
+
+    Each axis is reported as "factor by which PairwiseHist is better"
+    (>1 means PairwiseHist wins), derived from one scaled-experiment run.
+    """
+
+    scale: ExperimentScale = field(default_factory=ExperimentScale.default)
+    dataset: str = "power"
+    results: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def run(self) -> dict[str, dict[str, float]]:
+        table, queries, summaries, systems = ScaledExperimentRun(self.scale, self.dataset).execute()
+        ph_summary = summaries["PairwiseHist"]
+        ph = systems["PairwiseHist"]
+        for name in ("DeepDB", "DBEst++"):
+            summary = summaries[name]
+            system = systems[name]
+            self.results[name] = {
+                "accuracy": summary.median_error_percent() / max(ph_summary.median_error_percent(), 1e-9),
+                "latency": summary.median_latency_ms() / max(ph_summary.median_latency_ms(), 1e-9),
+                "synopsis_size": system.synopsis_bytes() / max(ph.synopsis_bytes(), 1),
+                "construction_time": system.construction_seconds / max(ph.construction_seconds, 1e-9),
+                "query_bounds": (
+                    ph_summary.bounds_correct_rate_percent()
+                    / summary.bounds_correct_rate_percent()
+                    if np.isfinite(summary.bounds_correct_rate_percent())
+                    and summary.bounds_correct_rate_percent() > 0
+                    else float("nan")
+                ),
+            }
+        return self.results
+
+    def render(self) -> str:
+        if not self.results:
+            self.run()
+        headers = ["axis", *[f"vs {name} (x better)" for name in self.results]]
+        axes = ["accuracy", "latency", "synopsis_size", "construction_time", "query_bounds"]
+        rows = [
+            [axis] + [fmt(self.results[name][axis], 2) for name in self.results] for axis in axes
+        ]
+        return format_table(headers, rows, "Fig. 1 — relative performance of PairwiseHist")
+
+
+_TABLE1_LITERATURE = [
+    # name, accuracy, latency, bounds, size, build, versatility (from Table 1)
+    ("VerdictDB", "1%", "seconds", "yes", "GBs", "?", "very high"),
+    ("Gapprox", "<5%", "seconds", "yes", "n/a", "n/a", "low"),
+    ("BlinkDB", "<10%", "seconds", "yes", "GBs", "n/a", "high"),
+    ("DigitHist", "1%", "sub-ms", "yes", "MBs", "mins", "very low"),
+    ("DMMH", "1-2%", "ms", "no", "sub-MB", "secs", "very low"),
+    ("STHoles", "10%", "?", "no", "sub-MB", "?", "very low"),
+    ("DeepDB", "1%", "ms", "yes", "MBs", "mins", "high"),
+    ("DBEst++", "1%*", "ms", "no", "MBs", "hours", "low"),
+    ("NeuroSketch", "5%", "sub-ms", "yes", "sub-MB", "mins", "very high"),
+    ("LAQP", "10%", "ms", "no", "sub-MB", "?", "very high"),
+    ("Electra", "10%", "?", "no", "?", "?", "low"),
+    ("PASS", "<1%", "ms", "yes", "MBs", "mins", "high"),
+    ("AQP++", "<1%", "seconds", "yes", "MBs", "mins", "high"),
+]
+
+
+@dataclass
+class Table1Qualitative:
+    """Table 1: qualitative comparison, with PairwiseHist's row measured live."""
+
+    scale: ExperimentScale = field(default_factory=ExperimentScale.default)
+    dataset: str = "power"
+    measured: dict[str, float] = field(default_factory=dict)
+
+    def run(self) -> dict[str, float]:
+        table = load_dataset(self.dataset, rows=self.scale.dataset_rows, seed=self.scale.seed)
+        queries = _initial_workload(table, self.scale)
+        runner = WorkloadRunner(table)
+        system = PairwiseHistSystem.fit(table, sample_size=self.scale.sample_small)
+        summary = runner.run(system, queries)
+        self.measured = {
+            "median_error_percent": summary.median_error_percent(),
+            "median_latency_ms": summary.median_latency_ms(),
+            "synopsis_mb": system.synopsis_bytes() / _MB,
+            "construction_seconds": system.construction_seconds,
+            "bounds_correct_rate": summary.bounds_correct_rate_percent(),
+        }
+        return self.measured
+
+    def render(self) -> str:
+        if not self.measured:
+            self.run()
+        headers = ["system", "accuracy", "latency", "bounds", "size", "build", "versatility"]
+        measured_row = [
+            "PairwiseHist (measured)",
+            f"{fmt(self.measured['median_error_percent'])}%",
+            f"{fmt(self.measured['median_latency_ms'])} ms",
+            "yes",
+            f"{fmt(self.measured['synopsis_mb'], 3)} MB",
+            f"{fmt(self.measured['construction_seconds'])} s",
+            "very high",
+        ]
+        rows = [measured_row] + [list(row) for row in _TABLE1_LITERATURE]
+        return format_table(headers, rows, "Table 1 — PairwiseHist compared to previous AQP works")

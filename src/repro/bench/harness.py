@@ -1,0 +1,188 @@
+"""Shared infrastructure for the per-table / per-figure experiments.
+
+The paper's evaluation runs on datasets of up to 10^9 rows with synopsis
+samples of 10^4–10^6 rows.  Every experiment here is parameterised by an
+:class:`ExperimentScale` so the same code can regenerate the paper's tables
+and figures at laptop scale (the default) or at a larger scale when more
+time is available.  Relative comparisons — who wins, by roughly what factor
+— are preserved; absolute numbers shrink with the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.adapter import PairwiseHistSystem
+from ..baselines.base import AqpSystem
+from ..baselines.dbest import DBEstPlusPlusLike
+from ..baselines.deepdb import DeepDBLike
+from ..baselines.sampling_aqp import SamplingAQP
+from ..data.datasets import load_dataset
+from ..data.idebench import scale_dataset
+from ..data.table import Table
+from ..sql.ast import Query, predicate_conditions
+from ..workload.generator import QueryGenerator, WorkloadSpec
+from ..workload.metrics import WorkloadSummary
+from ..workload.runner import WorkloadRunner
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Row counts / sample sizes / workload sizes for one experiment run."""
+
+    #: Rows generated per original dataset.
+    dataset_rows: int = 20_000
+    #: Rows of the IDEBench-scaled datasets ("1 billion" in the paper).
+    scaled_rows: int = 60_000
+    #: The paper's "1 million" synopsis sample.
+    sample_large: int = 10_000
+    #: The paper's "100k" synopsis sample.
+    sample_small: int = 3_000
+    #: The paper's "10k" synopsis sample (used by DBEst++ and Fig. 8).
+    sample_tiny: int = 1_000
+    #: Queries per workload.
+    queries: int = 40
+    #: RNG seed shared by dataset generation and workloads.
+    seed: int = 7
+
+    @classmethod
+    def smoke(cls) -> "ExperimentScale":
+        """Tiny scale used by the unit/integration tests."""
+        return cls(
+            dataset_rows=6_000,
+            scaled_rows=10_000,
+            sample_large=3_000,
+            sample_small=1_500,
+            sample_tiny=600,
+            queries=15,
+            seed=7,
+        )
+
+    @classmethod
+    def default(cls) -> "ExperimentScale":
+        """Laptop-scale default used by the benchmark suite."""
+        return cls()
+
+    @classmethod
+    def paper(cls) -> "ExperimentScale":
+        """A larger configuration for overnight runs (still far below 10^9 rows)."""
+        return cls(
+            dataset_rows=200_000,
+            scaled_rows=1_000_000,
+            sample_large=100_000,
+            sample_small=30_000,
+            sample_tiny=10_000,
+            queries=200,
+            seed=7,
+        )
+
+
+@dataclass
+class SystemSuite:
+    """The set of AQP systems compared in one experiment."""
+
+    systems: list[AqpSystem] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.systems)
+
+    def by_name(self, name: str) -> AqpSystem:
+        for system in self.systems:
+            if system.name == name:
+                return system
+        raise KeyError(f"no system named {name!r}")
+
+    @property
+    def names(self) -> list[str]:
+        return [s.name for s in self.systems]
+
+
+def workload_templates(queries: list[Query]) -> list[tuple[str, str]]:
+    """The (aggregation column, predicate column) templates a workload touches.
+
+    DBEst++ needs one model per template; this mirrors the paper's procedure
+    of training every model required to support the evaluated queries.
+    """
+    templates: list[tuple[str, str]] = []
+    for query in queries:
+        agg_column = query.aggregation.column
+        if agg_column is None:
+            continue
+        for condition in predicate_conditions(query.predicate):
+            pair = (agg_column, condition.column)
+            if pair not in templates and pair[0] != pair[1]:
+                templates.append(pair)
+    return templates
+
+
+def build_suite(
+    table: Table,
+    scale: ExperimentScale,
+    queries: list[Query] | None = None,
+    include_sampling: bool = False,
+    pairwisehist_sample: int | None = None,
+    deepdb_sample: int | None = None,
+    dbest_sample: int | None = None,
+) -> SystemSuite:
+    """Build the PairwiseHist / DeepDB / DBEst++ (/ Sampling) suite for one table."""
+    ph_sample = pairwisehist_sample or scale.sample_large
+    dd_sample = deepdb_sample or scale.sample_large
+    db_sample = dbest_sample or scale.sample_tiny
+    templates = workload_templates(queries) if queries else None
+    systems: list[AqpSystem] = [
+        PairwiseHistSystem.fit(table, sample_size=ph_sample),
+        DeepDBLike.fit(table, sample_size=dd_sample),
+        DBEstPlusPlusLike.fit(table, sample_size=db_sample, templates=templates),
+    ]
+    if include_sampling:
+        systems.append(SamplingAQP.fit(table, sample_size=ph_sample))
+    return SystemSuite(systems)
+
+
+def generate_workload(
+    table: Table, scale: ExperimentScale, spec: WorkloadSpec | None = None
+) -> list[Query]:
+    """Generate a workload for a table using the experiment scale's defaults."""
+    if spec is None:
+        spec = WorkloadSpec.initial_experiments(num_queries=scale.queries, seed=scale.seed)
+    generator = QueryGenerator(table, spec)
+    return generator.generate()
+
+
+def load_scaled_dataset(name: str, scale: ExperimentScale) -> Table:
+    """The paper's IDEBench scale-up: fit the original and sample more rows."""
+    original = load_dataset(name, rows=scale.dataset_rows, seed=scale.seed)
+    return scale_dataset(original, rows=scale.scaled_rows, seed=scale.seed, name=f"{name}_scaled")
+
+
+def run_suite(
+    table: Table, suite: SystemSuite, queries: list[Query]
+) -> dict[str, WorkloadSummary]:
+    """Run the workload against every system in the suite."""
+    runner = WorkloadRunner(table)
+    return runner.run_many(list(suite), queries)
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str | None = None) -> str:
+    """Fixed-width table formatting for benchmark output."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def fmt(value: float, digits: int = 2) -> str:
+    """Format a float for table cells, handling NaN / inf gracefully."""
+    if value is None or not np.isfinite(value):
+        return "-"
+    return f"{value:.{digits}f}"

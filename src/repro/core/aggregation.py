@@ -1,0 +1,266 @@
+"""Aggregation estimates and bounds (§5.4, Table 3).
+
+All seven aggregation functions supported by PairwiseHist — COUNT, SUM,
+AVG, MIN, MAX, MEDIAN and VAR — are computed from the aggregation column's
+1-d histogram metadata and the bin weightings produced by
+:class:`~repro.core.weightings.PredicateEvaluator`.  Values are in the
+pre-processed (compressed) domain; the engine converts them back to the
+original domain afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sql.ast import AggregateFunction
+from .histogram1d import Histogram1D
+from .hypothesis import terrell_scott_bins
+from .weightings import WeightingResult
+
+
+@dataclass
+class AqpEstimate:
+    """An approximate aggregate with lower / upper bounds."""
+
+    value: float
+    lower: float
+    upper: float
+
+    def __post_init__(self) -> None:
+        if np.isfinite(self.lower) and np.isfinite(self.upper) and self.lower > self.upper:
+            self.lower, self.upper = self.upper, self.lower
+
+    @property
+    def width(self) -> float:
+        """Absolute bound width."""
+        return self.upper - self.lower
+
+    def contains(self, value: float) -> bool:
+        """Whether the bounds contain a (ground-truth) value."""
+        return bool(self.lower <= value <= self.upper)
+
+
+_EMPTY = AqpEstimate(float("nan"), float("nan"), float("nan"))
+
+
+def aggregate(
+    func: AggregateFunction,
+    hist: Histogram1D,
+    weights: WeightingResult,
+    sampling_ratio: float,
+    min_points: int,
+    single_column: bool = False,
+) -> AqpEstimate:
+    """Dispatch to the Table 3 formulation of one aggregation function."""
+    if func is AggregateFunction.COUNT:
+        return _count(weights, sampling_ratio)
+    if weights.is_empty:
+        return _EMPTY
+    if func is AggregateFunction.SUM:
+        return _sum(hist, weights, sampling_ratio)
+    if func is AggregateFunction.AVG:
+        return _avg(hist, weights)
+    if func is AggregateFunction.MIN:
+        return _min(hist, weights, min_points, single_column)
+    if func is AggregateFunction.MAX:
+        return _max(hist, weights, min_points, single_column)
+    if func is AggregateFunction.MEDIAN:
+        return _median(hist, weights)
+    if func is AggregateFunction.VAR:
+        return _var(hist, weights)
+    raise ValueError(f"unsupported aggregation function {func}")  # pragma: no cover
+
+
+# --------------------------------------------------------------------------- #
+# COUNT / SUM / AVG
+
+
+def _count(weights: WeightingResult, rho: float) -> AqpEstimate:
+    return AqpEstimate(
+        value=float(weights.estimate.sum() / rho),
+        lower=float(weights.lower.sum() / rho),
+        upper=float(weights.upper.sum() / rho),
+    )
+
+
+def _sum(hist: Histogram1D, weights: WeightingResult, rho: float) -> AqpEstimate:
+    midpoints = hist.midpoints
+    return AqpEstimate(
+        value=float(weights.estimate @ midpoints / rho),
+        lower=float(weights.lower @ hist.centre_lower / rho),
+        upper=float(weights.upper @ hist.centre_upper / rho),
+    )
+
+
+def _weighted_mean(weights: np.ndarray, values: np.ndarray) -> float:
+    total = weights.sum()
+    if total <= 0:
+        return float("nan")
+    return float(weights @ values / total)
+
+
+def _avg(hist: Histogram1D, weights: WeightingResult) -> AqpEstimate:
+    estimate = _weighted_mean(weights.estimate, hist.midpoints)
+    candidates = [w for w in (weights.lower, weights.upper) if w.sum() > 0]
+    if not candidates:
+        candidates = [weights.estimate]
+    lower = min(_weighted_mean(w, hist.centre_lower) for w in candidates)
+    upper = max(_weighted_mean(w, hist.centre_upper) for w in candidates)
+    return AqpEstimate(value=estimate, lower=lower, upper=upper)
+
+
+# --------------------------------------------------------------------------- #
+# MIN / MAX
+
+
+def _first_index(mask: np.ndarray) -> int | None:
+    indices = np.flatnonzero(mask)
+    return int(indices[0]) if indices.size else None
+
+
+def _last_index(mask: np.ndarray) -> int | None:
+    indices = np.flatnonzero(mask)
+    return int(indices[-1]) if indices.size else None
+
+
+def _sub_bin_width(hist: Histogram1D, t: int) -> float:
+    s = terrell_scott_bins(int(hist.unique[t]))
+    width = hist.v_plus[t] - hist.v_minus[t]
+    return width / s if s > 0 else width
+
+
+def _min(
+    hist: Histogram1D, weights: WeightingResult, min_points: int, single_column: bool
+) -> AqpEstimate:
+    t_est = _first_index(weights.estimate > 0)
+    if t_est is None:
+        return _EMPTY
+    if single_column and hist.unique[t_est] == 2 and weights.estimate[t_est] < hist.counts[t_est] / 2:
+        value = float(hist.v_plus[t_est])
+    else:
+        value = float(hist.v_minus[t_est])
+
+    t_lo = _first_index(weights.upper > 0)
+    t_lo = t_est if t_lo is None else t_lo
+    if single_column and hist.unique[t_lo] == 2 and weights.upper[t_lo] < hist.counts[t_lo] / 5:
+        lower = float(hist.v_plus[t_lo])
+    else:
+        lower = float(hist.v_minus[t_lo])
+
+    t_hi = _first_index(weights.lower > 0.5)
+    t_hi = t_est if t_hi is None else t_hi
+    if single_column and hist.unique[t_hi] > 2 and hist.counts[t_hi] > min_points:
+        s = terrell_scott_bins(int(hist.unique[t_hi]))
+        covered = int(np.floor(s * weights.lower[t_hi] / max(hist.counts[t_hi], 1.0)))
+        upper = float(hist.v_plus[t_hi] - covered * _sub_bin_width(hist, t_hi))
+    else:
+        upper = float(hist.v_plus[t_hi])
+    return AqpEstimate(value=value, lower=min(lower, value), upper=max(upper, value))
+
+
+def _max(
+    hist: Histogram1D, weights: WeightingResult, min_points: int, single_column: bool
+) -> AqpEstimate:
+    t_est = _last_index(weights.estimate > 0)
+    if t_est is None:
+        return _EMPTY
+    if single_column and hist.unique[t_est] == 2 and weights.estimate[t_est] < hist.counts[t_est] / 2:
+        value = float(hist.v_minus[t_est])
+    else:
+        value = float(hist.v_plus[t_est])
+
+    t_lo = _last_index(weights.lower > 0.5)
+    t_lo = t_est if t_lo is None else t_lo
+    if single_column and hist.unique[t_lo] > 2 and hist.counts[t_lo] > min_points:
+        s = terrell_scott_bins(int(hist.unique[t_lo]))
+        covered = int(np.floor(s * weights.lower[t_lo] / max(hist.counts[t_lo], 1.0)))
+        lower = float(hist.v_minus[t_lo] + covered * _sub_bin_width(hist, t_lo))
+    else:
+        lower = float(hist.v_minus[t_lo])
+
+    t_hi = _last_index(weights.upper > 0)
+    t_hi = t_est if t_hi is None else t_hi
+    if single_column and hist.unique[t_hi] == 2 and weights.upper[t_hi] < hist.counts[t_hi] / 5:
+        upper = float(hist.v_minus[t_hi])
+    else:
+        upper = float(hist.v_plus[t_hi])
+    return AqpEstimate(value=value, lower=min(lower, value), upper=max(upper, value))
+
+
+# --------------------------------------------------------------------------- #
+# MEDIAN
+
+
+def _median_bin(weights: np.ndarray) -> int | None:
+    total = weights.sum()
+    if total <= 0:
+        return None
+    cumulative = np.cumsum(weights)
+    return int(np.searchsorted(cumulative, total / 2.0))
+
+
+def _median(hist: Histogram1D, weights: WeightingResult) -> AqpEstimate:
+    t_est = _median_bin(weights.estimate)
+    if t_est is None:
+        return _EMPTY
+    t_est = min(t_est, hist.num_bins - 1)
+    total = weights.estimate.sum()
+    below = weights.estimate[:t_est].sum()
+    w_t = weights.estimate[t_est]
+    fraction = 0.5 if w_t <= 0 else float((total / 2.0 - below) / w_t)
+    fraction = float(np.clip(fraction, 0.0, 1.0))
+    if hist.unique[t_est] == 2:
+        value = float(hist.v_minus[t_est] if fraction < 0.5 else hist.v_plus[t_est])
+    else:
+        width = hist.v_plus[t_est] - hist.v_minus[t_est]
+        value = float(hist.v_minus[t_est] + width * fraction)
+
+    candidate_bins = []
+    for w in (weights.lower, weights.upper):
+        t = _median_bin(w)
+        if t is not None:
+            candidate_bins.append(min(t, hist.num_bins - 1))
+    if not candidate_bins:
+        candidate_bins = [t_est]
+    lower = float(hist.v_minus[min(candidate_bins)])
+    upper = float(hist.v_plus[max(candidate_bins)])
+    return AqpEstimate(value=value, lower=min(lower, value), upper=max(upper, value))
+
+
+# --------------------------------------------------------------------------- #
+# VAR
+
+
+def _var(hist: Histogram1D, weights: WeightingResult) -> AqpEstimate:
+    midpoints = hist.midpoints
+    mean = _weighted_mean(weights.estimate, midpoints)
+    mean_square = _weighted_mean(weights.estimate, midpoints ** 2)
+    # Between-bin variance of midpoints plus the within-bin variance of a
+    # uniform distribution over [v-, v+]; the same per-bin uniformity
+    # assumption that drives every other estimator in §5.
+    within_bin = _weighted_mean(weights.estimate, hist.widths ** 2 / 12.0)
+    estimate = max(0.0, mean_square - mean ** 2 + within_bin)
+
+    # xi- / xi+ (Eq. 38-39): per-bin representative points that are as close
+    # to / as far from the estimated mean as the bin extrema allow.
+    xi_minus = np.where(
+        hist.v_plus < mean, hist.v_plus, np.where(hist.v_minus > mean, hist.v_minus, mean)
+    )
+    distance_low = np.abs(mean - hist.v_minus)
+    distance_high = np.abs(hist.v_plus - mean)
+    xi_plus = np.where(distance_low > distance_high, hist.v_minus, hist.v_plus)
+
+    candidates = [w for w in (weights.lower, weights.upper) if w.sum() > 0]
+    if not candidates:
+        candidates = [weights.estimate]
+
+    def variance_with(points: np.ndarray, w: np.ndarray) -> float:
+        mu = _weighted_mean(w, points)
+        second = _weighted_mean(w, points ** 2)
+        return max(0.0, second - mu ** 2)
+
+    lower = min(variance_with(xi_minus, w) for w in candidates)
+    upper = max(variance_with(xi_plus, w) for w in candidates)
+    return AqpEstimate(value=estimate, lower=min(lower, estimate), upper=max(upper, estimate))

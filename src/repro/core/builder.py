@@ -1,0 +1,233 @@
+"""PairwiseHist construction (Algorithm 1, ``BuildPairwiseHist``).
+
+The builder consumes integer-encoded columns (the GreedyGD pre-processed
+domain), optional per-column initial bin edges seeded from the GD bases,
+and the construction parameters.  It produces a :class:`PairwiseHist`
+containing refined 1-d histograms for every column and refined 2-d
+histograms for every pair of columns.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from .histogram1d import Histogram1D, bin_indices
+from .histogram2d import Histogram2D
+from .params import PairwiseHistParams
+from .refine import refine_bin_1d, refine_bin_2d
+from .synopsis import PairwiseHist
+
+
+def _sample_indices(num_rows: int, params: PairwiseHistParams) -> np.ndarray:
+    """Uniformly sample the row indices used to build the synopsis."""
+    target = params.sample_size
+    if target is None or target >= num_rows:
+        return np.arange(num_rows)
+    rng = np.random.default_rng(params.seed)
+    return np.sort(rng.choice(num_rows, size=target, replace=False))
+
+
+def _initial_edges(
+    values: np.ndarray, seeds: np.ndarray | None, params: PairwiseHistParams
+) -> np.ndarray:
+    """Initial bin edges for a column (Algorithm 1, line 4).
+
+    Uses the GD bases when available — downsampled to at most
+    ``ceil(Ns / M)`` values and clipped to the observed data range — and the
+    plain min / max of the column otherwise.
+    """
+    vmin = float(values.min())
+    vmax = float(values.max())
+    if vmax <= vmin:
+        vmax = vmin + 1.0
+    if seeds is None or len(seeds) == 0:
+        return np.array([vmin, vmax])
+    seeds = np.unique(np.asarray(seeds, dtype=float))
+    seeds = seeds[(seeds > vmin) & (seeds < vmax)]
+    limit = params.effective_initial_bins
+    if len(seeds) > limit:
+        step = max(1, len(seeds) // limit)
+        seeds = seeds[::step][:limit]
+    return np.unique(np.concatenate([[vmin], seeds, [vmax]]))
+
+
+def _build_histogram_1d(
+    column: str,
+    values: np.ndarray,
+    seeds: np.ndarray | None,
+    params: PairwiseHistParams,
+) -> Histogram1D:
+    """Refine one column into a finished :class:`Histogram1D`."""
+    if values.size == 0:
+        return Histogram1D(
+            column=column,
+            edges=np.array([0.0, 1.0]),
+            counts=np.array([0.0]),
+            v_minus=np.array([0.0]),
+            v_plus=np.array([1.0]),
+            unique=np.array([0.0]),
+        )
+    initial = _initial_edges(values, seeds, params)
+    edges: list[float] = [float(initial[0])]
+    v_minus: list[float] = []
+    v_plus: list[float] = []
+    unique: list[int] = []
+    for t in range(len(initial) - 1):
+        lower, upper = float(initial[t]), float(initial[t + 1])
+        if t == len(initial) - 2:
+            mask = (values >= lower) & (values <= upper)
+        else:
+            mask = (values >= lower) & (values < upper)
+        refined = refine_bin_1d(
+            lower, upper, values[mask], params.min_points, params.alpha, params.max_refine_depth
+        )
+        edges.extend(refined.upper_edges)
+        v_minus.extend(refined.v_minus)
+        v_plus.extend(refined.v_plus)
+        unique.extend(refined.unique)
+    return Histogram1D.from_refinement(
+        column=column,
+        values=values,
+        edges=edges,
+        v_minus=v_minus,
+        v_plus=v_plus,
+        unique=unique,
+        min_points=params.min_points,
+        alpha=params.alpha,
+        min_spacing=params.min_spacing,
+    )
+
+
+def _build_histogram_2d(
+    column_i: str,
+    column_j: str,
+    values_i: np.ndarray,
+    values_j: np.ndarray,
+    hist_i: Histogram1D,
+    hist_j: Histogram1D,
+    params: PairwiseHistParams,
+) -> Histogram2D:
+    """Build and refine the pairwise histogram for one pair of columns."""
+    edges_i = hist_i.edges.copy()
+    edges_j = hist_j.edges.copy()
+    if values_i.size == 0:
+        return Histogram2D.build(
+            column_i, column_j, values_i, values_j, edges_i, edges_j, hist_i, hist_j
+        )
+    counts, _, _ = np.histogram2d(values_i, values_j, bins=[edges_i, edges_j])
+    new_edges_i: list[float] = []
+    new_edges_j: list[float] = []
+    hot_cells = np.argwhere(counts > params.min_points)
+    if hot_cells.size:
+        idx_i = bin_indices(edges_i, values_i)
+        idx_j = bin_indices(edges_j, values_j)
+        num_j = len(edges_j) - 1
+        cell_ids = idx_i * num_j + idx_j
+        order = np.argsort(cell_ids, kind="stable")
+        sorted_cells = cell_ids[order]
+        for ti, tj in hot_cells:
+            cell = ti * num_j + tj
+            lo = np.searchsorted(sorted_cells, cell, side="left")
+            hi = np.searchsorted(sorted_cells, cell, side="right")
+            rows = order[lo:hi]
+            refined = refine_bin_2d(
+                float(edges_i[ti]),
+                float(edges_i[ti + 1]),
+                float(edges_j[tj]),
+                float(edges_j[tj + 1]),
+                values_i[rows],
+                values_j[rows],
+                params.min_points,
+                params.alpha,
+            )
+            new_edges_i.extend(refined.new_edges_i)
+            new_edges_j.extend(refined.new_edges_j)
+    if new_edges_i:
+        edges_i = np.unique(np.concatenate([edges_i, np.asarray(new_edges_i, dtype=float)]))
+    if new_edges_j:
+        edges_j = np.unique(np.concatenate([edges_j, np.asarray(new_edges_j, dtype=float)]))
+    return Histogram2D.build(
+        column_i, column_j, values_i, values_j, edges_i, edges_j, hist_i, hist_j
+    )
+
+
+def build_pairwise_hist(
+    codes: Mapping[str, np.ndarray],
+    params: PairwiseHistParams,
+    population_rows: int | None = None,
+    null_masks: Mapping[str, np.ndarray] | None = None,
+    initial_edges: Mapping[str, np.ndarray] | None = None,
+    columns: list[str] | None = None,
+    build_pairs: bool = True,
+) -> PairwiseHist:
+    """Algorithm 1: build the full PairwiseHist synopsis.
+
+    Parameters
+    ----------
+    codes:
+        Mapping of column name to integer-encoded (pre-processed) values.
+    params:
+        Construction parameters (``Ns``, ``M``, ``alpha``).
+    population_rows:
+        ``N`` — size of the full dataset the codes were drawn from (defaults
+        to the length of the code arrays).
+    null_masks:
+        Optional per-column boolean masks of missing values; null rows are
+        excluded from that column's histograms (SQL aggregate semantics).
+    initial_edges:
+        Optional per-column seed edges (e.g. GD bases) for the initial bins.
+    columns:
+        Column order; defaults to the order of ``codes``.
+    build_pairs:
+        Set to ``False`` to build only 1-d histograms (used by ablations).
+    """
+    columns = list(columns) if columns is not None else list(codes)
+    if not columns:
+        raise ValueError("cannot build a synopsis with no columns")
+    num_rows = len(codes[columns[0]])
+    population = population_rows if population_rows is not None else num_rows
+    rows = _sample_indices(num_rows, params)
+
+    sampled: dict[str, np.ndarray] = {}
+    valid: dict[str, np.ndarray] = {}
+    for name in columns:
+        col = np.asarray(codes[name], dtype=float)[rows]
+        if null_masks is not None and name in null_masks:
+            mask = ~np.asarray(null_masks[name], dtype=bool)[rows]
+        else:
+            mask = np.isfinite(col)
+        sampled[name] = col
+        valid[name] = mask
+
+    synopsis = PairwiseHist(
+        params=params,
+        columns=columns,
+        population_rows=population,
+        sample_rows=len(rows),
+    )
+
+    for name in columns:
+        seeds = None
+        if initial_edges is not None and name in initial_edges:
+            seeds = np.asarray(initial_edges[name], dtype=float)
+        synopsis.hist1d[name] = _build_histogram_1d(
+            name, sampled[name][valid[name]], seeds, params
+        )
+
+    if build_pairs:
+        for b in range(1, len(columns)):
+            for a in range(b):
+                col_a, col_b = columns[a], columns[b]
+                both = valid[col_a] & valid[col_b]
+                synopsis.hist2d[(col_a, col_b)] = _build_histogram_2d(
+                    col_a,
+                    col_b,
+                    sampled[col_a][both],
+                    sampled[col_b][both],
+                    synopsis.hist1d[col_a],
+                    synopsis.hist1d[col_b],
+                    params,
+                )
+    return synopsis

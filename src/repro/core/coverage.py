@@ -1,0 +1,235 @@
+"""Predicate coverage and its bounds (§5.2, Eq. 14–16 and Theorem 2).
+
+Coverage ``beta`` is, per histogram bin, the estimated probability that a
+point in the bin satisfies a predicate condition.  It is computed from the
+bin metadata only (extrema, unique count) — never from the data — and its
+bounds come from Theorem 2 for bins that passed the uniformity test and
+from a worst-case argument for bins that did not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sql.ast import ComparisonOp
+from .hypothesis import chi2_critical_value, terrell_scott_bins
+
+
+@dataclass
+class CoverageResult:
+    """Coverage estimate and bounds, one entry per histogram bin."""
+
+    estimate: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.estimate = np.clip(np.asarray(self.estimate, dtype=float), 0.0, 1.0)
+        self.lower = np.clip(np.asarray(self.lower, dtype=float), 0.0, 1.0)
+        self.upper = np.clip(np.asarray(self.upper, dtype=float), 0.0, 1.0)
+
+    @property
+    def num_bins(self) -> int:
+        return len(self.estimate)
+
+
+def _range_fraction(op: ComparisonOp, literal: float, v_minus: float, v_plus: float) -> float:
+    """Fraction of the bin value range ``[v-, v+]`` satisfying a range condition."""
+    width = v_plus - v_minus
+    if width <= 0:
+        return 1.0 if _satisfies(op, literal, v_minus) else 0.0
+    if op in (ComparisonOp.LT, ComparisonOp.LE):
+        fraction = (literal - v_minus) / width
+    else:  # GT / GE
+        fraction = (v_plus - literal) / width
+    return float(np.clip(fraction, 0.0, 1.0))
+
+
+def _satisfies(op: ComparisonOp, literal: float, value: float) -> bool:
+    if op is ComparisonOp.LT:
+        return value < literal
+    if op is ComparisonOp.LE:
+        return value <= literal
+    if op is ComparisonOp.GT:
+        return value > literal
+    if op is ComparisonOp.GE:
+        return value >= literal
+    if op is ComparisonOp.EQ:
+        return value == literal
+    return value != literal
+
+
+def coverage_estimate(
+    op: ComparisonOp,
+    literal: float,
+    v_minus: np.ndarray,
+    v_plus: np.ndarray,
+    unique: np.ndarray,
+) -> np.ndarray:
+    """Eq. 15–16: per-bin coverage of a single condition."""
+    k = len(v_minus)
+    beta = np.zeros(k)
+    for t in range(k):
+        u = unique[t]
+        if u <= 0:
+            beta[t] = 0.0
+            continue
+        lo, hi = float(v_minus[t]), float(v_plus[t])
+        if op.is_equality:
+            inside = lo <= literal <= hi
+            hit = (1.0 / u) if inside else 0.0
+            beta[t] = hit if op is ComparisonOp.EQ else 1.0 - hit
+            continue
+        low_ok = _satisfies(op, literal, lo)
+        high_ok = _satisfies(op, literal, hi)
+        if not low_ok and not high_ok:
+            beta[t] = 0.0
+        elif low_ok and high_ok:
+            beta[t] = 1.0
+        elif u == 2:
+            beta[t] = 0.5
+        else:
+            beta[t] = _range_fraction(op, literal, lo, hi)
+    return beta
+
+
+def partial_count_bounds(
+    count: float, sub_bins: int, covered: int, chi2_alpha: float
+) -> tuple[float, float]:
+    """Theorem 2 (Eq. 17): bounds on the count over ``covered`` of ``sub_bins`` sub-bins."""
+    if count <= 0 or sub_bins <= 0:
+        return 0.0, 0.0
+    covered = int(np.clip(covered, 0, sub_bins))
+    expected = count * covered / sub_bins
+    if covered == 0:
+        return 0.0, 0.0
+    if covered == sub_bins:
+        return count, count
+    spread = expected * np.sqrt(chi2_alpha * (sub_bins - covered) / (count * covered))
+    return max(0.0, expected - spread), min(count, expected + spread)
+
+
+def coverage_bounds(
+    beta: np.ndarray,
+    counts: np.ndarray,
+    unique: np.ndarray,
+    min_points: int,
+    alpha: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Eq. 22–23: per-bin coverage bounds.
+
+    Bins with exact coverage (0 or 1) keep it; partially-covered bins with
+    fewer than ``M`` points fall back to the one-point worst case; bins that
+    passed the uniformity test use the Theorem 2 partial-count bounds.
+    """
+    k = len(beta)
+    lower = np.empty(k)
+    upper = np.empty(k)
+    for t in range(k):
+        b = float(beta[t])
+        h = float(counts[t])
+        if b in (0.0, 1.0) or h <= 0:
+            lower[t] = b
+            upper[t] = b
+            continue
+        if h < min_points:
+            lower[t] = 1.0 / h
+            upper[t] = 1.0 - 1.0 / h
+            if lower[t] > upper[t]:
+                lower[t] = upper[t] = b
+            continue
+        s = terrell_scott_bins(int(unique[t]))
+        if s < 2:
+            lower[t] = b
+            upper[t] = b
+            continue
+        chi2_alpha = chi2_critical_value(alpha, s)
+        a = int(np.floor(b * s))
+        c = int(np.ceil(b * s))
+        lo_count, _ = partial_count_bounds(h, s, a, chi2_alpha)
+        _, hi_count = partial_count_bounds(h, s, c, chi2_alpha)
+        lower[t] = lo_count / h
+        upper[t] = hi_count / h
+    lower = np.minimum(lower, beta)
+    upper = np.maximum(upper, beta)
+    return np.clip(lower, 0.0, 1.0), np.clip(upper, 0.0, 1.0)
+
+
+def condition_coverage(
+    op: ComparisonOp,
+    literal: float,
+    v_minus: np.ndarray,
+    v_plus: np.ndarray,
+    unique: np.ndarray,
+    counts: np.ndarray,
+    min_points: int,
+    alpha: float,
+) -> CoverageResult:
+    """Coverage estimate plus bounds for one condition over one set of bins."""
+    beta = coverage_estimate(op, literal, v_minus, v_plus, unique)
+    lower, upper = coverage_bounds(beta, counts, unique, min_points, alpha)
+    return CoverageResult(estimate=beta, lower=lower, upper=upper)
+
+
+def interval_coverage(
+    lower_literal: float,
+    upper_literal: float,
+    v_minus: np.ndarray,
+    v_plus: np.ndarray,
+    unique: np.ndarray,
+) -> np.ndarray:
+    """Coverage of the interval ``[lower_literal, upper_literal]`` per bin.
+
+    Used by the delayed-transformation consolidation of AND-connected range
+    conditions on the same column: the group is equivalent to one interval,
+    and the satisfied fraction of a bin is the overlap of that interval with
+    the bin's value range (exact under the per-bin uniformity assumption).
+    """
+    k = len(v_minus)
+    beta = np.zeros(k)
+    for t in range(k):
+        u = unique[t]
+        if u <= 0:
+            continue
+        lo, hi = float(v_minus[t]), float(v_plus[t])
+        overlap_lo = max(lower_literal, lo)
+        overlap_hi = min(upper_literal, hi)
+        if overlap_hi < overlap_lo:
+            continue
+        if overlap_lo <= lo and overlap_hi >= hi:
+            beta[t] = 1.0
+        elif overlap_hi == overlap_lo:
+            beta[t] = 1.0 / u
+        elif u == 2:
+            beta[t] = 0.5
+        else:
+            width = hi - lo
+            beta[t] = (overlap_hi - overlap_lo) / width if width > 0 else 1.0
+    return np.clip(beta, 0.0, 1.0)
+
+
+def consolidate_and(results: list[CoverageResult]) -> CoverageResult:
+    """Delayed-transformation consolidation of same-column conditions under AND.
+
+    For nested / overlapping range conditions on the same column the
+    satisfied fraction of a bin is the overlap, i.e. the element-wise
+    minimum of the individual coverages (Fig. 7: beta_12 = min(beta_1, beta_2)).
+    """
+    estimate = np.minimum.reduce([r.estimate for r in results])
+    lower = np.minimum.reduce([r.lower for r in results])
+    upper = np.minimum.reduce([r.upper for r in results])
+    return CoverageResult(estimate=estimate, lower=lower, upper=upper)
+
+
+def consolidate_or(results: list[CoverageResult]) -> CoverageResult:
+    """Same-column consolidation under OR: capped element-wise sum.
+
+    Exact when the conditions cover disjoint parts of the bin (the common
+    case for generated workloads) and an upper bound otherwise.
+    """
+    estimate = np.clip(np.add.reduce([r.estimate for r in results]), 0.0, 1.0)
+    lower = np.clip(np.maximum.reduce([r.lower for r in results]), 0.0, 1.0)
+    upper = np.clip(np.add.reduce([r.upper for r in results]), 0.0, 1.0)
+    return CoverageResult(estimate=estimate, lower=lower, upper=upper)

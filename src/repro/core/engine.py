@@ -1,0 +1,334 @@
+"""The PairwiseHist approximate query engine (the full pipeline of Fig. 2).
+
+:class:`PairwiseHistEngine` ties everything together:
+
+1. *ingestion* — GreedyGD pre-processing (and optionally full compression)
+   of a table,
+2. *synopsis construction* — :func:`~repro.core.builder.build_pairwise_hist`
+   over the pre-processed codes, seeded with GD bases when available,
+3. *query execution* — SQL parsing, predicate-literal transformation into
+   the compressed domain, coverage / weightings / aggregation, and the
+   inverse "aggregation transform" back to the original data domain,
+4. *bounds* — every estimate carries a lower / upper bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.table import Table
+from ..gd.greedygd import GreedyGDConfig
+from ..gd.preprocessor import Preprocessor
+from ..gd.store import CompressedStore
+from ..sql.ast import (
+    AggregateFunction,
+    Aggregation,
+    Condition,
+    LogicalOp,
+    Predicate,
+    PredicateNode,
+    Query,
+    predicate_columns,
+)
+from ..sql.parser import parse_query
+from .aggregation import AqpEstimate, aggregate
+from .builder import build_pairwise_hist
+from .groupby import group_predicates
+from .params import PairwiseHistParams
+from .serialization import serialize, synopsis_size_bytes
+from .synopsis import PairwiseHist
+from .weightings import PredicateEvaluator
+
+
+@dataclass
+class AqpResult:
+    """Result of one aggregation: estimate, bounds and basic provenance."""
+
+    aggregation: Aggregation
+    estimate: AqpEstimate
+    group: str | None = None
+
+    @property
+    def value(self) -> float:
+        return self.estimate.value
+
+    @property
+    def lower(self) -> float:
+        return self.estimate.lower
+
+    @property
+    def upper(self) -> float:
+        return self.estimate.upper
+
+    def relative_error(self, truth: float) -> float:
+        """Relative error against a ground-truth value (paper's error metric)."""
+        if not np.isfinite(self.value) or not np.isfinite(truth):
+            return float("inf")
+        denominator = abs(truth) if truth != 0 else 1.0
+        return abs(self.value - truth) / denominator
+
+
+@dataclass
+class PairwiseHistEngine:
+    """Approximate query engine backed by a PairwiseHist synopsis."""
+
+    synopsis: PairwiseHist
+    preprocessor: Preprocessor
+    table_name: str
+    store: CompressedStore | None = None
+    construction_seconds: float = 0.0
+    _evaluators: dict[str, PredicateEvaluator] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+
+    @classmethod
+    def from_table(
+        cls,
+        table: Table,
+        params: PairwiseHistParams | None = None,
+        use_compression: bool = True,
+        build_pairs: bool = True,
+        gd_config: GreedyGDConfig | None = None,
+    ) -> "PairwiseHistEngine":
+        """Build an engine from a raw table.
+
+        ``use_compression=True`` (the paper's proposed framework) compresses
+        the table with GreedyGD first and seeds the initial histogram bins
+        from the GD bases; ``False`` runs PairwiseHist stand-alone, building
+        histograms from min/max initial bins.
+        """
+        import time
+
+        start = time.perf_counter()
+        params = params or PairwiseHistParams.with_defaults(sample_size=100_000)
+        if use_compression:
+            store = CompressedStore.compress(table, gd_config)
+            codes, nulls = store.decoded_codes()
+            preprocessor = store.preprocessor
+            initial_edges = {
+                name: store.base_values(name)
+                for name in table.column_names
+                if not preprocessor[name].is_categorical
+            }
+        else:
+            store = None
+            preprocessor = Preprocessor.fit(table)
+            codes, nulls = preprocessor.transform_table(table)
+            initial_edges = None
+        synopsis = build_pairwise_hist(
+            codes,
+            params,
+            population_rows=table.num_rows,
+            null_masks=nulls,
+            initial_edges=initial_edges,
+            columns=table.column_names,
+            build_pairs=build_pairs,
+        )
+        elapsed = time.perf_counter() - start
+        return cls(
+            synopsis=synopsis,
+            preprocessor=preprocessor,
+            table_name=table.name,
+            store=store,
+            construction_seconds=elapsed,
+        )
+
+    @classmethod
+    def from_compressed(
+        cls,
+        store: CompressedStore,
+        params: PairwiseHistParams | None = None,
+        build_pairs: bool = True,
+    ) -> "PairwiseHistEngine":
+        """Build an engine directly from an existing GreedyGD store."""
+        import time
+
+        start = time.perf_counter()
+        params = params or PairwiseHistParams.with_defaults(sample_size=100_000)
+        codes, nulls = store.decoded_codes()
+        initial_edges = {
+            name: store.base_values(name)
+            for name in store.column_order
+            if not store.preprocessor[name].is_categorical
+        }
+        synopsis = build_pairwise_hist(
+            codes,
+            params,
+            population_rows=store.num_rows,
+            null_masks=nulls,
+            initial_edges=initial_edges,
+            columns=store.column_order,
+            build_pairs=build_pairs,
+        )
+        elapsed = time.perf_counter() - start
+        return cls(
+            synopsis=synopsis,
+            preprocessor=store.preprocessor,
+            table_name=store.table_name,
+            store=store,
+            construction_seconds=elapsed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+
+    def synopsis_bytes(self) -> int:
+        """Serialized synopsis size (the Fig. 8 / Fig. 11 storage metric)."""
+        return synopsis_size_bytes(self.synopsis)
+
+    def serialize_synopsis(self) -> bytes:
+        return serialize(self.synopsis)
+
+    @property
+    def sampling_ratio(self) -> float:
+        return self.synopsis.sampling_ratio
+
+    # ------------------------------------------------------------------ #
+    # Query execution
+
+    def execute(self, query: Query | str) -> list[AqpResult] | dict[str, list[AqpResult]]:
+        """Execute a query approximately.
+
+        Returns a list of :class:`AqpResult` (one per SELECT aggregation) or,
+        for GROUP BY queries, a dict mapping group label to such a list.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        self._check_query(query)
+        transformed = self._transform_predicate(query.predicate)
+        if query.group_by is None:
+            return [self._execute_single(agg, transformed, query) for agg in query.aggregations]
+        transform = self.preprocessor[query.group_by]
+        results: dict[str, list[AqpResult]] = {}
+        for label, predicate in group_predicates(transform, transformed):
+            group_results = [
+                self._execute_single(agg, predicate, query, group=label)
+                for agg in query.aggregations
+            ]
+            if any(r.value > 0 for r in group_results if r.aggregation.func is AggregateFunction.COUNT) or True:
+                results[label] = group_results
+        return results
+
+    def execute_scalar(self, query: Query | str) -> AqpResult:
+        """Execute a non-GROUP BY query and return the first aggregation's result."""
+        results = self.execute(query)
+        if isinstance(results, dict):
+            raise ValueError("execute_scalar does not support GROUP BY queries")
+        return results[0]
+
+    # ------------------------------------------------------------------ #
+    # Internals
+
+    def _check_query(self, query: Query) -> None:
+        if query.table and query.table != self.table_name:
+            # Accept any table name; warn-free because the engine serves one table.
+            pass
+        for column in query.columns:
+            if column not in self.preprocessor:
+                raise KeyError(f"unknown column {column!r} in query")
+        for agg in query.aggregations:
+            if agg.column is None:
+                continue
+            transform = self.preprocessor[agg.column]
+            if transform.is_categorical and agg.func is not AggregateFunction.COUNT:
+                raise ValueError(
+                    f"{agg.func.value} over categorical column {agg.column!r} is not defined"
+                )
+
+    def _evaluator(self, column: str) -> PredicateEvaluator:
+        if column not in self._evaluators:
+            self._evaluators[column] = PredicateEvaluator(self.synopsis, column)
+        return self._evaluators[column]
+
+    def _transform_predicate(self, predicate: Predicate | None) -> Predicate | None:
+        """Apply GreedyGD pre-processing to predicate literals (Fig. 7, §5.1)."""
+        if predicate is None:
+            return None
+        if isinstance(predicate, Condition):
+            transform = self.preprocessor[predicate.column]
+            literal = transform.transform_value(predicate.literal)
+            return Condition(column=predicate.column, op=predicate.op, literal=literal)
+        return PredicateNode(
+            op=predicate.op,
+            children=[self._transform_predicate(child) for child in predicate.children],
+        )
+
+    def _aggregation_column(self, aggregation: Aggregation, query: Query) -> str:
+        """Column whose 1-d histogram carries the weightings for this aggregation."""
+        if aggregation.column is not None:
+            return aggregation.column
+        predicate_cols = predicate_columns(query.predicate)
+        if predicate_cols:
+            return predicate_cols[0]
+        return self.synopsis.columns[0]
+
+    def _execute_single(
+        self,
+        aggregation: Aggregation,
+        predicate: Predicate | None,
+        query: Query,
+        group: str | None = None,
+    ) -> AqpResult:
+        column = self._aggregation_column(aggregation, query)
+        evaluator = self._evaluator(column)
+        weights = evaluator.weightings(predicate)
+        hist = self.synopsis.histogram(column)
+        pred_cols = predicate_columns(query.predicate)
+        single_column = all(c == column for c in pred_cols) if pred_cols else True
+        code_estimate = aggregate(
+            aggregation.func,
+            hist,
+            weights,
+            self.synopsis.sampling_ratio,
+            self.synopsis.params.min_points,
+            single_column=single_column,
+        )
+        estimate = self._inverse_transform(aggregation, column, code_estimate, weights)
+        return AqpResult(aggregation=aggregation, estimate=estimate, group=group)
+
+    def _inverse_transform(
+        self,
+        aggregation: Aggregation,
+        column: str,
+        estimate: AqpEstimate,
+        weights,
+    ) -> AqpEstimate:
+        """Fig. 2 "Aggregation Transform": map results back to the original domain."""
+        func = aggregation.func
+        if func is AggregateFunction.COUNT:
+            return estimate
+        transform = self.preprocessor[column]
+        if transform.is_categorical:
+            return estimate
+        scale = transform.scale
+        offset = transform.offset
+        if func in (AggregateFunction.AVG, AggregateFunction.MIN, AggregateFunction.MAX, AggregateFunction.MEDIAN):
+            return AqpEstimate(
+                value=estimate.value / scale + offset,
+                lower=estimate.lower / scale + offset,
+                upper=estimate.upper / scale + offset,
+            )
+        if func is AggregateFunction.VAR:
+            factor = scale * scale
+            return AqpEstimate(
+                value=estimate.value / factor,
+                lower=estimate.lower / factor,
+                upper=estimate.upper / factor,
+            )
+        if func is AggregateFunction.SUM:
+            rho = self.synopsis.sampling_ratio
+            count_value = weights.estimate.sum() / rho
+            count_lower = weights.lower.sum() / rho
+            count_upper = weights.upper.sum() / rho
+            value = estimate.value / scale + offset * count_value
+            if offset >= 0:
+                lower = estimate.lower / scale + offset * count_lower
+                upper = estimate.upper / scale + offset * count_upper
+            else:
+                lower = estimate.lower / scale + offset * count_upper
+                upper = estimate.upper / scale + offset * count_lower
+            return AqpEstimate(value=value, lower=lower, upper=upper)
+        raise ValueError(f"unsupported aggregation function {func}")  # pragma: no cover

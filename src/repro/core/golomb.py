@@ -1,0 +1,69 @@
+"""Golomb–Rice coding of non-negative integers.
+
+The sparse PairwiseHist storage layout (§4.3, Fig. 6) encodes the deltas
+between non-zero bin-count indices with Golomb coding, which is optimal for
+geometrically distributed gaps.  The implementation below uses the
+Golomb–Rice restriction (the parameter is a power of two) so quotient /
+remainder handling stays on bit boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util.bitstream import BitReader, BitWriter
+
+
+def rice_parameter(values: np.ndarray | list[int]) -> int:
+    """Pick the Rice parameter ``k`` (divisor ``2^k``) for a set of gaps.
+
+    Uses the standard rule of thumb ``k ≈ log2(mean)`` clamped to a sane
+    range; an empty input gets ``k = 0``.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return 0
+    mean = max(values.mean(), 0.01)
+    return int(np.clip(np.round(np.log2(mean + 1.0)), 0, 30))
+
+
+def encode_value(writer: BitWriter, value: int, k: int) -> None:
+    """Append one Golomb–Rice coded value to a bit stream."""
+    if value < 0:
+        raise ValueError("Golomb coding requires non-negative values")
+    quotient = value >> k
+    writer.write_unary(quotient)
+    if k:
+        writer.write_bits(value & ((1 << k) - 1), k)
+
+
+def decode_value(reader: BitReader, k: int) -> int:
+    """Read one Golomb–Rice coded value from a bit stream."""
+    quotient = reader.read_unary()
+    remainder = reader.read_bits(k) if k else 0
+    return (quotient << k) | remainder
+
+
+def encode_sequence(values: np.ndarray | list[int], k: int | None = None) -> tuple[bytes, int]:
+    """Encode a sequence of non-negative integers; returns ``(payload, k)``."""
+    values = [int(v) for v in values]
+    if k is None:
+        k = rice_parameter(values)
+    writer = BitWriter()
+    for value in values:
+        encode_value(writer, value, k)
+    return writer.getvalue(), k
+
+
+def decode_sequence(payload: bytes, count: int, k: int) -> list[int]:
+    """Decode ``count`` Golomb–Rice coded integers from ``payload``."""
+    reader = BitReader(payload)
+    return [decode_value(reader, k) for _ in range(count)]
+
+
+def encoded_bit_length(values: np.ndarray | list[int], k: int | None = None) -> int:
+    """Number of bits the sequence would occupy (used for size accounting)."""
+    values = [int(v) for v in values]
+    if k is None:
+        k = rice_parameter(values)
+    return sum((v >> k) + 1 + k for v in values)

@@ -1,0 +1,37 @@
+"""GROUP BY execution over PairwiseHist.
+
+The paper's query class allows GROUP BY on categorical columns (§3).  A
+group-by query is executed by rewriting it as one query per category: the
+group column's categories are known from the GreedyGD pre-processor
+dictionary, and each group adds an equality condition on the (already
+transformed) group column to the predicate tree.
+"""
+
+from __future__ import annotations
+
+from ..gd.preprocessor import ColumnTransform
+from ..sql.ast import ComparisonOp, Condition, LogicalOp, Predicate, PredicateNode
+
+
+def group_predicates(
+    transform: ColumnTransform, predicate: Predicate | None
+) -> list[tuple[str, Predicate]]:
+    """Expand a group-by column into per-group predicates.
+
+    Returns ``(label, predicate)`` pairs where the predicate is the original
+    (transformed-domain) predicate AND an equality condition selecting the
+    group, in the group column's code domain.
+    """
+    if not transform.is_categorical:
+        raise ValueError(
+            f"GROUP BY requires a categorical column, got {transform.name!r}"
+        )
+    groups: list[tuple[str, Predicate]] = []
+    for code, label in enumerate(transform.categories):
+        condition = Condition(column=transform.name, op=ComparisonOp.EQ, literal=float(code))
+        if predicate is None:
+            combined: Predicate = condition
+        else:
+            combined = PredicateNode(LogicalOp.AND, [predicate, condition])
+        groups.append((label, combined))
+    return groups

@@ -1,0 +1,149 @@
+"""One-dimensional PairwiseHist histograms and their per-bin metadata (§4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .centre_bounds import weighted_centre_bounds
+
+
+def bin_indices(edges: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Map values to bin indices for half-open bins ``[e_t, e_{t+1})``.
+
+    The final bin is closed on the right, matching ``numpy.histogram``.
+    Values outside the edge range are clipped into the first / last bin.
+    """
+    idx = np.searchsorted(edges, values, side="right") - 1
+    return np.clip(idx, 0, len(edges) - 2)
+
+
+@dataclass
+class Histogram1D:
+    """One-dimensional histogram with PairwiseHist bin metadata.
+
+    Attributes
+    ----------
+    column:
+        Name of the column the histogram summarises.
+    edges:
+        Bin edges, length ``k + 1`` (``e`` in the paper).
+    counts:
+        Bin counts, length ``k`` (the diagonal of ``H(i)``).
+    v_minus, v_plus:
+        Minimum / maximum actual data value in each bin.
+    unique:
+        Number of unique values in each bin (``u``).
+    centre_lower, centre_upper:
+        Bounds on the weighted centre of each bin (Eq. 10).
+    """
+
+    column: str
+    edges: np.ndarray
+    counts: np.ndarray
+    v_minus: np.ndarray
+    v_plus: np.ndarray
+    unique: np.ndarray
+    centre_lower: np.ndarray = field(default=None)  # type: ignore[assignment]
+    centre_upper: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.edges = np.asarray(self.edges, dtype=float)
+        self.counts = np.asarray(self.counts, dtype=float)
+        self.v_minus = np.asarray(self.v_minus, dtype=float)
+        self.v_plus = np.asarray(self.v_plus, dtype=float)
+        self.unique = np.asarray(self.unique, dtype=float)
+        k = self.num_bins
+        for name in ("counts", "v_minus", "v_plus", "unique"):
+            if len(getattr(self, name)) != k:
+                raise ValueError(f"{name} must have length {k} to match the edges")
+        if self.centre_lower is None or self.centre_upper is None:
+            self.centre_lower = self.v_minus.copy()
+            self.centre_upper = self.v_plus.copy()
+        else:
+            self.centre_lower = np.asarray(self.centre_lower, dtype=float)
+            self.centre_upper = np.asarray(self.centre_upper, dtype=float)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_bins(self) -> int:
+        """``k`` — number of bins."""
+        return len(self.edges) - 1
+
+    @property
+    def midpoints(self) -> np.ndarray:
+        """Bin midpoints ``c = (v+ + v-) / 2`` (re-derived, not stored)."""
+        return (self.v_plus + self.v_minus) / 2.0
+
+    @property
+    def widths(self) -> np.ndarray:
+        """Bin widths based on actual data extrema (``Delta`` in Table 3)."""
+        return self.v_plus - self.v_minus
+
+    @property
+    def total_count(self) -> float:
+        return float(self.counts.sum())
+
+    @property
+    def lower_edges(self) -> np.ndarray:
+        return self.edges[:-1]
+
+    @property
+    def upper_edges(self) -> np.ndarray:
+        return self.edges[1:]
+
+    def find_bin(self, value: float) -> int:
+        """Bin index containing ``value`` (clipped to the edge range)."""
+        return int(bin_indices(self.edges, np.asarray([value]))[0])
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_refinement(
+        cls,
+        column: str,
+        values: np.ndarray,
+        edges: list[float] | np.ndarray,
+        v_minus: list[float] | np.ndarray,
+        v_plus: list[float] | np.ndarray,
+        unique: list[int] | np.ndarray,
+        min_points: int,
+        alpha: float,
+        min_spacing: float = 1.0,
+    ) -> "Histogram1D":
+        """Finalise a histogram after bin refinement (Algorithm 1, lines 10–12).
+
+        Computes the bin counts with a standard histogram pass over the data
+        and the weighted-centre bounds from Eq. 10.
+        """
+        edges = np.asarray(edges, dtype=float)
+        if len(edges) < 2:
+            edges = np.array([0.0, 1.0])
+        counts, _ = np.histogram(values, bins=edges)
+        hist = cls(
+            column=column,
+            edges=edges,
+            counts=counts.astype(float),
+            v_minus=np.asarray(v_minus, dtype=float),
+            v_plus=np.asarray(v_plus, dtype=float),
+            unique=np.asarray(unique, dtype=float),
+        )
+        hist.centre_lower, hist.centre_upper = weighted_centre_bounds(
+            hist.counts, hist.v_minus, hist.v_plus, hist.unique, min_points, alpha, min_spacing
+        )
+        return hist
+
+    # ------------------------------------------------------------------ #
+
+    def storage_entries(self) -> dict[str, np.ndarray]:
+        """Arrays persisted by the storage encoder (midpoints / centre bounds
+        are re-derivable and therefore excluded, §4.3)."""
+        return {
+            "edges": self.edges,
+            "v_minus": self.v_minus,
+            "v_plus": self.v_plus,
+            "unique": self.unique,
+            "counts": self.counts,
+        }

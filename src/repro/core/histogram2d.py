@@ -1,0 +1,156 @@
+"""Two-dimensional (pairwise) histograms and their per-dimension metadata (§4, Fig. 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .histogram1d import Histogram1D, bin_indices
+
+
+@dataclass
+class AxisMetadata:
+    """Per-bin metadata along one dimension of a two-dimensional histogram.
+
+    The 2-d histogram for columns ``(i, j)`` can have more bin edges than the
+    corresponding 1-d histograms because of the extra refinement pass
+    (superscripts ``(i|j)`` / ``(j|i)`` in the paper).  Metadata — extrema,
+    unique counts and marginal counts — is kept per bin of each dimension.
+    ``parent`` maps every refined bin back to the 1-d histogram bin that
+    contains it, which is how query results are folded back onto the
+    aggregation column's 1-d bins (Eq. 27).
+    """
+
+    column: str
+    edges: np.ndarray
+    v_minus: np.ndarray
+    v_plus: np.ndarray
+    unique: np.ndarray
+    marginal_counts: np.ndarray
+    parent: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.edges = np.asarray(self.edges, dtype=float)
+        self.v_minus = np.asarray(self.v_minus, dtype=float)
+        self.v_plus = np.asarray(self.v_plus, dtype=float)
+        self.unique = np.asarray(self.unique, dtype=float)
+        self.marginal_counts = np.asarray(self.marginal_counts, dtype=float)
+        self.parent = np.asarray(self.parent, dtype=int)
+
+    @property
+    def num_bins(self) -> int:
+        return len(self.edges) - 1
+
+    @property
+    def midpoints(self) -> np.ndarray:
+        return (self.v_plus + self.v_minus) / 2.0
+
+
+@dataclass
+class Histogram2D:
+    """Pairwise histogram ``H(ij)`` with per-dimension metadata.
+
+    ``row`` corresponds to column ``i`` (the first column of the pair) and
+    ``col`` to column ``j``.  ``counts[ti, tj]`` is the number of sampled
+    rows falling in row-bin ``ti`` and column-bin ``tj``.
+    """
+
+    row: AxisMetadata
+    col: AxisMetadata
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.counts = np.asarray(self.counts, dtype=float)
+        expected = (self.row.num_bins, self.col.num_bins)
+        if self.counts.shape != expected:
+            raise ValueError(f"counts shape {self.counts.shape} does not match bins {expected}")
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def columns(self) -> tuple[str, str]:
+        return self.row.column, self.col.column
+
+    @property
+    def total_count(self) -> float:
+        return float(self.counts.sum())
+
+    def oriented(self, aggregation_column: str) -> tuple[np.ndarray, AxisMetadata, AxisMetadata]:
+        """Return ``(counts, agg_axis, pred_axis)`` with rows on the aggregation column.
+
+        ``counts`` has shape ``(agg_bins, pred_bins)`` regardless of the order
+        in which the pair was stored.
+        """
+        if aggregation_column == self.row.column:
+            return self.counts, self.row, self.col
+        if aggregation_column == self.col.column:
+            return self.counts.T, self.col, self.row
+        raise KeyError(
+            f"column {aggregation_column!r} is not part of pair {self.columns!r}"
+        )
+
+    def non_zero_count(self) -> int:
+        """Number of non-zero cells (used by the sparse storage encoder)."""
+        return int(np.count_nonzero(self.counts))
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(
+        cls,
+        column_i: str,
+        column_j: str,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        edges_i: np.ndarray,
+        edges_j: np.ndarray,
+        hist_i: Histogram1D,
+        hist_j: Histogram1D,
+    ) -> "Histogram2D":
+        """Finalise a pairwise histogram for given (possibly refined) edges.
+
+        Computes cell counts, per-dimension extrema / unique counts /
+        marginal counts and the parent maps back to the 1-d histograms
+        (Algorithm 1, lines 22–26).
+        """
+        edges_i = np.asarray(edges_i, dtype=float)
+        edges_j = np.asarray(edges_j, dtype=float)
+        counts, _, _ = np.histogram2d(values_i, values_j, bins=[edges_i, edges_j])
+        row_meta = cls._axis_metadata(column_i, values_i, edges_i, hist_i)
+        col_meta = cls._axis_metadata(column_j, values_j, edges_j, hist_j)
+        row_meta.marginal_counts = counts.sum(axis=1)
+        col_meta.marginal_counts = counts.sum(axis=0)
+        return cls(row=row_meta, col=col_meta, counts=counts)
+
+    @staticmethod
+    def _axis_metadata(
+        column: str, values: np.ndarray, edges: np.ndarray, parent_hist: Histogram1D
+    ) -> AxisMetadata:
+        k = len(edges) - 1
+        v_minus = edges[:-1].astype(float).copy()
+        v_plus = edges[1:].astype(float).copy()
+        unique = np.zeros(k)
+        if len(values):
+            idx = bin_indices(edges, values)
+            order = np.argsort(idx, kind="stable")
+            sorted_idx = idx[order]
+            sorted_vals = values[order]
+            boundaries = np.searchsorted(sorted_idx, np.arange(k + 1))
+            for t in range(k):
+                lo, hi = boundaries[t], boundaries[t + 1]
+                if hi > lo:
+                    segment = sorted_vals[lo:hi]
+                    v_minus[t] = segment.min()
+                    v_plus[t] = segment.max()
+                    unique[t] = len(np.unique(segment))
+        parent = bin_indices(parent_hist.edges, (edges[:-1] + edges[1:]) / 2.0)
+        return AxisMetadata(
+            column=column,
+            edges=edges,
+            v_minus=v_minus,
+            v_plus=v_plus,
+            unique=unique,
+            marginal_counts=np.zeros(k),
+            parent=parent,
+        )

@@ -1,0 +1,191 @@
+"""Recursive bin refinement (Algorithm 2 and its two-dimensional analogue).
+
+``refine_bin_1d`` decides whether a bin's contents are uniformly
+distributed; if not, it splits the bin at its midpoint (the paper found
+equal-width splits to slightly outperform equal-depth) and recurses on both
+halves.  ``refine_bin_2d`` does the same for a cell of a pairwise histogram,
+testing each dimension separately and splitting the *less* uniform one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .hypothesis import uniformity_test
+
+
+@dataclass
+class RefinementResult1D:
+    """Output of :func:`refine_bin_1d` — parallel per-(sub)bin lists."""
+
+    upper_edges: list[float] = field(default_factory=list)
+    v_minus: list[float] = field(default_factory=list)
+    v_plus: list[float] = field(default_factory=list)
+    unique: list[int] = field(default_factory=list)
+
+    def extend(self, other: "RefinementResult1D") -> None:
+        self.upper_edges.extend(other.upper_edges)
+        self.v_minus.extend(other.v_minus)
+        self.v_plus.extend(other.v_plus)
+        self.unique.extend(other.unique)
+
+    @property
+    def num_bins(self) -> int:
+        return len(self.upper_edges)
+
+
+def refine_bin_1d(
+    lower: float,
+    upper: float,
+    values: np.ndarray,
+    min_points: int,
+    alpha: float,
+    max_depth: int = 32,
+) -> RefinementResult1D:
+    """Algorithm 2 (``RefineBin1D``).
+
+    Returns the upper edges of the original bin and any splits created,
+    together with per-bin minimum, maximum and unique counts.
+    """
+    result = RefinementResult1D()
+    if len(values) == 0:
+        result.upper_edges.append(upper)
+        result.v_minus.append(lower)
+        result.v_plus.append(upper)
+        result.unique.append(0)
+        return result
+    unique_values = np.unique(values)
+    num_unique = len(unique_values)
+    if num_unique == 1:
+        value = float(unique_values[0])
+        result.upper_edges.append(upper)
+        result.v_minus.append(value)
+        result.v_plus.append(value)
+        result.unique.append(1)
+        return result
+    terminal = (
+        len(values) < min_points
+        or max_depth <= 0
+        or uniformity_test(values, lower, upper, num_unique, alpha).is_uniform
+    )
+    if not terminal:
+        split = _split_point(lower, upper, values)
+        terminal = split is None
+    if terminal:
+        result.upper_edges.append(upper)
+        result.v_minus.append(float(unique_values[0]))
+        result.v_plus.append(float(unique_values[-1]))
+        result.unique.append(num_unique)
+        return result
+    left_mask = values < split
+    left = refine_bin_1d(lower, split, values[left_mask], min_points, alpha, max_depth - 1)
+    right = refine_bin_1d(split, upper, values[~left_mask], min_points, alpha, max_depth - 1)
+    result.extend(left)
+    result.extend(right)
+    return result
+
+
+def _split_point(lower: float, upper: float, values: np.ndarray) -> float | None:
+    """Equal-width split point, or ``None`` when the bin cannot be split.
+
+    A split is rejected when it would leave one side empty (which happens
+    for very narrow integer-domain bins), since such a split makes no
+    progress and would recurse forever.
+    """
+    split = (lower + upper) / 2.0
+    if not lower < split < upper:
+        return None
+    if not ((values < split).any() and (values >= split).any()):
+        return None
+    return split
+
+
+@dataclass
+class RefinementResult2D:
+    """New bin edges produced by :func:`refine_bin_2d`, one list per dimension."""
+
+    new_edges_i: list[float] = field(default_factory=list)
+    new_edges_j: list[float] = field(default_factory=list)
+
+    def extend(self, other: "RefinementResult2D") -> None:
+        self.new_edges_i.extend(other.new_edges_i)
+        self.new_edges_j.extend(other.new_edges_j)
+
+    @property
+    def has_splits(self) -> bool:
+        return bool(self.new_edges_i or self.new_edges_j)
+
+
+def refine_bin_2d(
+    lower_i: float,
+    upper_i: float,
+    lower_j: float,
+    upper_j: float,
+    values_i: np.ndarray,
+    values_j: np.ndarray,
+    min_points: int,
+    alpha: float,
+    max_depth: int = 16,
+) -> RefinementResult2D:
+    """Two-dimensional analogue of Algorithm 2 (``RefineBin2D``).
+
+    Each dimension is tested for uniformity separately.  When both are
+    non-uniform the split is applied to the *least* uniform dimension
+    (largest chi-squared statistic relative to its critical value), then the
+    two halves are refined recursively.  Only the new edge positions are
+    returned — Algorithm 1 inserts them into the pair's edge vectors and
+    recomputes the counts afterwards.
+    """
+    result = RefinementResult2D()
+    if len(values_i) < min_points or max_depth <= 0:
+        return result
+    unique_i = len(np.unique(values_i))
+    unique_j = len(np.unique(values_j))
+    test_i = uniformity_test(values_i, lower_i, upper_i, unique_i, alpha)
+    test_j = uniformity_test(values_j, lower_j, upper_j, unique_j, alpha)
+    split_i = not test_i.is_uniform and unique_i > 1
+    split_j = not test_j.is_uniform and unique_j > 1
+    if not split_i and not split_j:
+        return result
+    if split_i and split_j:
+        # Both non-uniform: split the dimension that deviates more from
+        # uniformity (Fig. 5c).
+        ratio_i = test_i.statistic / max(test_i.critical_value, 1e-12)
+        ratio_j = test_j.statistic / max(test_j.critical_value, 1e-12)
+        split_dimension = "i" if ratio_i >= ratio_j else "j"
+    else:
+        split_dimension = "i" if split_i else "j"
+
+    if split_dimension == "i":
+        split = _split_point(lower_i, upper_i, values_i)
+        if split is None:
+            return result
+        result.new_edges_i.append(split)
+        mask = values_i < split
+        left = refine_bin_2d(
+            lower_i, split, lower_j, upper_j,
+            values_i[mask], values_j[mask], min_points, alpha, max_depth - 1,
+        )
+        right = refine_bin_2d(
+            split, upper_i, lower_j, upper_j,
+            values_i[~mask], values_j[~mask], min_points, alpha, max_depth - 1,
+        )
+    else:
+        split = _split_point(lower_j, upper_j, values_j)
+        if split is None:
+            return result
+        result.new_edges_j.append(split)
+        mask = values_j < split
+        left = refine_bin_2d(
+            lower_i, upper_i, lower_j, split,
+            values_i[mask], values_j[mask], min_points, alpha, max_depth - 1,
+        )
+        right = refine_bin_2d(
+            lower_i, upper_i, split, upper_j,
+            values_i[~mask], values_j[~mask], min_points, alpha, max_depth - 1,
+        )
+    result.extend(left)
+    result.extend(right)
+    return result

@@ -1,0 +1,290 @@
+"""Compact binary storage encoding of a PairwiseHist synopsis (§4.3, Fig. 6).
+
+Only the information that cannot be re-derived is persisted: construction
+parameters, bin edges, per-bin extrema and unique counts, and the bin
+counts.  Bin midpoints, weighted-centre bounds, parent maps and marginal
+counts are recomputed at load time.  2-d bin-count matrices are stored
+either densely (fixed ``l_h`` bits per count) or sparsely (Golomb-coded
+index gaps + counts), whichever is smaller — exactly the choice shown in
+Fig. 6.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..util.bitstream import BitReader, BitWriter
+from .centre_bounds import weighted_centre_bounds
+from .golomb import decode_value, encode_value, rice_parameter
+from .histogram1d import Histogram1D, bin_indices
+from .histogram2d import AxisMetadata, Histogram2D
+from .params import PairwiseHistParams
+from .synopsis import PairwiseHist
+
+_MAGIC = b"PWH1"
+
+
+# --------------------------------------------------------------------------- #
+# Low-level helpers
+
+
+def _pack_array(values: np.ndarray, fmt: str) -> bytes:
+    values = np.asarray(values)
+    return struct.pack(f"<I{len(values)}{fmt}", len(values), *values.tolist())
+
+
+def _unpack_array(buffer: memoryview, offset: int, fmt: str, dtype) -> tuple[np.ndarray, int]:
+    (count,) = struct.unpack_from("<I", buffer, offset)
+    offset += 4
+    size = struct.calcsize(f"<{count}{fmt}")
+    values = np.array(struct.unpack_from(f"<{count}{fmt}", buffer, offset), dtype=dtype)
+    return values, offset + size
+
+
+def _pack_string(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    return struct.pack("<H", len(raw)) + raw
+
+
+def _unpack_string(buffer: memoryview, offset: int) -> tuple[str, int]:
+    (length,) = struct.unpack_from("<H", buffer, offset)
+    offset += 2
+    raw = bytes(buffer[offset : offset + length])
+    return raw.decode("utf-8"), offset + length
+
+
+def _count_bit_width(counts: np.ndarray) -> int:
+    """``l_h`` — bits per bin count (Eq. 13)."""
+    maximum = int(counts.max()) if counts.size else 0
+    return max(1, int(np.ceil(np.log2(1 + maximum))) if maximum > 0 else 1)
+
+
+def _pack_counts_dense(counts: np.ndarray, width: int) -> bytes:
+    writer = BitWriter()
+    for value in counts.ravel():
+        writer.write_bits(int(value), width)
+    return writer.getvalue()
+
+
+def _pack_counts_sparse(counts: np.ndarray, width: int) -> bytes:
+    flat = counts.ravel()
+    indices = np.flatnonzero(flat)
+    gaps = np.diff(np.concatenate([[0], indices + 1])) - 1 if indices.size else np.array([], dtype=int)
+    k = rice_parameter(gaps)
+    writer = BitWriter()
+    writer.write_bits(k, 6)
+    for gap, index in zip(gaps, indices):
+        encode_value(writer, int(gap), k)
+        writer.write_bits(int(flat[index]), width)
+    return writer.getvalue()
+
+
+def _unpack_counts_dense(payload: bytes, shape: tuple[int, ...], width: int) -> np.ndarray:
+    reader = BitReader(payload)
+    total = int(np.prod(shape))
+    values = np.array([reader.read_bits(width) for _ in range(total)], dtype=float)
+    return values.reshape(shape)
+
+
+def _unpack_counts_sparse(
+    payload: bytes, shape: tuple[int, ...], width: int, non_zero: int
+) -> np.ndarray:
+    reader = BitReader(payload)
+    k = reader.read_bits(6)
+    flat = np.zeros(int(np.prod(shape)))
+    position = -1
+    for _ in range(non_zero):
+        gap = decode_value(reader, k)
+        position += gap + 1
+        flat[position] = reader.read_bits(width)
+    return flat.reshape(shape)
+
+
+def _encode_counts(counts: np.ndarray, force_dense: bool = False) -> bytes:
+    """Dense-or-sparse bin-count block, whichever is smaller (Fig. 6, right).
+
+    ``force_dense=True`` disables the sparse (Golomb) path; it exists for the
+    storage-encoding ablation benchmark.
+    """
+    width = _count_bit_width(counts)
+    dense = _pack_counts_dense(counts, width)
+    sparse = _pack_counts_sparse(counts, width)
+    non_zero = int(np.count_nonzero(counts))
+    if len(sparse) < len(dense) and not force_dense:
+        header = struct.pack("<BBI", width, 1, non_zero)
+        payload = sparse
+    else:
+        header = struct.pack("<BBI", width, 0, non_zero)
+        payload = dense
+    return header + struct.pack("<I", len(payload)) + payload
+
+
+def _decode_counts(buffer: memoryview, offset: int, shape: tuple[int, ...]) -> tuple[np.ndarray, int]:
+    width, sparse_flag, non_zero = struct.unpack_from("<BBI", buffer, offset)
+    offset += 6
+    (length,) = struct.unpack_from("<I", buffer, offset)
+    offset += 4
+    payload = bytes(buffer[offset : offset + length])
+    offset += length
+    if sparse_flag:
+        counts = _unpack_counts_sparse(payload, shape, width, non_zero)
+    else:
+        counts = _unpack_counts_dense(payload, shape, width)
+    return counts, offset
+
+
+# --------------------------------------------------------------------------- #
+# Histogram blocks
+
+
+def _encode_hist1d(hist: Histogram1D, force_dense: bool = False) -> bytes:
+    parts = [
+        _pack_string(hist.column),
+        _pack_array(hist.edges, "d"),
+        _pack_array(hist.v_minus, "d"),
+        _pack_array(hist.v_plus, "d"),
+        _pack_array(hist.unique.astype(np.uint32), "I"),
+        _encode_counts(hist.counts, force_dense),
+    ]
+    return b"".join(parts)
+
+
+def _decode_hist1d(
+    buffer: memoryview, offset: int, params: PairwiseHistParams
+) -> tuple[Histogram1D, int]:
+    column, offset = _unpack_string(buffer, offset)
+    edges, offset = _unpack_array(buffer, offset, "d", float)
+    v_minus, offset = _unpack_array(buffer, offset, "d", float)
+    v_plus, offset = _unpack_array(buffer, offset, "d", float)
+    unique, offset = _unpack_array(buffer, offset, "I", float)
+    counts, offset = _decode_counts(buffer, offset, (len(edges) - 1,))
+    hist = Histogram1D(
+        column=column,
+        edges=edges,
+        counts=counts,
+        v_minus=v_minus,
+        v_plus=v_plus,
+        unique=unique,
+    )
+    hist.centre_lower, hist.centre_upper = weighted_centre_bounds(
+        hist.counts, hist.v_minus, hist.v_plus, hist.unique,
+        params.min_points, params.alpha, params.min_spacing,
+    )
+    return hist, offset
+
+
+def _encode_axis(axis: AxisMetadata) -> bytes:
+    parts = [
+        _pack_string(axis.column),
+        _pack_array(axis.edges, "d"),
+        _pack_array(axis.v_minus, "d"),
+        _pack_array(axis.v_plus, "d"),
+        _pack_array(axis.unique.astype(np.uint32), "I"),
+    ]
+    return b"".join(parts)
+
+
+def _decode_axis(
+    buffer: memoryview, offset: int, parent_hist: Histogram1D
+) -> tuple[AxisMetadata, int]:
+    column, offset = _unpack_string(buffer, offset)
+    edges, offset = _unpack_array(buffer, offset, "d", float)
+    v_minus, offset = _unpack_array(buffer, offset, "d", float)
+    v_plus, offset = _unpack_array(buffer, offset, "d", float)
+    unique, offset = _unpack_array(buffer, offset, "I", float)
+    midpoints = (edges[:-1] + edges[1:]) / 2.0
+    parent = bin_indices(parent_hist.edges, midpoints)
+    axis = AxisMetadata(
+        column=column,
+        edges=edges,
+        v_minus=v_minus,
+        v_plus=v_plus,
+        unique=unique,
+        marginal_counts=np.zeros(len(edges) - 1),
+        parent=parent,
+    )
+    return axis, offset
+
+
+# --------------------------------------------------------------------------- #
+# Public API
+
+
+def serialize(synopsis: PairwiseHist, force_dense: bool = False) -> bytes:
+    """Encode a synopsis to bytes (the "Overall Storage Configuration" of Fig. 6).
+
+    ``force_dense=True`` stores every bin-count matrix densely instead of
+    letting the encoder pick dense vs sparse per histogram (ablation only).
+    """
+    params = synopsis.params
+    parts: list[bytes] = [_MAGIC]
+    parts.append(
+        struct.pack(
+            "<QQIdIH",
+            synopsis.population_rows,
+            synopsis.sample_rows,
+            params.min_points,
+            params.alpha,
+            params.seed,
+            synopsis.num_columns,
+        )
+    )
+    for column in synopsis.columns:
+        parts.append(_pack_string(column))
+    for column in synopsis.columns:
+        parts.append(_encode_hist1d(synopsis.hist1d[column], force_dense))
+    parts.append(struct.pack("<I", len(synopsis.hist2d)))
+    for (col_a, col_b), hist in synopsis.hist2d.items():
+        parts.append(_pack_string(col_a))
+        parts.append(_pack_string(col_b))
+        parts.append(_encode_axis(hist.row))
+        parts.append(_encode_axis(hist.col))
+        parts.append(_encode_counts(hist.counts, force_dense))
+    return b"".join(parts)
+
+
+def deserialize(payload: bytes) -> PairwiseHist:
+    """Decode bytes produced by :func:`serialize` back into a synopsis."""
+    buffer = memoryview(payload)
+    if bytes(buffer[:4]) != _MAGIC:
+        raise ValueError("not a PairwiseHist payload (bad magic)")
+    offset = 4
+    population, sample, min_points, alpha, seed, num_columns = struct.unpack_from(
+        "<QQIdIH", buffer, offset
+    )
+    offset += struct.calcsize("<QQIdIH")
+    params = PairwiseHistParams(
+        sample_size=int(sample), min_points=int(min_points), alpha=float(alpha), seed=int(seed)
+    )
+    columns: list[str] = []
+    for _ in range(num_columns):
+        column, offset = _unpack_string(buffer, offset)
+        columns.append(column)
+    synopsis = PairwiseHist(
+        params=params,
+        columns=columns,
+        population_rows=int(population),
+        sample_rows=int(sample),
+    )
+    for _ in range(num_columns):
+        hist, offset = _decode_hist1d(buffer, offset, params)
+        synopsis.hist1d[hist.column] = hist
+    (num_pairs,) = struct.unpack_from("<I", buffer, offset)
+    offset += 4
+    for _ in range(num_pairs):
+        col_a, offset = _unpack_string(buffer, offset)
+        col_b, offset = _unpack_string(buffer, offset)
+        row_axis, offset = _decode_axis(buffer, offset, synopsis.hist1d[col_a])
+        col_axis, offset = _decode_axis(buffer, offset, synopsis.hist1d[col_b])
+        counts, offset = _decode_counts(buffer, offset, (row_axis.num_bins, col_axis.num_bins))
+        row_axis.marginal_counts = counts.sum(axis=1)
+        col_axis.marginal_counts = counts.sum(axis=0)
+        synopsis.hist2d[(col_a, col_b)] = Histogram2D(row=row_axis, col=col_axis, counts=counts)
+    return synopsis
+
+
+def synopsis_size_bytes(synopsis: PairwiseHist, force_dense: bool = False) -> int:
+    """Size of the serialized synopsis in bytes (the Fig. 8 / Fig. 11 metric)."""
+    return len(serialize(synopsis, force_dense))

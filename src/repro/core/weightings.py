@@ -1,0 +1,253 @@
+"""Bin weightings for arbitrary AND/OR predicate trees (§5.3, Eq. 24–29).
+
+Given a query aggregating on column ``i`` with predicate ``P``, the bin
+weightings ``w(i)`` estimate, for every bin of the 1-d histogram of ``i``,
+how many sampled points in the bin satisfy ``P``.  Each predicate condition
+on a column ``j != i`` is translated into per-bin probabilities through the
+pairwise histogram ``H(ij)`` (Eq. 27); conditions on ``i`` itself use the
+1-d coverage directly; AND / OR trees combine probabilities under the
+conditional-independence assumption (Eq. 28); and same-column condition
+groups are consolidated *before* the transformation ("delayed
+transformation", Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from ..sql.ast import ComparisonOp, Condition, LogicalOp, Predicate, PredicateNode
+from .coverage import (
+    CoverageResult,
+    condition_coverage,
+    consolidate_and,
+    consolidate_or,
+    coverage_bounds,
+    interval_coverage,
+)
+from .synopsis import PairwiseHist
+
+#: z-value of the two-sided 98 % confidence interval used by Eq. 29.
+Z_98 = float(stats.norm.ppf(0.99))
+
+
+@dataclass
+class WeightingResult:
+    """Estimated weightings and their bounds over the aggregation column's bins."""
+
+    estimate: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.estimate = np.asarray(self.estimate, dtype=float)
+        self.lower = np.asarray(self.lower, dtype=float)
+        self.upper = np.asarray(self.upper, dtype=float)
+
+    @property
+    def total(self) -> float:
+        """``||w||_1`` — estimated number of sampled rows matching the predicate."""
+        return float(self.estimate.sum())
+
+    @property
+    def is_empty(self) -> bool:
+        return self.total <= 0.0
+
+
+@dataclass
+class _Probabilities:
+    """Per-bin probability that a (sub-)predicate holds, with bounds."""
+
+    estimate: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+
+
+class PredicateEvaluator:
+    """Computes bin weightings for one aggregation column of a synopsis."""
+
+    def __init__(self, synopsis: PairwiseHist, aggregation_column: str) -> None:
+        self._synopsis = synopsis
+        self._column = aggregation_column
+        self._hist = synopsis.histogram(aggregation_column)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def aggregation_column(self) -> str:
+        return self._column
+
+    def weightings(self, predicate: Predicate | None) -> WeightingResult:
+        """Eq. 24–29: weightings (and bounds) for an arbitrary predicate tree."""
+        counts = self._hist.counts
+        if predicate is None:
+            return WeightingResult(counts.copy(), counts.copy(), counts.copy())
+        probabilities = self._evaluate(predicate)
+        estimate = counts * probabilities.estimate
+        lower = counts * probabilities.lower
+        upper = counts * probabilities.upper
+        lower, upper = self._widen_for_sampling(counts, lower, upper)
+        lower = np.minimum(lower, estimate)
+        upper = np.maximum(upper, estimate)
+        return WeightingResult(estimate, lower, upper)
+
+    # ------------------------------------------------------------------ #
+    # Predicate tree evaluation
+
+    def _evaluate(self, predicate: Predicate) -> _Probabilities:
+        if isinstance(predicate, Condition):
+            return self._leaf_group(predicate.column, [predicate], LogicalOp.AND)
+        if not isinstance(predicate, PredicateNode):
+            raise TypeError(f"unsupported predicate node type {type(predicate)!r}")
+        parts: list[_Probabilities] = []
+        leaf_groups: dict[str, list[Condition]] = {}
+        for child in predicate.children:
+            if isinstance(child, Condition):
+                leaf_groups.setdefault(child.column, []).append(child)
+            else:
+                parts.append(self._evaluate(child))
+        for column, conditions in leaf_groups.items():
+            parts.append(self._leaf_group(column, conditions, predicate.op))
+        return self._combine(parts, predicate.op)
+
+    def _combine(self, parts: list[_Probabilities], op: LogicalOp) -> _Probabilities:
+        if len(parts) == 1:
+            return parts[0]
+        if op is LogicalOp.AND:
+            estimate = np.prod([p.estimate for p in parts], axis=0)
+            lower = np.prod([p.lower for p in parts], axis=0)
+            upper = np.prod([p.upper for p in parts], axis=0)
+        else:
+            estimate = 1.0 - np.prod([1.0 - p.estimate for p in parts], axis=0)
+            lower = 1.0 - np.prod([1.0 - p.lower for p in parts], axis=0)
+            upper = 1.0 - np.prod([1.0 - p.upper for p in parts], axis=0)
+        return _Probabilities(
+            np.clip(estimate, 0.0, 1.0), np.clip(lower, 0.0, 1.0), np.clip(upper, 0.0, 1.0)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Leaves
+
+    def _leaf_group(
+        self, column: str, conditions: list[Condition], op: LogicalOp
+    ) -> _Probabilities:
+        """Coverage of same-column conditions, consolidated then transformed."""
+        if column == self._column:
+            hist = self._hist
+            coverage = self._group_coverage(
+                conditions, op, hist.v_minus, hist.v_plus, hist.unique, hist.counts
+            )
+            return _Probabilities(coverage.estimate, coverage.lower, coverage.upper)
+
+        if self._synopsis.has_pair(self._column, column):
+            pair = self._synopsis.pair(self._column, column)
+            counts, agg_axis, pred_axis = pair.oriented(self._column)
+            coverage = self._group_coverage(
+                conditions, op, pred_axis.v_minus, pred_axis.v_plus,
+                pred_axis.unique, pred_axis.marginal_counts,
+            )
+            return self._transform_through_pair(counts, agg_axis.parent, coverage)
+
+        # Fallback when the pair histogram was not built: assume full
+        # independence from the aggregation column and use the marginal
+        # selectivity from the predicate column's own 1-d histogram.
+        hist_j = self._synopsis.histogram(column)
+        coverage = self._group_coverage(
+            conditions, op, hist_j.v_minus, hist_j.v_plus, hist_j.unique, hist_j.counts
+        )
+        total = hist_j.total_count
+        if total <= 0:
+            zeros = np.zeros(self._hist.num_bins)
+            return _Probabilities(zeros, zeros.copy(), zeros.copy())
+        scalar = float((coverage.estimate * hist_j.counts).sum() / total)
+        scalar_lo = float((coverage.lower * hist_j.counts).sum() / total)
+        scalar_hi = float((coverage.upper * hist_j.counts).sum() / total)
+        ones = np.ones(self._hist.num_bins)
+        return _Probabilities(ones * scalar, ones * scalar_lo, ones * scalar_hi)
+
+    def _group_coverage(
+        self,
+        conditions: list[Condition],
+        op: LogicalOp,
+        v_minus: np.ndarray,
+        v_plus: np.ndarray,
+        unique: np.ndarray,
+        counts: np.ndarray,
+    ) -> CoverageResult:
+        """Coverage of a same-column condition group over one set of bins.
+
+        AND-connected range/equality groups are consolidated exactly as one
+        interval (delayed transformation); everything else falls back to the
+        element-wise consolidation rules.
+        """
+        params = self._synopsis.params
+        if len(conditions) > 1 and op is LogicalOp.AND and all(
+            cond.op is not ComparisonOp.NE for cond in conditions
+        ):
+            lower_literal, upper_literal = -np.inf, np.inf
+            for cond in conditions:
+                literal = float(cond.literal)
+                if cond.op in (ComparisonOp.GT, ComparisonOp.GE):
+                    lower_literal = max(lower_literal, literal)
+                elif cond.op in (ComparisonOp.LT, ComparisonOp.LE):
+                    upper_literal = min(upper_literal, literal)
+                else:  # EQ pins the interval to a point
+                    lower_literal = max(lower_literal, literal)
+                    upper_literal = min(upper_literal, literal)
+            beta = interval_coverage(lower_literal, upper_literal, v_minus, v_plus, unique)
+            lower, upper = coverage_bounds(beta, counts, unique, params.min_points, params.alpha)
+            return CoverageResult(beta, lower, upper)
+        coverages = [
+            condition_coverage(
+                cond.op, float(cond.literal), v_minus, v_plus, unique, counts,
+                params.min_points, params.alpha,
+            )
+            for cond in conditions
+        ]
+        if len(coverages) == 1:
+            return coverages[0]
+        if op is LogicalOp.AND:
+            return consolidate_and(coverages)
+        return consolidate_or(coverages)
+
+    def _transform_through_pair(
+        self, counts: np.ndarray, parent: np.ndarray, coverage: CoverageResult
+    ) -> _Probabilities:
+        """Eq. 27: fold ``H(ij) beta(j)`` back onto the 1-d bins of the aggregation column."""
+        k = self._hist.num_bins
+        hist_counts = self._hist.counts
+
+        def fold(beta: np.ndarray) -> np.ndarray:
+            weighted = counts @ beta
+            folded = np.bincount(parent, weights=weighted, minlength=k)[:k]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                probs = np.where(hist_counts > 0, folded / hist_counts, 0.0)
+            return np.clip(probs, 0.0, 1.0)
+
+        return _Probabilities(fold(coverage.estimate), fold(coverage.lower), fold(coverage.upper))
+
+    # ------------------------------------------------------------------ #
+    # Sampling widening (Eq. 29)
+
+    def _widen_for_sampling(
+        self, counts: np.ndarray, lower: np.ndarray, upper: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        population = self._synopsis.population_rows
+        sample = self._synopsis.sample_rows
+        if population <= sample or population <= 1:
+            return lower, upper
+        correction = (population - sample) / (population - 1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            beta_lower = np.where(counts > 0, lower / counts, 0.0)
+            beta_upper = np.where(counts > 0, upper / counts, 0.0)
+            spread_lower = Z_98 * np.sqrt(
+                np.clip(beta_lower * (1.0 - beta_lower), 0.0, None) / np.maximum(counts, 1.0) * correction
+            )
+            spread_upper = Z_98 * np.sqrt(
+                np.clip(beta_upper * (1.0 - beta_upper), 0.0, None) / np.maximum(counts, 1.0) * correction
+            )
+        widened_lower = np.clip(beta_lower - spread_lower, 0.0, 1.0) * counts
+        widened_upper = np.clip(beta_upper + spread_upper, 0.0, 1.0) * counts
+        return widened_lower, widened_upper

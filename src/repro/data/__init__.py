@@ -1,0 +1,22 @@
+"""Columnar table, schema, synthetic datasets and sampling utilities."""
+
+from .schema import ColumnSchema, ColumnType, TableSchema
+from .table import Table
+from .sampling import SampleInfo, stratified_sample, uniform_sample
+from .datasets import DATASET_GENERATORS, available_datasets, load_dataset
+from .idebench import IdeBenchScaler, scale_dataset
+
+__all__ = [
+    "ColumnSchema",
+    "ColumnType",
+    "TableSchema",
+    "Table",
+    "SampleInfo",
+    "uniform_sample",
+    "stratified_sample",
+    "DATASET_GENERATORS",
+    "available_datasets",
+    "load_dataset",
+    "IdeBenchScaler",
+    "scale_dataset",
+]

@@ -1,0 +1,596 @@
+"""Synthetic stand-ins for the 11 real-world datasets of the paper (Table 4).
+
+The original evaluation downloads public datasets (Kaggle / UCI / city data
+portals).  Those files are not available offline, so each dataset is
+synthesised with the same column count, mix of data types, missing-value
+structure, skew and cross-column correlation described in the paper:
+
+* ``aqua`` / ``build`` — multi-source IoT sensors sharing a timestamp, hence
+  many nulls from asynchronous sampling,
+* ``basement`` / ``current`` / ``furnace`` / ``power`` — electrical meter
+  readings: smooth daily cycles, spikes, strongly correlated sub-meters,
+* ``gas`` / ``light`` / ``temp`` — single-source environmental sensors,
+* ``flights`` / ``taxis`` — trip records with several categorical columns,
+  heavy-tailed numeric columns and missing values.
+
+PairwiseHist's behaviour depends on these distributional properties rather
+than on the exact provenance of the rows, so the synthetic datasets exercise
+the same code paths as the originals (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from .schema import ColumnSchema, ColumnType, TableSchema
+from .table import Table
+
+#: Registry of dataset name -> generator function, filled by ``_register``.
+DATASET_GENERATORS: dict[str, Callable[..., Table]] = {}
+
+#: Default row count for laptop-scale experiments.  The paper's originals
+#: range from 4e5 to 1.4e7 rows; generators accept ``rows=`` to change this.
+DEFAULT_ROWS = 20_000
+
+
+def _register(name: str):
+    def decorator(fn: Callable[..., Table]) -> Callable[..., Table]:
+        DATASET_GENERATORS[name] = fn
+        return fn
+
+    return decorator
+
+
+def available_datasets() -> list[str]:
+    """Names of all synthetic datasets, in Table 4 order."""
+    return sorted(DATASET_GENERATORS)
+
+
+def load_dataset(name: str, rows: int = DEFAULT_ROWS, seed: int = 0) -> Table:
+    """Generate one of the paper's datasets by name (case-insensitive)."""
+    key = name.lower()
+    if key not in DATASET_GENERATORS:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
+        )
+    return DATASET_GENERATORS[key](rows=rows, seed=seed)
+
+
+# --------------------------------------------------------------------------- #
+# Column-level building blocks
+
+
+def _timestamp(rng: np.random.Generator, rows: int, interval_s: float = 60.0) -> np.ndarray:
+    start = 1.4e9
+    jitter = rng.uniform(0, interval_s * 0.1, size=rows)
+    return start + np.arange(rows) * interval_s + jitter
+
+
+def _daily_cycle(rows: int, interval_s: float, amplitude: float, phase: float) -> np.ndarray:
+    t = np.arange(rows) * interval_s
+    day = 86_400.0
+    return amplitude * (np.sin(2 * np.pi * (t / day) + phase) + 1.0) / 2.0
+
+
+def _spiky_load(
+    rng: np.random.Generator, rows: int, base: float, spike_prob: float, spike_scale: float
+) -> np.ndarray:
+    values = base * (1 + 0.2 * rng.standard_normal(rows))
+    spikes = rng.random(rows) < spike_prob
+    values[spikes] += rng.exponential(spike_scale, size=int(spikes.sum()))
+    return np.clip(values, 0, None)
+
+
+def _skewed_positive(rng: np.random.Generator, rows: int, scale: float, shape: float = 1.2) -> np.ndarray:
+    return rng.gamma(shape, scale, size=rows)
+
+
+def _inject_nulls(rng: np.random.Generator, values: np.ndarray, fraction: float) -> np.ndarray:
+    if fraction <= 0:
+        return values
+    out = values.astype(float).copy()
+    mask = rng.random(len(values)) < fraction
+    out[mask] = np.nan
+    return out
+
+
+def _zipf_categories(
+    rng: np.random.Generator, rows: int, labels: list[str], exponent: float = 1.3
+) -> np.ndarray:
+    ranks = np.arange(1, len(labels) + 1, dtype=float)
+    probs = ranks ** (-exponent)
+    probs /= probs.sum()
+    idx = rng.choice(len(labels), size=rows, p=probs)
+    out = np.empty(rows, dtype=object)
+    for i, j in enumerate(idx):
+        out[i] = labels[j]
+    return out
+
+
+def _round(values: np.ndarray, decimals: int) -> np.ndarray:
+    return np.round(values, decimals)
+
+
+def _numeric(name: str, decimals: int = 2) -> ColumnSchema:
+    return ColumnSchema(name, ColumnType.NUMERIC, decimals=decimals)
+
+
+def _categorical(name: str) -> ColumnSchema:
+    return ColumnSchema(name, ColumnType.CATEGORICAL)
+
+
+def _datetime(name: str) -> ColumnSchema:
+    return ColumnSchema(name, ColumnType.DATETIME, decimals=0)
+
+
+# --------------------------------------------------------------------------- #
+# Electrical-meter style datasets (Basement, Current, Furnace, Power)
+
+
+def _meter_dataset(
+    name: str, rows: int, seed: int, num_channels: int, decimals: int = 2
+) -> Table:
+    rng = np.random.default_rng(seed)
+    interval = 60.0
+    ts = _timestamp(rng, rows, interval)
+    columns: dict[str, np.ndarray] = {"timestamp": ts}
+    schema = [_datetime("timestamp")]
+    base_cycle = _daily_cycle(rows, interval, amplitude=1.0, phase=rng.uniform(0, 2 * np.pi))
+    for ch in range(num_channels):
+        phase = rng.uniform(0, 2 * np.pi)
+        cycle = 0.6 * base_cycle + 0.4 * _daily_cycle(rows, interval, 1.0, phase)
+        level = rng.uniform(0.5, 8.0)
+        noise = 0.1 * level * rng.standard_normal(rows)
+        spikes = _spiky_load(rng, rows, base=0.0, spike_prob=0.01, spike_scale=3 * level)
+        values = np.clip(level * cycle + noise + spikes, 0, None)
+        cname = f"channel_{ch:02d}"
+        columns[cname] = _round(values, decimals)
+        schema.append(_numeric(cname, decimals))
+    return Table(name=name, schema=TableSchema(schema), columns=columns)
+
+
+@_register("basement")
+def basement(rows: int = DEFAULT_ROWS, seed: int = 0) -> Table:
+    """Basement power sub-meter readings (12 columns)."""
+    return _meter_dataset("basement", rows, seed + 1, num_channels=11)
+
+
+@_register("current")
+def current(rows: int = DEFAULT_ROWS, seed: int = 0) -> Table:
+    """Electric meter current readings (24 columns)."""
+    return _meter_dataset("current", rows, seed + 2, num_channels=23)
+
+
+@_register("furnace")
+def furnace(rows: int = DEFAULT_ROWS, seed: int = 0) -> Table:
+    """Furnace power sub-meter readings (12 columns)."""
+    return _meter_dataset("furnace", rows, seed + 3, num_channels=11)
+
+
+@_register("power")
+def power(rows: int = DEFAULT_ROWS, seed: int = 0) -> Table:
+    """Household power consumption (10 columns), the paper's Power dataset."""
+    rng = np.random.default_rng(seed + 4)
+    interval = 60.0
+    ts = _timestamp(rng, rows, interval)
+    cycle = _daily_cycle(rows, interval, 1.0, 0.3)
+    active_power = np.clip(
+        1.2 + 2.5 * cycle + 0.4 * rng.standard_normal(rows)
+        + _spiky_load(rng, rows, 0.0, 0.02, 3.0),
+        0.05,
+        None,
+    )
+    reactive_power = np.clip(0.12 * active_power + 0.05 * rng.standard_normal(rows), 0, None)
+    voltage = 240 + 3 * np.sin(np.arange(rows) / 500.0) + rng.standard_normal(rows)
+    intensity = active_power * 1000 / voltage
+    sub1 = np.clip(active_power * rng.uniform(0.0, 0.3, rows), 0, None)
+    sub2 = np.clip(active_power * rng.uniform(0.0, 0.4, rows), 0, None)
+    sub3 = np.clip(active_power - sub1 - sub2, 0, None)
+    hour = (np.arange(rows) * interval / 3600.0) % 24
+    day_of_week = ((np.arange(rows) * interval) // 86_400) % 7
+    columns = {
+        "timestamp": ts,
+        "global_active_power": _round(active_power, 3),
+        "global_reactive_power": _round(reactive_power, 3),
+        "voltage": _round(voltage, 2),
+        "global_intensity": _round(intensity, 2),
+        "sub_metering_1": _round(sub1, 2),
+        "sub_metering_2": _round(sub2, 2),
+        "sub_metering_3": _round(sub3, 2),
+        "hour": np.floor(hour),
+        "day_of_week": day_of_week.astype(float),
+    }
+    schema = TableSchema(
+        [
+            _datetime("timestamp"),
+            _numeric("global_active_power", 3),
+            _numeric("global_reactive_power", 3),
+            _numeric("voltage", 2),
+            _numeric("global_intensity", 2),
+            _numeric("sub_metering_1", 2),
+            _numeric("sub_metering_2", 2),
+            _numeric("sub_metering_3", 2),
+            _numeric("hour", 0),
+            _numeric("day_of_week", 0),
+        ]
+    )
+    return Table(name="power", schema=schema, columns=columns)
+
+
+# --------------------------------------------------------------------------- #
+# Environmental sensor datasets (Gas, Light, Temp)
+
+
+@_register("gas")
+def gas(rows: int = DEFAULT_ROWS, seed: int = 0) -> Table:
+    """Home gas-sensor dataset (12 columns): resistances + humidity/temperature."""
+    rng = np.random.default_rng(seed + 5)
+    interval = 1.0
+    ts = _timestamp(rng, rows, interval)
+    temperature = 22 + 4 * _daily_cycle(rows, interval * 3600, 1.0, 0.1) + 0.3 * rng.standard_normal(rows)
+    humidity = np.clip(55 - 0.8 * (temperature - 22) + 2 * rng.standard_normal(rows), 20, 90)
+    columns: dict[str, np.ndarray] = {
+        "timestamp": ts,
+        "temperature": _round(temperature, 2),
+        "humidity": _round(humidity, 2),
+    }
+    schema = [_datetime("timestamp"), _numeric("temperature", 2), _numeric("humidity", 2)]
+    for s in range(8):
+        baseline = rng.uniform(5, 25)
+        sensitivity = rng.uniform(0.05, 0.4)
+        resistance = baseline * np.exp(-sensitivity * (temperature - 22) / 4) + 0.2 * rng.standard_normal(rows)
+        cname = f"sensor_r{s + 1}"
+        columns[cname] = _round(np.clip(resistance, 0.1, None), 3)
+        schema.append(_numeric(cname, 3))
+    flow = _skewed_positive(rng, rows, scale=0.6)
+    columns["gas_flow"] = _round(flow, 3)
+    schema.append(_numeric("gas_flow", 3))
+    return Table(name="gas", schema=TableSchema(schema), columns=columns)
+
+
+@_register("light")
+def light(rows: int = DEFAULT_ROWS, seed: int = 0) -> Table:
+    """IoT light-detection dataset (9 columns) with a categorical device id."""
+    rng = np.random.default_rng(seed + 6)
+    interval = 30.0
+    ts = _timestamp(rng, rows, interval)
+    lux = np.clip(
+        900 * _daily_cycle(rows, interval, 1.0, -np.pi / 2) + 40 * rng.standard_normal(rows), 0, None
+    )
+    detected = (lux > 300).astype(float)
+    battery = np.clip(100 - np.arange(rows) * (60.0 / max(rows, 1)) + rng.standard_normal(rows), 5, 100)
+    temperature = 20 + 6 * _daily_cycle(rows, interval, 1.0, 0) + rng.standard_normal(rows)
+    humidity = np.clip(50 - 0.5 * (temperature - 20) + 2 * rng.standard_normal(rows), 10, 95)
+    rssi = -60 + 8 * rng.standard_normal(rows)
+    uptime = np.arange(rows) * interval
+    devices = _zipf_categories(rng, rows, [f"device_{i}" for i in range(12)])
+    columns = {
+        "timestamp": ts,
+        "device": devices,
+        "lux": _round(lux, 1),
+        "light_detected": detected,
+        "battery": _round(battery, 1),
+        "temperature": _round(temperature, 2),
+        "humidity": _round(humidity, 2),
+        "rssi": _round(rssi, 1),
+        "uptime": _round(uptime, 0),
+    }
+    schema = TableSchema(
+        [
+            _datetime("timestamp"),
+            _categorical("device"),
+            _numeric("lux", 1),
+            _numeric("light_detected", 0),
+            _numeric("battery", 1),
+            _numeric("temperature", 2),
+            _numeric("humidity", 2),
+            _numeric("rssi", 1),
+            _numeric("uptime", 0),
+        ]
+    )
+    return Table(name="light", schema=schema, columns=columns)
+
+
+@_register("temp")
+def temp(rows: int = DEFAULT_ROWS, seed: int = 0) -> Table:
+    """Temperature IoT dataset (5 columns)."""
+    rng = np.random.default_rng(seed + 7)
+    interval = 10.0
+    ts = _timestamp(rng, rows, interval)
+    ambient = 18 + 8 * _daily_cycle(rows, interval, 1.0, 0.5) + 0.5 * rng.standard_normal(rows)
+    device_temp = ambient + 4 + 0.8 * rng.standard_normal(rows)
+    humidity = np.clip(60 - 1.2 * (ambient - 18) + 3 * rng.standard_normal(rows), 10, 98)
+    sensors = _zipf_categories(rng, rows, [f"probe_{i}" for i in range(6)])
+    columns = {
+        "timestamp": ts,
+        "sensor": sensors,
+        "ambient_temperature": _round(ambient, 2),
+        "device_temperature": _round(device_temp, 2),
+        "humidity": _round(humidity, 2),
+    }
+    schema = TableSchema(
+        [
+            _datetime("timestamp"),
+            _categorical("sensor"),
+            _numeric("ambient_temperature", 2),
+            _numeric("device_temperature", 2),
+            _numeric("humidity", 2),
+        ]
+    )
+    return Table(name="temp", schema=schema, columns=columns)
+
+
+# --------------------------------------------------------------------------- #
+# Multi-source IoT datasets with many nulls (Aqua, Build)
+
+
+@_register("aqua")
+def aqua(rows: int = DEFAULT_ROWS, seed: int = 0) -> Table:
+    """Aquaponics pond sensors (13 columns) with asynchronous-sampling nulls."""
+    rng = np.random.default_rng(seed + 8)
+    interval = 120.0
+    ts = _timestamp(rng, rows, interval)
+    ponds = _zipf_categories(rng, rows, [f"pond_{i}" for i in range(4)], exponent=0.8)
+    water_temp = 26 + 2 * _daily_cycle(rows, interval, 1.0, 0.2) + 0.4 * rng.standard_normal(rows)
+    ph = np.clip(7.0 + 0.3 * rng.standard_normal(rows), 5.5, 8.5)
+    dissolved_o2 = np.clip(8 - 0.15 * (water_temp - 26) + 0.5 * rng.standard_normal(rows), 2, 14)
+    turbidity = _skewed_positive(rng, rows, scale=12.0)
+    ammonia = _skewed_positive(rng, rows, scale=0.08)
+    nitrate = _skewed_positive(rng, rows, scale=3.0)
+    tds = 400 + 60 * rng.standard_normal(rows)
+    fish_length = np.clip(8 + np.arange(rows) * (10.0 / max(rows, 1)) + rng.standard_normal(rows), 2, None)
+    fish_weight = np.clip(0.02 * fish_length ** 2.8 + rng.standard_normal(rows), 0.5, None)
+    feed = _skewed_positive(rng, rows, scale=1.5)
+    ec = tds * 1.6 + 20 * rng.standard_normal(rows)
+    null_frac = 0.25
+    columns = {
+        "timestamp": ts,
+        "pond": ponds,
+        "water_temperature": _inject_nulls(rng, _round(water_temp, 2), null_frac),
+        "ph": _inject_nulls(rng, _round(ph, 2), null_frac),
+        "dissolved_oxygen": _inject_nulls(rng, _round(dissolved_o2, 2), null_frac),
+        "turbidity": _inject_nulls(rng, _round(turbidity, 1), null_frac),
+        "ammonia": _inject_nulls(rng, _round(ammonia, 3), null_frac),
+        "nitrate": _inject_nulls(rng, _round(nitrate, 2), null_frac),
+        "tds": _inject_nulls(rng, _round(tds, 1), null_frac),
+        "electrical_conductivity": _inject_nulls(rng, _round(ec, 1), null_frac),
+        "fish_length": _inject_nulls(rng, _round(fish_length, 1), null_frac),
+        "fish_weight": _inject_nulls(rng, _round(fish_weight, 1), null_frac),
+        "feed_consumed": _inject_nulls(rng, _round(feed, 2), null_frac),
+    }
+    schema = TableSchema(
+        [_datetime("timestamp"), _categorical("pond")]
+        + [
+            _numeric(n, d)
+            for n, d in [
+                ("water_temperature", 2),
+                ("ph", 2),
+                ("dissolved_oxygen", 2),
+                ("turbidity", 1),
+                ("ammonia", 3),
+                ("nitrate", 2),
+                ("tds", 1),
+                ("electrical_conductivity", 1),
+                ("fish_length", 1),
+                ("fish_weight", 1),
+                ("feed_consumed", 2),
+            ]
+        ]
+    )
+    return Table(name="aqua", schema=schema, columns=columns)
+
+
+@_register("build")
+def build(rows: int = DEFAULT_ROWS, seed: int = 0) -> Table:
+    """Smart-building sensors (7 columns) with asynchronous-sampling nulls."""
+    rng = np.random.default_rng(seed + 9)
+    interval = 30.0
+    ts = _timestamp(rng, rows, interval)
+    rooms = _zipf_categories(rng, rows, [f"room_{i}" for i in range(24)], exponent=0.6)
+    temperature = 21 + 3 * _daily_cycle(rows, interval, 1.0, 0.4) + 0.5 * rng.standard_normal(rows)
+    co2 = np.clip(420 + 350 * _daily_cycle(rows, interval, 1.0, 1.2) + 40 * rng.standard_normal(rows), 380, None)
+    humidity = np.clip(45 - 0.7 * (temperature - 21) + 3 * rng.standard_normal(rows), 15, 85)
+    luminosity = np.clip(500 * _daily_cycle(rows, interval, 1.0, -np.pi / 2) + 50 * rng.standard_normal(rows), 0, None)
+    pir = (rng.random(rows) < (0.1 + 0.5 * _daily_cycle(rows, interval, 1.0, 1.0))).astype(float)
+    null_frac = 0.3
+    columns = {
+        "timestamp": ts,
+        "room": rooms,
+        "temperature": _inject_nulls(rng, _round(temperature, 2), null_frac),
+        "co2": _inject_nulls(rng, _round(co2, 1), null_frac),
+        "humidity": _inject_nulls(rng, _round(humidity, 2), null_frac),
+        "luminosity": _inject_nulls(rng, _round(luminosity, 1), null_frac),
+        "pir_motion": _inject_nulls(rng, pir, null_frac),
+    }
+    schema = TableSchema(
+        [
+            _datetime("timestamp"),
+            _categorical("room"),
+            _numeric("temperature", 2),
+            _numeric("co2", 1),
+            _numeric("humidity", 2),
+            _numeric("luminosity", 1),
+            _numeric("pir_motion", 0),
+        ]
+    )
+    return Table(name="build", schema=schema, columns=columns)
+
+
+# --------------------------------------------------------------------------- #
+# Trip-record datasets (Flights, Taxis)
+
+_AIRLINES = ["AA", "DL", "UA", "WN", "B6", "AS", "NK", "F9", "HA", "VX", "OO", "EV", "MQ", "US"]
+_AIRPORTS = [
+    "ATL", "ORD", "DFW", "DEN", "LAX", "SFO", "PHX", "IAH", "LAS", "MSP",
+    "MCO", "SEA", "DTW", "BOS", "EWR", "CLT", "LGA", "SLC", "JFK", "BWI",
+]
+_CANCEL_REASONS = ["none", "carrier", "weather", "nas", "security"]
+
+
+@_register("flights")
+def flights(rows: int = DEFAULT_ROWS, seed: int = 0) -> Table:
+    """US flight delays and cancellations (32 columns), the paper's Flights dataset.
+
+    Columns mirror the Kaggle 2015 flight-delays table: date parts, carrier
+    and airport categoricals, schedule times, delay components with missing
+    values for non-delayed flights, and cancellation fields.
+    """
+    rng = np.random.default_rng(seed + 10)
+    month = rng.integers(1, 13, size=rows).astype(float)
+    day = rng.integers(1, 29, size=rows).astype(float)
+    day_of_week = rng.integers(1, 8, size=rows).astype(float)
+    airline = _zipf_categories(rng, rows, _AIRLINES, exponent=1.1)
+    flight_number = rng.integers(1, 7000, size=rows).astype(float)
+    tail_number = _zipf_categories(rng, rows, [f"N{900 + i}RP" for i in range(60)], exponent=0.5)
+    origin = _zipf_categories(rng, rows, _AIRPORTS, exponent=1.0)
+    destination = _zipf_categories(rng, rows, _AIRPORTS, exponent=1.0)
+    scheduled_departure = rng.integers(0, 2400, size=rows).astype(float)
+    departure_delay = rng.exponential(12, size=rows) - 5 + 25 * (rng.random(rows) < 0.08)
+    departure_time = (scheduled_departure + departure_delay) % 2400
+    taxi_out = np.clip(rng.gamma(3.0, 5.0, size=rows), 1, None)
+    wheels_off = (departure_time + taxi_out) % 2400
+    distance = np.clip(rng.gamma(2.2, 380.0, size=rows), 67, 4983)
+    scheduled_time = np.clip(distance / 7.5 + 30 + 5 * rng.standard_normal(rows), 20, None)
+    air_time = np.clip(distance / 7.8 + 8 * rng.standard_normal(rows), 15, None)
+    arrival_delay = departure_delay + 0.3 * (air_time - distance / 7.8) + 5 * rng.standard_normal(rows)
+    elapsed_time = scheduled_time + (arrival_delay - departure_delay)
+    taxi_in = np.clip(rng.gamma(2.0, 3.5, size=rows), 1, None)
+    wheels_on = (wheels_off + air_time) % 1440
+    scheduled_arrival = (scheduled_departure + scheduled_time) % 2400
+    arrival_time = (scheduled_arrival + arrival_delay) % 2400
+    diverted = (rng.random(rows) < 0.002).astype(float)
+    cancelled = (rng.random(rows) < 0.015).astype(float)
+    cancel_reason = np.empty(rows, dtype=object)
+    reasons = _zipf_categories(rng, rows, _CANCEL_REASONS[1:], exponent=0.9)
+    for i in range(rows):
+        cancel_reason[i] = reasons[i] if cancelled[i] else None
+
+    delayed = arrival_delay > 15
+    def _delay_component(scale: float) -> np.ndarray:
+        comp = np.where(delayed, rng.exponential(scale, size=rows), 0.0)
+        comp = comp.astype(float)
+        comp[~delayed] = np.nan
+        return np.round(comp, 0)
+
+    air_system_delay = _delay_component(8)
+    security_delay = _delay_component(0.5)
+    airline_delay = _delay_component(12)
+    late_aircraft_delay = _delay_component(10)
+    weather_delay = _delay_component(3)
+
+    columns = {
+        "year": np.full(rows, 2015.0),
+        "month": month,
+        "day": day,
+        "day_of_week": day_of_week,
+        "airline": airline,
+        "flight_number": flight_number,
+        "tail_number": tail_number,
+        "origin_airport": origin,
+        "destination_airport": destination,
+        "scheduled_departure": scheduled_departure,
+        "departure_time": np.round(departure_time, 0),
+        "departure_delay": np.round(departure_delay, 0),
+        "taxi_out": np.round(taxi_out, 0),
+        "wheels_off": np.round(wheels_off, 0),
+        "scheduled_time": np.round(scheduled_time, 0),
+        "elapsed_time": np.round(elapsed_time, 0),
+        "air_time": np.round(air_time, 1),
+        "distance": np.round(distance, 0),
+        "wheels_on": np.round(wheels_on, 0),
+        "taxi_in": np.round(taxi_in, 0),
+        "scheduled_arrival": np.round(scheduled_arrival, 0),
+        "arrival_time": np.round(arrival_time, 0),
+        "arrival_delay": np.round(arrival_delay, 0),
+        "diverted": diverted,
+        "cancelled": cancelled,
+        "cancellation_reason": cancel_reason,
+        "air_system_delay": air_system_delay,
+        "security_delay": security_delay,
+        "airline_delay": airline_delay,
+        "late_aircraft_delay": late_aircraft_delay,
+        "weather_delay": weather_delay,
+        "route_popularity": np.round(_skewed_positive(rng, rows, scale=40.0), 0),
+    }
+    numeric_decimals = {
+        "air_time": 1,
+    }
+    schema_cols: list[ColumnSchema] = []
+    for cname, values in columns.items():
+        if values.dtype == object:
+            schema_cols.append(_categorical(cname))
+        else:
+            schema_cols.append(_numeric(cname, numeric_decimals.get(cname, 0)))
+    return Table(name="flights", schema=TableSchema(schema_cols), columns=columns)
+
+
+_PAYMENT_TYPES = ["Credit Card", "Cash", "Mobile", "Prcard", "No Charge", "Unknown"]
+_TAXI_COMPANIES = [f"company_{i}" for i in range(20)]
+
+
+@_register("taxis")
+def taxis(rows: int = DEFAULT_ROWS, seed: int = 0) -> Table:
+    """Chicago taxi trips (23 columns) with categorical and heavy-tailed columns."""
+    rng = np.random.default_rng(seed + 11)
+    start = _timestamp(rng, rows, 45.0)
+    trip_miles = np.clip(rng.lognormal(0.9, 0.9, size=rows), 0.1, 120)
+    trip_seconds = np.clip(trip_miles * 180 + rng.gamma(2.0, 120.0, size=rows), 30, None)
+    fare = np.clip(3.25 + 2.3 * trip_miles + 0.3 * trip_seconds / 60 + rng.standard_normal(rows), 3.25, None)
+    tips = np.where(rng.random(rows) < 0.55, fare * rng.uniform(0.0, 0.3, rows), 0.0)
+    tolls = np.where(rng.random(rows) < 0.03, rng.uniform(1, 12, size=rows), 0.0)
+    extras = np.where(rng.random(rows) < 0.25, rng.choice([0.5, 1.0, 2.0, 4.0], size=rows), 0.0)
+    total = fare + tips + tolls + extras
+    payment = _zipf_categories(rng, rows, _PAYMENT_TYPES, exponent=1.2)
+    company = _zipf_categories(rng, rows, _TAXI_COMPANIES, exponent=1.0)
+    pickup_area = rng.integers(1, 78, size=rows).astype(float)
+    dropoff_area = rng.integers(1, 78, size=rows).astype(float)
+    pickup_lat = 41.88 + 0.08 * rng.standard_normal(rows)
+    pickup_lon = -87.63 + 0.08 * rng.standard_normal(rows)
+    dropoff_lat = pickup_lat + 0.02 * rng.standard_normal(rows)
+    dropoff_lon = pickup_lon + 0.02 * rng.standard_normal(rows)
+    taxi_id = _zipf_categories(rng, rows, [f"taxi_{i:04d}" for i in range(300)], exponent=0.7)
+    hour = np.floor((start % 86_400) / 3600)
+    day_of_week = np.floor(start / 86_400) % 7
+    month = (np.floor(start / (86_400 * 30)) % 12) + 1
+    shared = (rng.random(rows) < 0.07).astype(float)
+    null_frac = 0.05
+    columns = {
+        "trip_start": start,
+        "trip_end": start + trip_seconds,
+        "taxi_id": taxi_id,
+        "company": company,
+        "payment_type": payment,
+        "trip_seconds": _inject_nulls(rng, np.round(trip_seconds, 0), null_frac),
+        "trip_miles": _inject_nulls(rng, np.round(trip_miles, 2), null_frac),
+        "fare": _inject_nulls(rng, np.round(fare, 2), null_frac),
+        "tips": np.round(tips, 2),
+        "tolls": np.round(tolls, 2),
+        "extras": np.round(extras, 2),
+        "trip_total": np.round(total, 2),
+        "pickup_community_area": _inject_nulls(rng, pickup_area, null_frac),
+        "dropoff_community_area": _inject_nulls(rng, dropoff_area, null_frac),
+        "pickup_latitude": _inject_nulls(rng, np.round(pickup_lat, 5), null_frac),
+        "pickup_longitude": _inject_nulls(rng, np.round(pickup_lon, 5), null_frac),
+        "dropoff_latitude": _inject_nulls(rng, np.round(dropoff_lat, 5), null_frac),
+        "dropoff_longitude": _inject_nulls(rng, np.round(dropoff_lon, 5), null_frac),
+        "hour": hour,
+        "day_of_week": day_of_week,
+        "month": month,
+        "shared_trip": shared,
+        "passenger_count": np.clip(rng.poisson(1.2, size=rows), 1, 6).astype(float),
+    }
+    schema_cols = []
+    decimals = {
+        "trip_miles": 2, "fare": 2, "tips": 2, "tolls": 2, "extras": 2, "trip_total": 2,
+        "pickup_latitude": 5, "pickup_longitude": 5, "dropoff_latitude": 5, "dropoff_longitude": 5,
+    }
+    for cname, values in columns.items():
+        if values.dtype == object:
+            schema_cols.append(_categorical(cname))
+        elif cname in ("trip_start", "trip_end"):
+            schema_cols.append(_datetime(cname))
+        else:
+            schema_cols.append(_numeric(cname, decimals.get(cname, 0)))
+    return Table(name="taxis", schema=TableSchema(schema_cols), columns=columns)

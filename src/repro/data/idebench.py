@@ -1,0 +1,150 @@
+"""IDEBench-style dataset scale-up.
+
+The paper uses IDEBench to scale the Power and Flights datasets up to one
+billion rows for the comprehensive experiments (§6).  IDEBench fits simple
+statistical models to the source data (the paper notes "normalisation and
+Gaussian models") and then samples as many synthetic rows as requested.
+
+:class:`IdeBenchScaler` does the same offline: it fits, per numeric column, a
+Gaussian marginal; preserves cross-column correlation through a Gaussian
+copula on the rank-transformed data; models categorical columns as
+multinomials; and reproduces per-column null fractions.  Scaled datasets are
+drawn from this model at whatever row count the caller asks for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .schema import TableSchema
+from .table import Table
+
+
+@dataclass
+class _NumericModel:
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    decimals: int
+    null_fraction: float
+
+
+@dataclass
+class _CategoricalModel:
+    labels: list[str]
+    probabilities: np.ndarray
+    null_fraction: float
+
+
+@dataclass
+class IdeBenchScaler:
+    """Fit a generative model to a table and sample scaled-up versions of it."""
+
+    source: Table
+    seed: int = 0
+    _numeric_models: dict[str, _NumericModel] = field(default_factory=dict, init=False)
+    _categorical_models: dict[str, _CategoricalModel] = field(default_factory=dict, init=False)
+    _numeric_order: list[str] = field(default_factory=list, init=False)
+    _correlation: np.ndarray | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        self._fit()
+
+    # ------------------------------------------------------------------ #
+
+    def _fit(self) -> None:
+        table = self.source
+        standardized: list[np.ndarray] = []
+        for cschema in table.schema:
+            col = table.column(cschema.name)
+            if cschema.is_categorical:
+                non_null = [v for v in col if v is not None]
+                labels, counts = np.unique(np.asarray(non_null, dtype=object), return_counts=True)
+                probs = counts / counts.sum() if counts.sum() else np.array([])
+                self._categorical_models[cschema.name] = _CategoricalModel(
+                    labels=list(labels),
+                    probabilities=probs,
+                    null_fraction=table.null_fraction(cschema.name),
+                )
+            else:
+                finite = col[np.isfinite(col)]
+                if finite.size == 0:
+                    finite = np.array([0.0])
+                std = float(finite.std())
+                model = _NumericModel(
+                    mean=float(finite.mean()),
+                    std=std if std > 0 else 1e-9,
+                    minimum=float(finite.min()),
+                    maximum=float(finite.max()),
+                    decimals=cschema.decimals,
+                    null_fraction=table.null_fraction(cschema.name),
+                )
+                self._numeric_models[cschema.name] = model
+                self._numeric_order.append(cschema.name)
+                filled = np.where(np.isfinite(col), col, model.mean)
+                standardized.append((filled - model.mean) / model.std)
+        if standardized:
+            matrix = np.vstack(standardized)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                corr = np.corrcoef(matrix) if matrix.shape[0] > 1 else np.array([[1.0]])
+            corr = np.nan_to_num(corr, nan=0.0)
+            np.fill_diagonal(corr, 1.0)
+            # Nudge to positive semi-definite for Cholesky-free sampling.
+            eigvals, eigvecs = np.linalg.eigh(corr)
+            eigvals = np.clip(eigvals, 1e-6, None)
+            self._correlation = (eigvecs * eigvals) @ eigvecs.T
+        else:
+            self._correlation = None
+
+    # ------------------------------------------------------------------ #
+
+    def generate(self, rows: int, name: str | None = None, seed: int | None = None) -> Table:
+        """Sample a scaled dataset with ``rows`` rows from the fitted model."""
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        columns: dict[str, np.ndarray] = {}
+
+        if self._numeric_order and self._correlation is not None:
+            dim = len(self._numeric_order)
+            normal = rng.standard_normal((rows, dim))
+            chol = np.linalg.cholesky(self._correlation + 1e-9 * np.eye(dim))
+            correlated = normal @ chol.T
+        else:
+            correlated = np.zeros((rows, 0))
+
+        for idx, cname in enumerate(self._numeric_order):
+            model = self._numeric_models[cname]
+            values = model.mean + model.std * correlated[:, idx]
+            values = np.clip(values, model.minimum, model.maximum)
+            values = np.round(values, model.decimals)
+            if model.null_fraction > 0:
+                mask = rng.random(rows) < model.null_fraction
+                values[mask] = np.nan
+            columns[cname] = values
+
+        for cname, model in self._categorical_models.items():
+            out = np.empty(rows, dtype=object)
+            if len(model.labels):
+                idx = rng.choice(len(model.labels), size=rows, p=model.probabilities)
+                for i, j in enumerate(idx):
+                    out[i] = model.labels[j]
+            if model.null_fraction > 0:
+                mask = rng.random(rows) < model.null_fraction
+                out[mask] = None
+            columns[cname] = out
+
+        # Preserve original column order.
+        ordered = {c.name: columns[c.name] for c in self.source.schema}
+        return Table(
+            name=name or f"{self.source.name}_scaled",
+            schema=TableSchema(list(self.source.schema.columns)),
+            columns=ordered,
+        )
+
+
+def scale_dataset(source: Table, rows: int, seed: int = 0, name: str | None = None) -> Table:
+    """Convenience wrapper: fit an :class:`IdeBenchScaler` and sample once."""
+    scaler = IdeBenchScaler(source, seed=seed)
+    return scaler.generate(rows, name=name, seed=seed + 1)

@@ -1,0 +1,83 @@
+"""Row-sampling utilities shared by PairwiseHist and the baselines.
+
+The paper builds every synopsis from a uniform sample of ``Ns`` rows
+(Algorithm 1, line 1) and scales COUNT/SUM results back up by the sampling
+ratio ``rho = Ns / N``.  The helpers here centralise that logic so the core
+library, the baselines and the benchmark harness all sample identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .table import Table
+
+
+@dataclass(frozen=True)
+class SampleInfo:
+    """Book-keeping for a synopsis sample.
+
+    Attributes
+    ----------
+    population_rows:
+        ``N`` — number of rows in the full dataset.
+    sample_rows:
+        ``Ns`` — number of rows actually used to build the synopsis.
+    """
+
+    population_rows: int
+    sample_rows: int
+
+    @property
+    def ratio(self) -> float:
+        """The sampling ratio ``rho = Ns / N`` (1.0 for a full scan)."""
+        if self.population_rows == 0:
+            return 1.0
+        return self.sample_rows / self.population_rows
+
+    @property
+    def is_full_scan(self) -> bool:
+        return self.sample_rows >= self.population_rows
+
+
+def uniform_sample(
+    table: Table, sample_size: int | None, seed: int = 0
+) -> tuple[Table, SampleInfo]:
+    """Uniformly sample ``sample_size`` rows from ``table``.
+
+    Returns the sampled table together with a :class:`SampleInfo` recording
+    the population size, so downstream estimators can rescale counts.
+    ``sample_size=None`` means use the full table.
+    """
+    population = table.num_rows
+    if sample_size is None or sample_size >= population:
+        return table, SampleInfo(population, population)
+    rng = np.random.default_rng(seed)
+    sampled = table.sample(sample_size, rng=rng)
+    return sampled, SampleInfo(population, sampled.num_rows)
+
+
+def stratified_sample(
+    table: Table, strata_column: str, per_stratum: int, seed: int = 0
+) -> tuple[Table, SampleInfo]:
+    """Stratified sample used by the BlinkDB-style baseline discussion.
+
+    Takes up to ``per_stratum`` rows from every distinct value of
+    ``strata_column``.  Only categorical columns are supported.
+    """
+    if not table.schema[strata_column].is_categorical:
+        raise ValueError("stratified sampling requires a categorical column")
+    rng = np.random.default_rng(seed)
+    col = table.column(strata_column)
+    keys = np.array(["\0NULL" if v is None else v for v in col], dtype=object)
+    chosen: list[np.ndarray] = []
+    for value in sorted(set(keys)):
+        idx = np.flatnonzero(keys == value)
+        if idx.size > per_stratum:
+            idx = rng.choice(idx, size=per_stratum, replace=False)
+        chosen.append(idx)
+    indices = np.sort(np.concatenate(chosen)) if chosen else np.array([], dtype=int)
+    sampled = table.select_rows(indices)
+    return sampled, SampleInfo(table.num_rows, sampled.num_rows)

@@ -1,0 +1,234 @@
+"""A small columnar table used as the storage substrate of the reproduction.
+
+The paper evaluates on single relational tables (Table 4) with numeric,
+categorical and datetime columns and missing values.  :class:`Table` keeps
+each column as a numpy array:
+
+* numeric / datetime columns as ``float64`` with ``NaN`` marking nulls,
+* categorical columns as ``object`` arrays of strings with ``None`` nulls.
+
+This is the common input format for the GreedyGD compressor, the exact
+query engine, the baselines and PairwiseHist itself.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from .schema import ColumnSchema, ColumnType, TableSchema
+
+
+def _as_numeric_array(values: Iterable) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    return np.atleast_1d(arr)
+
+
+def _as_categorical_array(values: Iterable) -> np.ndarray:
+    arr = np.empty(len(list(values)) if not hasattr(values, "__len__") else len(values), dtype=object)
+    for i, v in enumerate(values):
+        if v is None or (isinstance(v, float) and np.isnan(v)):
+            arr[i] = None
+        else:
+            arr[i] = str(v)
+    return arr
+
+
+@dataclass
+class Table:
+    """Columnar, in-memory relational table.
+
+    Parameters
+    ----------
+    name:
+        Table name used in SQL ``FROM`` clauses.
+    schema:
+        Column schema.
+    columns:
+        Mapping of column name to numpy array.  All arrays must have the
+        same length.
+    """
+
+    name: str
+    schema: TableSchema
+    columns: dict[str, np.ndarray]
+
+    def __post_init__(self) -> None:
+        lengths = {len(v) for v in self.columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"columns have inconsistent lengths: {lengths}")
+        for col in self.schema:
+            if col.name not in self.columns:
+                raise ValueError(f"schema column {col.name!r} missing from data")
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+
+    @classmethod
+    def from_dict(
+        cls,
+        data: Mapping[str, Iterable],
+        name: str = "data",
+        schema: TableSchema | None = None,
+    ) -> "Table":
+        """Build a table from a mapping of column name to values.
+
+        When ``schema`` is omitted, column types are inferred: string-valued
+        columns become categorical, everything else numeric.
+        """
+        columns: dict[str, np.ndarray] = {}
+        inferred: list[ColumnSchema] = []
+        for cname, values in data.items():
+            values = list(values) if not isinstance(values, np.ndarray) else values
+            if schema is not None and cname in schema:
+                cschema = schema[cname]
+            else:
+                cschema = cls._infer_column_schema(cname, values)
+            if cschema.is_categorical:
+                columns[cname] = _as_categorical_array(values)
+            else:
+                columns[cname] = _as_numeric_array(values)
+            inferred.append(cschema)
+        final_schema = schema if schema is not None else TableSchema(inferred)
+        return cls(name=name, schema=final_schema, columns=columns)
+
+    @staticmethod
+    def _infer_column_schema(name: str, values) -> ColumnSchema:
+        sample = None
+        for v in values:
+            if v is not None and not (isinstance(v, float) and np.isnan(v)):
+                sample = v
+                break
+        if isinstance(sample, str):
+            return ColumnSchema(name, ColumnType.CATEGORICAL)
+        arr = np.asarray([np.nan if v is None else v for v in values], dtype=float)
+        finite = arr[np.isfinite(arr)]
+        decimals = 0
+        if finite.size and not np.allclose(finite, np.round(finite)):
+            decimals = 2
+        return ColumnSchema(name, ColumnType.NUMERIC, decimals=decimals)
+
+    # ------------------------------------------------------------------ #
+    # Basic protocol
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.columns
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.columns[name]
+
+    @property
+    def num_rows(self) -> int:
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.schema)
+
+    @property
+    def column_names(self) -> list[str]:
+        return self.schema.names
+
+    # ------------------------------------------------------------------ #
+    # Row / column operations
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the array backing a column."""
+        if name not in self.columns:
+            raise KeyError(f"no column named {name!r} in table {self.name!r}")
+        return self.columns[name]
+
+    def select_rows(self, mask_or_indices: np.ndarray) -> "Table":
+        """Return a new table containing only the selected rows."""
+        new_columns = {k: v[mask_or_indices] for k, v in self.columns.items()}
+        return Table(name=self.name, schema=self.schema, columns=new_columns)
+
+    def sample(self, n: int, rng: np.random.Generator | None = None) -> "Table":
+        """Return a uniform random sample of ``n`` rows (without replacement).
+
+        If ``n`` is at least the number of rows, the table itself is
+        returned unchanged.
+        """
+        if n >= self.num_rows:
+            return self
+        rng = rng if rng is not None else np.random.default_rng(0)
+        idx = rng.choice(self.num_rows, size=n, replace=False)
+        return self.select_rows(np.sort(idx))
+
+    def head(self, n: int = 5) -> "Table":
+        """First ``n`` rows."""
+        return self.select_rows(np.arange(min(n, self.num_rows)))
+
+    def null_mask(self, name: str) -> np.ndarray:
+        """Boolean mask of missing values for a column."""
+        col = self.column(name)
+        if self.schema[name].is_categorical:
+            return np.array([v is None for v in col], dtype=bool)
+        return ~np.isfinite(col)
+
+    def null_fraction(self, name: str) -> float:
+        """Fraction of missing values in a column."""
+        if self.num_rows == 0:
+            return 0.0
+        return float(self.null_mask(name).mean())
+
+    def memory_bytes(self) -> int:
+        """Approximate uncompressed in-memory footprint in bytes.
+
+        Categorical columns are accounted as the sum of their string
+        lengths, mirroring how the raw CSV-like datasets in the paper are
+        sized.
+        """
+        total = 0
+        for name in self.column_names:
+            col = self.column(name)
+            if self.schema[name].is_categorical:
+                total += sum(len(v) if v is not None else 1 for v in col)
+            else:
+                total += col.nbytes
+        return total
+
+    def concat(self, other: "Table") -> "Table":
+        """Append another table with the same schema (incremental ingestion)."""
+        if self.schema.names != other.schema.names:
+            raise ValueError("cannot concatenate tables with different schemas")
+        new_columns = {
+            name: np.concatenate([self.column(name), other.column(name)])
+            for name in self.column_names
+        }
+        return Table(name=self.name, schema=self.schema, columns=new_columns)
+
+    def to_rows(self) -> list[tuple]:
+        """Materialise the table as a list of row tuples (small tables only)."""
+        cols = [self.column(n) for n in self.column_names]
+        return list(zip(*cols))
+
+    def describe(self) -> dict[str, dict[str, float]]:
+        """Per-column summary statistics used by examples and diagnostics."""
+        summary: dict[str, dict[str, float]] = {}
+        for cschema in self.schema:
+            col = self.column(cschema.name)
+            if cschema.is_categorical:
+                non_null = [v for v in col if v is not None]
+                summary[cschema.name] = {
+                    "count": float(len(non_null)),
+                    "unique": float(len(set(non_null))),
+                    "null_fraction": self.null_fraction(cschema.name),
+                }
+            else:
+                finite = col[np.isfinite(col)]
+                summary[cschema.name] = {
+                    "count": float(finite.size),
+                    "min": float(finite.min()) if finite.size else float("nan"),
+                    "max": float(finite.max()) if finite.size else float("nan"),
+                    "mean": float(finite.mean()) if finite.size else float("nan"),
+                    "null_fraction": self.null_fraction(cschema.name),
+                }
+        return summary

@@ -1,0 +1,5 @@
+"""Exact (ground-truth) query execution."""
+
+from .executor import ExactQueryEngine, ExactResult
+
+__all__ = ["ExactQueryEngine", "ExactResult"]

@@ -1,0 +1,120 @@
+"""Exact query execution over a :class:`~repro.data.table.Table`.
+
+The paper uses SQLite to compute ground-truth results (§6.5).  This module
+plays that role offline: it evaluates the same :class:`~repro.sql.ast.Query`
+objects exactly, with standard SQL NULL handling (aggregates ignore missing
+values, predicates never match them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.table import Table
+from ..sql.ast import AggregateFunction, Aggregation, Query
+from ..sql.predicate import predicate_mask
+
+
+@dataclass(frozen=True)
+class ExactResult:
+    """Result of one aggregation evaluated exactly."""
+
+    value: float
+    rows_matched: int
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the predicate matched no rows (value is NaN for most functions)."""
+        return self.rows_matched == 0
+
+
+class ExactQueryEngine:
+    """Evaluates queries exactly over in-memory tables (the ground truth)."""
+
+    def __init__(self, tables: dict[str, Table] | Table) -> None:
+        if isinstance(tables, Table):
+            tables = {tables.name: tables}
+        self._tables = dict(tables)
+
+    def register(self, table: Table) -> None:
+        """Add (or replace) a table."""
+        self._tables[table.name] = table
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    # ------------------------------------------------------------------ #
+
+    def execute(self, query: Query) -> dict[str, list[ExactResult]] | list[ExactResult]:
+        """Execute a query exactly.
+
+        Returns a list of :class:`ExactResult` (one per SELECT aggregation)
+        or, for GROUP BY queries, a dict mapping group label to such a list.
+        """
+        table = self._lookup(query.table)
+        mask = predicate_mask(query.predicate, table.columns)
+        if query.group_by is None:
+            return [self._aggregate(table, agg, mask) for agg in query.aggregations]
+        group_col = table.column(query.group_by)
+        results: dict[str, list[ExactResult]] = {}
+        labels = sorted({v for v in group_col if v is not None}, key=str)
+        for label in labels:
+            group_mask = mask & np.array([v == label for v in group_col], dtype=bool)
+            results[str(label)] = [self._aggregate(table, agg, group_mask) for agg in query.aggregations]
+        return results
+
+    def execute_scalar(self, query: Query) -> float:
+        """Execute a non-GROUP BY query and return the first aggregation value."""
+        result = self.execute(query)
+        if isinstance(result, dict):
+            raise ValueError("execute_scalar does not support GROUP BY queries")
+        return result[0].value
+
+    # ------------------------------------------------------------------ #
+
+    def _lookup(self, name: str) -> Table:
+        if name in self._tables:
+            return self._tables[name]
+        # Convenience: an engine serving a single table answers queries that
+        # name it differently (e.g. a scaled/synthetic copy of the original).
+        if len(self._tables) == 1:
+            return next(iter(self._tables.values()))
+        raise KeyError(f"unknown table {name!r}; registered: {self.table_names}")
+
+    @staticmethod
+    def _aggregate(table: Table, aggregation: Aggregation, mask: np.ndarray) -> ExactResult:
+        func = aggregation.func
+        if func is AggregateFunction.COUNT and aggregation.column is None:
+            return ExactResult(value=float(mask.sum()), rows_matched=int(mask.sum()))
+        column = table.column(aggregation.column)
+        if column.dtype == object:
+            valid = mask & np.array([v is not None for v in column], dtype=bool)
+            matched = int(valid.sum())
+            if func is AggregateFunction.COUNT:
+                return ExactResult(value=float(matched), rows_matched=matched)
+            raise ValueError(f"{func.value} is not defined for categorical column {aggregation.column!r}")
+        valid = mask & np.isfinite(column)
+        values = column[valid]
+        matched = int(valid.sum())
+        if func is AggregateFunction.COUNT:
+            return ExactResult(value=float(matched), rows_matched=matched)
+        if matched == 0:
+            return ExactResult(value=float("nan"), rows_matched=0)
+        if func is AggregateFunction.SUM:
+            value = float(values.sum())
+        elif func is AggregateFunction.AVG:
+            value = float(values.mean())
+        elif func is AggregateFunction.MIN:
+            value = float(values.min())
+        elif func is AggregateFunction.MAX:
+            value = float(values.max())
+        elif func is AggregateFunction.MEDIAN:
+            value = float(np.median(values))
+        elif func is AggregateFunction.VAR:
+            value = float(values.var())
+        else:  # pragma: no cover - exhaustive over the enum
+            raise ValueError(f"unsupported aggregation {func}")
+        return ExactResult(value=value, rows_matched=matched)

@@ -1,0 +1,15 @@
+"""Generalized Deduplication (GreedyGD) compression substrate."""
+
+from .preprocessor import ColumnTransform, Preprocessor
+from .greedygd import GDSplit, GreedyGD, GreedyGDConfig, select_deviation_bits
+from .store import CompressedStore
+
+__all__ = [
+    "ColumnTransform",
+    "Preprocessor",
+    "GDSplit",
+    "GreedyGD",
+    "GreedyGDConfig",
+    "select_deviation_bits",
+    "CompressedStore",
+]

@@ -1,0 +1,40 @@
+"""SQL front-end: tokenizer, parser and the query / predicate AST."""
+
+from .ast import (
+    AggregateFunction,
+    Aggregation,
+    ComparisonOp,
+    Condition,
+    LogicalOp,
+    Predicate,
+    PredicateNode,
+    Query,
+    predicate_columns,
+    predicate_conditions,
+)
+from .parser import ParseError, parse_predicate, parse_query
+from .predicate import condition_mask, predicate_mask, selectivity
+from .tokenizer import Token, TokenType, TokenizeError, tokenize
+
+__all__ = [
+    "AggregateFunction",
+    "Aggregation",
+    "ComparisonOp",
+    "Condition",
+    "LogicalOp",
+    "Predicate",
+    "PredicateNode",
+    "Query",
+    "predicate_columns",
+    "predicate_conditions",
+    "ParseError",
+    "parse_query",
+    "parse_predicate",
+    "condition_mask",
+    "predicate_mask",
+    "selectivity",
+    "Token",
+    "TokenType",
+    "TokenizeError",
+    "tokenize",
+]

@@ -1,0 +1,180 @@
+"""Query and predicate AST shared by the SQL parser, the exact engine,
+PairwiseHist and the baselines.
+
+The paper's query class (§3, "Problem Definition") is
+
+    SELECT F(Xi) FROM D WHERE P1 AND/OR P2 ... GROUP BY ...;
+
+where ``F`` is one of seven aggregation functions, every predicate has the
+form ``Xj OP LITERAL`` with ``OP`` in {<, >, <=, >=, =, !=} and GROUP BY may
+name a categorical column.  The AST below models exactly that class (plus
+``COUNT(*)``), so every engine in the repository consumes the same objects.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Union
+
+
+class AggregateFunction(enum.Enum):
+    """The seven aggregation functions supported by PairwiseHist (Table 3)."""
+
+    COUNT = "COUNT"
+    SUM = "SUM"
+    AVG = "AVG"
+    MIN = "MIN"
+    MAX = "MAX"
+    MEDIAN = "MEDIAN"
+    VAR = "VAR"
+
+
+class ComparisonOp(enum.Enum):
+    """Binary comparison operators allowed in predicate conditions."""
+
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    EQ = "="
+    NE = "!="
+
+    @property
+    def is_equality(self) -> bool:
+        return self in (ComparisonOp.EQ, ComparisonOp.NE)
+
+    def negate(self) -> "ComparisonOp":
+        """Logical complement of the operator."""
+        return {
+            ComparisonOp.LT: ComparisonOp.GE,
+            ComparisonOp.GT: ComparisonOp.LE,
+            ComparisonOp.LE: ComparisonOp.GT,
+            ComparisonOp.GE: ComparisonOp.LT,
+            ComparisonOp.EQ: ComparisonOp.NE,
+            ComparisonOp.NE: ComparisonOp.EQ,
+        }[self]
+
+
+class LogicalOp(enum.Enum):
+    """Connectives between predicate conditions."""
+
+    AND = "AND"
+    OR = "OR"
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A single predicate condition ``column OP literal``."""
+
+    column: str
+    op: ComparisonOp
+    literal: Union[float, int, str]
+
+    def __str__(self) -> str:
+        literal = f"'{self.literal}'" if isinstance(self.literal, str) else self.literal
+        return f"{self.column} {self.op.value} {literal}"
+
+
+@dataclass
+class PredicateNode:
+    """Interior node of the predicate tree: AND / OR over children.
+
+    Children are either :class:`Condition` leaves or nested
+    :class:`PredicateNode` sub-trees; operator precedence (AND binds tighter
+    than OR) is resolved by the parser when the tree is built.
+    """
+
+    op: LogicalOp
+    children: list[Union["PredicateNode", Condition]] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        sep = f" {self.op.value} "
+        parts = []
+        for child in self.children:
+            text = str(child)
+            if isinstance(child, PredicateNode):
+                text = f"({text})"
+            parts.append(text)
+        return sep.join(parts)
+
+    def conditions(self) -> list[Condition]:
+        """All leaf conditions in the sub-tree (left-to-right)."""
+        leaves: list[Condition] = []
+        for child in self.children:
+            if isinstance(child, Condition):
+                leaves.append(child)
+            else:
+                leaves.extend(child.conditions())
+        return leaves
+
+
+#: A predicate is either a single condition or a tree of them.
+Predicate = Union[Condition, PredicateNode]
+
+
+def predicate_conditions(predicate: Predicate | None) -> list[Condition]:
+    """Flatten a predicate into its leaf conditions (empty when ``None``)."""
+    if predicate is None:
+        return []
+    if isinstance(predicate, Condition):
+        return [predicate]
+    return predicate.conditions()
+
+
+def predicate_columns(predicate: Predicate | None) -> list[str]:
+    """Distinct columns referenced by a predicate, in first-use order."""
+    seen: list[str] = []
+    for condition in predicate_conditions(predicate):
+        if condition.column not in seen:
+            seen.append(condition.column)
+    return seen
+
+
+@dataclass(frozen=True)
+class Aggregation:
+    """One ``F(X)`` item of the SELECT list; ``column=None`` means ``COUNT(*)``."""
+
+    func: AggregateFunction
+    column: str | None
+
+    def __str__(self) -> str:
+        return f"{self.func.value}({self.column or '*'})"
+
+
+@dataclass
+class Query:
+    """A parsed query over a single table."""
+
+    aggregations: list[Aggregation]
+    table: str
+    predicate: Predicate | None = None
+    group_by: str | None = None
+
+    def __str__(self) -> str:
+        select = ", ".join(str(a) for a in self.aggregations)
+        sql = f"SELECT {select} FROM {self.table}"
+        if self.predicate is not None:
+            sql += f" WHERE {self.predicate}"
+        if self.group_by:
+            sql += f" GROUP BY {self.group_by}"
+        return sql + ";"
+
+    @property
+    def aggregation(self) -> Aggregation:
+        """The first (usually only) aggregation of the SELECT list."""
+        return self.aggregations[0]
+
+    @property
+    def columns(self) -> list[str]:
+        """All columns referenced by the query (aggregation + predicates + group by)."""
+        cols: list[str] = []
+        for agg in self.aggregations:
+            if agg.column and agg.column not in cols:
+                cols.append(agg.column)
+        for col in predicate_columns(self.predicate):
+            if col not in cols:
+                cols.append(col)
+        if self.group_by and self.group_by not in cols:
+            cols.append(self.group_by)
+        return cols

@@ -1,0 +1,73 @@
+"""Vectorised predicate evaluation over numpy columns.
+
+This module gives the exact engine, the workload generator (selectivity
+checks) and the baselines a single implementation of "which rows satisfy
+this predicate tree".  Missing values never satisfy any condition, matching
+SQL three-valued logic for the supported operators.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+import numpy as np
+
+from .ast import ComparisonOp, Condition, LogicalOp, Predicate, PredicateNode
+
+_NUMERIC_OPS: dict[ComparisonOp, Callable[[np.ndarray, float], np.ndarray]] = {
+    ComparisonOp.LT: lambda col, lit: col < lit,
+    ComparisonOp.GT: lambda col, lit: col > lit,
+    ComparisonOp.LE: lambda col, lit: col <= lit,
+    ComparisonOp.GE: lambda col, lit: col >= lit,
+    ComparisonOp.EQ: lambda col, lit: col == lit,
+    ComparisonOp.NE: lambda col, lit: col != lit,
+}
+
+
+def condition_mask(condition: Condition, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+    """Boolean mask of rows satisfying a single condition."""
+    if condition.column not in columns:
+        raise KeyError(f"unknown column {condition.column!r} in predicate")
+    col = columns[condition.column]
+    if col.dtype == object:
+        values = np.array([v if v is not None else "\0" for v in col], dtype=object)
+        literal = str(condition.literal)
+        if condition.op is ComparisonOp.EQ:
+            mask = values == literal
+        elif condition.op is ComparisonOp.NE:
+            mask = (values != literal) & np.array([v is not None for v in col])
+        else:
+            # Lexicographic comparison for ordered categorical predicates.
+            comparison = _NUMERIC_OPS[condition.op]
+            mask = comparison(values.astype(str), literal)
+            mask &= np.array([v is not None for v in col])
+        return mask.astype(bool)
+    literal = float(condition.literal)
+    finite = np.isfinite(col)
+    with np.errstate(invalid="ignore"):
+        mask = _NUMERIC_OPS[condition.op](col, literal)
+    return mask & finite
+
+
+def predicate_mask(predicate: Predicate | None, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+    """Boolean mask of rows satisfying an entire predicate tree."""
+    if not columns:
+        return np.array([], dtype=bool)
+    num_rows = len(next(iter(columns.values())))
+    if predicate is None:
+        return np.ones(num_rows, dtype=bool)
+    if isinstance(predicate, Condition):
+        return condition_mask(predicate, columns)
+    if not isinstance(predicate, PredicateNode):
+        raise TypeError(f"unsupported predicate node {type(predicate)!r}")
+    masks = [predicate_mask(child, columns) for child in predicate.children]
+    result = masks[0]
+    for mask in masks[1:]:
+        result = (result & mask) if predicate.op is LogicalOp.AND else (result | mask)
+    return result
+
+
+def selectivity(predicate: Predicate | None, columns: Mapping[str, np.ndarray]) -> float:
+    """Fraction of rows satisfying the predicate."""
+    mask = predicate_mask(predicate, columns)
+    return float(mask.mean()) if mask.size else 0.0

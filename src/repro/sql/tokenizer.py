@@ -1,0 +1,112 @@
+"""A small SQL tokenizer for the query class supported by PairwiseHist."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+_KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "AND",
+    "OR",
+    "NOT",
+    "AS",
+}
+
+_OPERATOR_CHARS = "<>=!"
+_PUNCTUATION = "(),*;"
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, ttype: TokenType, value: str | None = None) -> bool:
+        if self.type is not ttype:
+            return False
+        if value is None:
+            return True
+        return self.value.upper() == value.upper()
+
+
+class TokenizeError(ValueError):
+    """Raised when the SQL text contains characters the tokenizer cannot handle."""
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Split SQL text into a list of :class:`Token`, ending with an END token."""
+    tokens: list[Token] = []
+    i = 0
+    length = len(sql)
+    while i < length:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, ch, i))
+            i += 1
+            continue
+        if ch in _OPERATOR_CHARS:
+            j = i + 1
+            if j < length and sql[j] in "=<>":
+                op = sql[i : j + 1]
+                if op in ("<=", ">=", "!=", "<>", "=="):
+                    tokens.append(Token(TokenType.OPERATOR, op, i))
+                    i = j + 1
+                    continue
+            tokens.append(Token(TokenType.OPERATOR, ch, i))
+            i += 1
+            continue
+        if ch in "'\"":
+            quote = ch
+            j = i + 1
+            buf = []
+            while j < length and sql[j] != quote:
+                buf.append(sql[j])
+                j += 1
+            if j >= length:
+                raise TokenizeError(f"unterminated string literal at position {i}")
+            tokens.append(Token(TokenType.STRING, "".join(buf), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch in "+-." and i + 1 < length and sql[i + 1].isdigit()):
+            j = i + 1
+            while j < length and (sql[j].isdigit() or sql[j] in ".eE+-"):
+                # Stop if +/- is not part of an exponent.
+                if sql[j] in "+-" and sql[j - 1] not in "eE":
+                    break
+                j += 1
+            tokens.append(Token(TokenType.NUMBER, sql[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < length and (sql[j].isalnum() or sql[j] in "_."):
+                j += 1
+            word = sql[i:j]
+            ttype = TokenType.KEYWORD if word.upper() in _KEYWORDS else TokenType.IDENTIFIER
+            tokens.append(Token(ttype, word, i))
+            i = j
+            continue
+        raise TokenizeError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens

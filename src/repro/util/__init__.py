@@ -1,0 +1,6 @@
+"""Small shared utilities (bit-level I/O, timing helpers)."""
+
+from .bitstream import BitReader, BitWriter
+from .timing import Timer
+
+__all__ = ["BitReader", "BitWriter", "Timer"]

@@ -1,0 +1,101 @@
+"""Bit-level writer / reader used by the GD compressor and the synopsis codec.
+
+Both GreedyGD (base / deviation packing) and the PairwiseHist storage
+encoding of §4.3 (Golomb-coded sparse bin counts, fixed-width dense counts)
+need sub-byte framing.  The implementations here favour clarity over raw
+speed; they are only used on synopsis-sized payloads.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulates bits most-significant-first and renders them as bytes."""
+
+    def __init__(self) -> None:
+        self._bits: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far."""
+        return len(self._bits)
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        self._bits.append(1 if bit else 0)
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Append ``value`` as a fixed-width big-endian bit field."""
+        if value < 0:
+            raise ValueError("cannot write negative values")
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if width and value >= (1 << width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            self._bits.append((value >> shift) & 1)
+
+    def write_unary(self, value: int) -> None:
+        """Append ``value`` ones followed by a terminating zero."""
+        if value < 0:
+            raise ValueError("cannot unary-encode negative values")
+        self._bits.extend([1] * value)
+        self._bits.append(0)
+
+    def getvalue(self) -> bytes:
+        """Render the accumulated bits as bytes, zero-padded to a byte boundary."""
+        out = bytearray()
+        acc = 0
+        count = 0
+        for bit in self._bits:
+            acc = (acc << 1) | bit
+            count += 1
+            if count == 8:
+                out.append(acc)
+                acc = 0
+                count = 0
+        if count:
+            out.append(acc << (8 - count))
+        return bytes(out)
+
+
+class BitReader:
+    """Reads bits most-significant-first from a byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        """Current read position, in bits."""
+        return self._pos
+
+    @property
+    def remaining_bits(self) -> int:
+        return len(self._data) * 8 - self._pos
+
+    def read_bit(self) -> int:
+        """Read a single bit; raises ``EOFError`` past the end of the stream."""
+        byte_index, bit_index = divmod(self._pos, 8)
+        if byte_index >= len(self._data):
+            raise EOFError("bit stream exhausted")
+        self._pos += 1
+        return (self._data[byte_index] >> (7 - bit_index)) & 1
+
+    def read_bits(self, width: int) -> int:
+        """Read a fixed-width big-endian bit field."""
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_unary(self) -> int:
+        """Read a unary-coded value (count of ones before the first zero)."""
+        count = 0
+        while self.read_bit():
+            count += 1
+        return count

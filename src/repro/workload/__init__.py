@@ -1,0 +1,22 @@
+"""Workload generation, execution and metrics."""
+
+from .generator import QueryGenerator, WorkloadSpec
+from .metrics import (
+    QueryRecord,
+    WorkloadSummary,
+    bound_width_percent,
+    bounds_correct,
+    relative_error,
+)
+from .runner import WorkloadRunner
+
+__all__ = [
+    "QueryGenerator",
+    "WorkloadSpec",
+    "QueryRecord",
+    "WorkloadSummary",
+    "relative_error",
+    "bounds_correct",
+    "bound_width_percent",
+    "WorkloadRunner",
+]

@@ -1,0 +1,126 @@
+"""Error, bounds and latency metrics used throughout the evaluation (§6).
+
+The paper reports: median relative error, error CDFs, the fraction of
+queries whose bounds contain the true result ("bounds correct rate"), the
+median bound width as a percentage of the exact result, median query
+latency and synopsis construction time.  Every one of those reductions
+lives here so the benchmark harness and tests share one definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """``|estimate - truth| / |truth|`` with a zero-truth guard."""
+    if not np.isfinite(estimate) or not np.isfinite(truth):
+        return float("inf")
+    denominator = abs(truth) if truth != 0 else 1.0
+    return abs(estimate - truth) / denominator
+
+
+def bound_width_percent(lower: float, upper: float, truth: float) -> float:
+    """Bound width as a percentage of the exact result (Table 6 metric)."""
+    if not (np.isfinite(lower) and np.isfinite(upper) and np.isfinite(truth)):
+        return float("inf")
+    denominator = abs(truth) if truth != 0 else 1.0
+    return 100.0 * (upper - lower) / denominator
+
+
+def bounds_correct(lower: float, upper: float, truth: float) -> bool:
+    """Whether the bounds contain the true result."""
+    if not (np.isfinite(lower) and np.isfinite(upper) and np.isfinite(truth)):
+        return False
+    return lower <= truth <= upper
+
+
+@dataclass
+class QueryRecord:
+    """Per-query measurement: what was asked, what came back, how long it took."""
+
+    sql: str
+    aggregation: str
+    truth: float
+    estimate: float
+    lower: float = float("nan")
+    upper: float = float("nan")
+    latency_seconds: float = 0.0
+    supported: bool = True
+
+    @property
+    def relative_error(self) -> float:
+        return relative_error(self.estimate, self.truth)
+
+    @property
+    def bounds_correct(self) -> bool:
+        return bounds_correct(self.lower, self.upper, self.truth)
+
+    @property
+    def bound_width_percent(self) -> float:
+        return bound_width_percent(self.lower, self.upper, self.truth)
+
+
+@dataclass
+class WorkloadSummary:
+    """Aggregate statistics over a set of :class:`QueryRecord`."""
+
+    records: list[QueryRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def add(self, record: QueryRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def supported_records(self) -> list[QueryRecord]:
+        return [r for r in self.records if r.supported]
+
+    def errors(self) -> np.ndarray:
+        return np.array([r.relative_error for r in self.supported_records])
+
+    def median_error_percent(self) -> float:
+        errors = self.errors()
+        finite = errors[np.isfinite(errors)]
+        return float(np.median(finite) * 100.0) if finite.size else float("nan")
+
+    def median_latency_ms(self) -> float:
+        latencies = np.array([r.latency_seconds for r in self.supported_records])
+        return float(np.median(latencies) * 1000.0) if latencies.size else float("nan")
+
+    def bounds_correct_rate_percent(self) -> float:
+        records = [r for r in self.supported_records if np.isfinite(r.lower)]
+        if not records:
+            return float("nan")
+        return 100.0 * float(np.mean([r.bounds_correct for r in records]))
+
+    def median_bound_width_percent(self) -> float:
+        widths = np.array(
+            [r.bound_width_percent for r in self.supported_records if np.isfinite(r.lower)]
+        )
+        finite = widths[np.isfinite(widths)]
+        return float(np.median(finite)) if finite.size else float("nan")
+
+    def error_percentiles(self, percentiles: np.ndarray | list[float]) -> np.ndarray:
+        """Error values at the requested percentiles (for the Fig. 10 CDFs)."""
+        errors = self.errors()
+        finite = np.sort(errors[np.isfinite(errors)])
+        if finite.size == 0:
+            return np.full(len(list(percentiles)), float("nan"))
+        return np.percentile(finite, percentiles)
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of queries with relative error below ``threshold`` (e.g. 0.10)."""
+        errors = self.errors()
+        finite = errors[np.isfinite(errors)]
+        return float(np.mean(finite < threshold)) if finite.size else float("nan")
+
+    def by_aggregation(self) -> dict[str, "WorkloadSummary"]:
+        """Split the summary per aggregation function (Table 5 rows)."""
+        split: dict[str, WorkloadSummary] = {}
+        for record in self.records:
+            split.setdefault(record.aggregation, WorkloadSummary()).add(record)
+        return split

@@ -1,0 +1,74 @@
+"""Run a workload against an AQP system and collect per-query measurements."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..baselines.base import AqpSystem, UnsupportedQueryError
+from ..data.table import Table
+from ..exactdb.executor import ExactQueryEngine
+from ..sql.ast import Query
+from .metrics import QueryRecord, WorkloadSummary
+
+
+@dataclass
+class WorkloadRunner:
+    """Executes queries exactly (ground truth) and approximately (system under test)."""
+
+    table: Table
+
+    def __post_init__(self) -> None:
+        self._exact = ExactQueryEngine(self.table)
+
+    # ------------------------------------------------------------------ #
+
+    def ground_truth(self, query: Query) -> float:
+        """Exact result of the query's first aggregation."""
+        return self._exact.execute_scalar(query)
+
+    def run(self, system: AqpSystem, queries: list[Query]) -> WorkloadSummary:
+        """Run every query against ``system`` and summarise the outcome.
+
+        Queries the system cannot answer are recorded with
+        ``supported=False`` so the harness can report per-system supported
+        query counts the way the paper does for DeepDB and DBEst++.
+        """
+        summary = WorkloadSummary()
+        for query in queries:
+            truth = self.ground_truth(query)
+            aggregation = query.aggregation.func.value
+            sql = str(query)
+            try:
+                start = time.perf_counter()
+                result = system.estimate(query)
+                latency = time.perf_counter() - start
+            except UnsupportedQueryError:
+                summary.add(
+                    QueryRecord(
+                        sql=sql,
+                        aggregation=aggregation,
+                        truth=truth,
+                        estimate=float("nan"),
+                        supported=False,
+                    )
+                )
+                continue
+            summary.add(
+                QueryRecord(
+                    sql=sql,
+                    aggregation=aggregation,
+                    truth=truth,
+                    estimate=result.value,
+                    lower=result.lower,
+                    upper=result.upper,
+                    latency_seconds=latency,
+                )
+            )
+        return summary
+
+    def run_many(
+        self, systems: list[AqpSystem], queries: list[Query]
+    ) -> dict[str, WorkloadSummary]:
+        """Run the same workload against several systems."""
+        return {system.name: self.run(system, queries) for system in systems}

@@ -1,0 +1,114 @@
+"""Smoke tests for the benchmark harness and experiment classes (tiny scale)."""
+
+import pytest
+
+from repro.bench import (
+    AblationGDSeeding,
+    AblationStorageEncoding,
+    ExperimentScale,
+    Fig9ParameterSensitivity,
+    Fig10RealVsIdebench,
+    Table1Qualitative,
+    build_suite,
+    format_table,
+    generate_workload,
+    load_scaled_dataset,
+    workload_templates,
+)
+from repro.data.datasets import load_dataset
+from repro.workload import WorkloadSpec
+from repro.workload.generator import QueryGenerator
+
+
+@pytest.fixture(scope="module")
+def tiny_scale():
+    return ExperimentScale(
+        dataset_rows=2_500,
+        scaled_rows=3_000,
+        sample_large=1_200,
+        sample_small=800,
+        sample_tiny=400,
+        queries=8,
+        seed=3,
+    )
+
+
+class TestHarness:
+    def test_scales_available(self):
+        assert ExperimentScale.smoke().dataset_rows < ExperimentScale.default().dataset_rows
+        assert ExperimentScale.paper().dataset_rows > ExperimentScale.default().dataset_rows
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        # Title + header + separator + two data rows.
+        assert len(lines) == 5
+        assert all(len(line) == len(lines[1]) for line in lines[2:])
+
+    def test_workload_templates_extracted(self, power_table):
+        spec = WorkloadSpec.initial_experiments(num_queries=10, seed=1)
+        queries = QueryGenerator(power_table, spec).generate()
+        templates = workload_templates(queries)
+        for agg, pred in templates:
+            assert agg != pred
+            assert agg in power_table.column_names
+            assert pred in power_table.column_names
+
+    def test_generate_workload_and_scaled_dataset(self, tiny_scale):
+        table = load_scaled_dataset("power", tiny_scale)
+        assert table.num_rows == tiny_scale.scaled_rows
+        queries = generate_workload(table, tiny_scale)
+        assert len(queries) == tiny_scale.queries
+
+    def test_build_suite_contains_three_systems(self, tiny_scale):
+        table = load_dataset("power", rows=tiny_scale.dataset_rows, seed=tiny_scale.seed)
+        queries = generate_workload(table, tiny_scale)
+        suite = build_suite(table, tiny_scale, queries)
+        assert suite.names == ["PairwiseHist", "DeepDB", "DBEst++"]
+        assert suite.by_name("DeepDB").synopsis_bytes() > 0
+        with pytest.raises(KeyError):
+            suite.by_name("nope")
+
+
+class TestExperimentsSmoke:
+    def test_table1_qualitative(self, tiny_scale):
+        experiment = Table1Qualitative(scale=tiny_scale)
+        text = experiment.render()
+        assert "PairwiseHist (measured)" in text
+        assert "DeepDB" in text
+
+    def test_ablation_storage_encoding(self, tiny_scale):
+        experiment = AblationStorageEncoding(scale=tiny_scale, dataset="power")
+        results = experiment.run()
+        assert results["adaptive_mb"] <= results["dense_only_mb"]
+        assert "savings" in experiment.render()
+
+    def test_ablation_gd_seeding(self, tiny_scale):
+        experiment = AblationGDSeeding(scale=tiny_scale, dataset="gas")
+        results = experiment.run()
+        assert set(results) == {"GD-seeded (with compression)", "Min/max seeded (stand-alone)"}
+        for values in results.values():
+            assert values["median_error_percent"] < 50.0
+
+    def test_fig9_sensitivity_structure(self, tiny_scale):
+        experiment = Fig9ParameterSensitivity(
+            scale=tiny_scale,
+            dataset="power",
+            min_points_fractions=(0.02, 0.1),
+            series=(("small, alpha=0.01", "small", 0.01),),
+        )
+        results = experiment.run()
+        assert len(results) == 1
+        points = next(iter(results.values()))
+        assert len(points) == 2
+        # Larger M must not produce a larger synopsis.
+        assert points[1]["synopsis_mb"] <= points[0]["synopsis_mb"] + 1e-6
+
+    def test_fig10_real_vs_idebench(self, tiny_scale):
+        experiment = Fig10RealVsIdebench(scale=tiny_scale, datasets=("power",))
+        results = experiment.run()
+        row = results["power"]
+        assert set(row) == {
+            "PairwiseHist Real", "PairwiseHist IDEBench", "DeepDB Real", "DeepDB IDEBench"}
+        assert all(v < 100 for v in row.values())

@@ -1,0 +1,100 @@
+"""Unit tests for the bit-level writer / reader."""
+
+import pytest
+
+from repro.util.bitstream import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_empty_writer_produces_no_bytes(self):
+        assert BitWriter().getvalue() == b""
+
+    def test_single_bit(self):
+        writer = BitWriter()
+        writer.write_bit(1)
+        assert writer.getvalue() == b"\x80"
+
+    def test_eight_bits_form_one_byte(self):
+        writer = BitWriter()
+        for bit in [1, 0, 1, 0, 1, 0, 1, 0]:
+            writer.write_bit(bit)
+        assert writer.getvalue() == b"\xaa"
+
+    def test_partial_byte_is_zero_padded(self):
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        assert writer.getvalue() == b"\xa0"
+
+    def test_write_bits_fixed_width(self):
+        writer = BitWriter()
+        writer.write_bits(5, 8)
+        assert writer.getvalue() == bytes([5])
+
+    def test_write_bits_rejects_overflow(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write_bits(4, 2)
+
+    def test_write_bits_rejects_negative(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(-1, 4)
+
+    def test_write_unary(self):
+        writer = BitWriter()
+        writer.write_unary(3)
+        # Three ones then a zero -> 1110 0000
+        assert writer.getvalue() == b"\xe0"
+
+    def test_unary_rejects_negative(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_unary(-1)
+
+    def test_bit_length_counts_written_bits(self):
+        writer = BitWriter()
+        writer.write_bits(7, 3)
+        writer.write_bit(0)
+        assert writer.bit_length == 4
+        assert len(writer) == 4
+
+
+class TestBitReader:
+    def test_round_trip_fixed_width(self):
+        writer = BitWriter()
+        values = [0, 1, 5, 255, 1023]
+        for value in values:
+            writer.write_bits(value, 10)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_bits(10) for _ in values] == values
+
+    def test_round_trip_unary(self):
+        writer = BitWriter()
+        for value in [0, 1, 7, 20]:
+            writer.write_unary(value)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_unary() for _ in range(4)] == [0, 1, 7, 20]
+
+    def test_mixed_round_trip(self):
+        writer = BitWriter()
+        writer.write_unary(2)
+        writer.write_bits(13, 4)
+        writer.write_bit(1)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_unary() == 2
+        assert reader.read_bits(4) == 13
+        assert reader.read_bit() == 1
+
+    def test_reader_past_end_raises(self):
+        reader = BitReader(b"")
+        with pytest.raises(EOFError):
+            reader.read_bit()
+
+    def test_position_and_remaining(self):
+        reader = BitReader(b"\xff")
+        assert reader.remaining_bits == 8
+        reader.read_bits(3)
+        assert reader.position == 3
+        assert reader.remaining_bits == 5
+
+    def test_zero_width_read_returns_zero(self):
+        reader = BitReader(b"\xff")
+        assert reader.read_bits(0) == 0

@@ -1,0 +1,93 @@
+"""Tests for Theorem 1 weighted-centre bounds (Eq. 4 and Eq. 10)."""
+
+import numpy as np
+import pytest
+
+from repro.core.centre_bounds import (
+    non_passing_centre_bounds,
+    passing_centre_bounds,
+    weighted_centre_bounds,
+)
+
+
+class TestPassingBounds:
+    def test_bounds_bracket_uniform_mean(self):
+        # For uniformly distributed data the true weighted centre is the
+        # midpoint; Theorem 1 bounds must contain it.
+        lower, upper = passing_centre_bounds(count=10_000, v_minus=0.0, v_plus=100.0, unique=5_000, alpha=0.001)
+        assert lower <= 50.0 <= upper
+
+    def test_bounds_within_extrema(self):
+        lower, upper = passing_centre_bounds(1000, 10.0, 20.0, 500, 0.01)
+        assert 10.0 <= lower <= upper <= 20.0
+
+    def test_larger_count_gives_tighter_bounds(self):
+        narrow = passing_centre_bounds(100_000, 0.0, 100.0, 1_000, 0.001)
+        wide = passing_centre_bounds(1_000, 0.0, 100.0, 1_000, 0.001)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_empty_bin_returns_extrema(self):
+        assert passing_centre_bounds(0, 1.0, 2.0, 0, 0.01) == (1.0, 2.0)
+
+    def test_single_unique_value_collapses_to_midpoint(self):
+        lower, upper = passing_centre_bounds(100, 5.0, 5.0, 1, 0.01)
+        assert lower == upper
+
+    def test_monte_carlo_uniform_centres_respect_bounds(self):
+        rng = np.random.default_rng(0)
+        count, v_minus, v_plus = 5_000, 0.0, 1.0
+        lower, upper = passing_centre_bounds(count, v_minus, v_plus, 2_000, alpha=0.001)
+        for _ in range(20):
+            sample = rng.uniform(v_minus, v_plus, count)
+            assert lower - 0.02 <= sample.mean() <= upper + 0.02
+
+
+class TestNonPassingBounds:
+    def test_bounds_within_extrema(self):
+        lower, upper = non_passing_centre_bounds(50, 0.0, 10.0, 5, min_spacing=1.0)
+        assert 0.0 <= lower <= upper <= 10.0
+
+    def test_single_unique_value(self):
+        assert non_passing_centre_bounds(10, 3.0, 3.0, 1, 1.0) == (3.0, 3.0)
+
+    def test_empty_bin(self):
+        assert non_passing_centre_bounds(0, 1.0, 4.0, 0, 1.0) == (1.0, 4.0)
+
+    def test_more_unique_values_shift_bounds_inwards(self):
+        few = non_passing_centre_bounds(100, 0.0, 100.0, 2, 1.0)
+        many = non_passing_centre_bounds(100, 0.0, 100.0, 10, 1.0)
+        assert many[0] >= few[0]
+        assert many[1] <= few[1]
+
+    def test_worst_case_mean_is_contained(self):
+        # h - u + 1 points at the minimum, remaining u - 1 points packed just
+        # above it: the paper's worst case for the lower weighted centre.
+        count, unique, v_minus, v_plus, mu = 20, 4, 0.0, 100.0, 1.0
+        points = np.concatenate([np.full(count - unique + 1, v_minus), v_minus + mu * np.arange(1, unique)])
+        lower, upper = non_passing_centre_bounds(count, v_minus, v_plus, unique, mu)
+        assert lower <= points.mean() + 1e-9
+        assert upper >= (v_plus - (points - v_minus)).mean() - 1e-9
+
+
+class TestVectorisedBounds:
+    def test_shapes_and_ordering(self):
+        counts = np.array([0.0, 5.0, 5_000.0])
+        v_minus = np.array([0.0, 0.0, 0.0])
+        v_plus = np.array([1.0, 10.0, 100.0])
+        unique = np.array([0.0, 3.0, 1_000.0])
+        lower, upper = weighted_centre_bounds(counts, v_minus, v_plus, unique, min_points=100, alpha=0.001)
+        assert lower.shape == counts.shape
+        assert (lower <= upper).all()
+        assert (lower >= v_minus).all()
+        assert (upper <= v_plus).all()
+
+    def test_passing_and_non_passing_paths_selected_by_min_points(self):
+        counts = np.array([50.0, 500.0])
+        v_minus = np.zeros(2)
+        v_plus = np.full(2, 100.0)
+        unique = np.full(2, 40.0)
+        lower, upper = weighted_centre_bounds(counts, v_minus, v_plus, unique, min_points=100, alpha=0.001)
+        small = non_passing_centre_bounds(50, 0.0, 100.0, 40, 1.0)
+        large = passing_centre_bounds(500, 0.0, 100.0, 40, 0.001)
+        assert lower[0] == pytest.approx(small[0])
+        assert upper[1] == pytest.approx(large[1])

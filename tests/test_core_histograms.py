@@ -1,0 +1,228 @@
+"""Tests for the 1-d / 2-d histogram data structures and bin refinement."""
+
+import numpy as np
+import pytest
+
+from repro.core.histogram1d import Histogram1D, bin_indices
+from repro.core.histogram2d import Histogram2D
+from repro.core.refine import refine_bin_1d, refine_bin_2d
+
+
+class TestBinIndices:
+    def test_half_open_bins(self):
+        edges = np.array([0.0, 1.0, 2.0, 3.0])
+        values = np.array([0.0, 0.5, 1.0, 2.9, 3.0])
+        assert bin_indices(edges, values).tolist() == [0, 0, 1, 2, 2]
+
+    def test_out_of_range_clipped(self):
+        edges = np.array([0.0, 1.0, 2.0])
+        assert bin_indices(edges, np.array([-5.0, 10.0])).tolist() == [0, 1]
+
+
+class TestHistogram1D:
+    @pytest.fixture(scope="class")
+    def hist(self):
+        rng = np.random.default_rng(0)
+        values = np.round(rng.uniform(0, 1000, 5000))
+        return Histogram1D.from_refinement(
+            column="v",
+            values=values,
+            edges=np.linspace(0, 1000, 11),
+            v_minus=np.linspace(0, 900, 10),
+            v_plus=np.linspace(100, 1000, 10),
+            unique=np.full(10, 90),
+            min_points=100,
+            alpha=0.001,
+        )
+
+    def test_counts_sum_to_total(self, hist):
+        assert hist.total_count == 5000
+
+    def test_num_bins(self, hist):
+        assert hist.num_bins == 10
+        assert len(hist.counts) == 10
+
+    def test_midpoints_are_rederived(self, hist):
+        np.testing.assert_allclose(hist.midpoints, (hist.v_minus + hist.v_plus) / 2)
+
+    def test_centre_bounds_within_extrema(self, hist):
+        assert (hist.centre_lower >= hist.v_minus).all()
+        assert (hist.centre_upper <= hist.v_plus).all()
+        assert (hist.centre_lower <= hist.centre_upper).all()
+
+    def test_find_bin(self, hist):
+        assert hist.find_bin(0.0) == 0
+        assert hist.find_bin(999.0) == 9
+        assert hist.find_bin(250.0) == 2
+
+    def test_widths(self, hist):
+        assert (hist.widths >= 0).all()
+
+    def test_storage_entries_exclude_rederivable(self, hist):
+        entries = hist.storage_entries()
+        assert "edges" in entries and "counts" in entries
+        assert "midpoints" not in entries and "centre_lower" not in entries
+
+    def test_mismatched_metadata_length_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram1D(
+                column="bad",
+                edges=np.array([0.0, 1.0, 2.0]),
+                counts=np.array([1.0]),
+                v_minus=np.array([0.0, 1.0]),
+                v_plus=np.array([1.0, 2.0]),
+                unique=np.array([1.0, 1.0]),
+            )
+
+
+class TestRefine1D:
+    def test_uniform_data_is_not_split(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0, 100, 5000)
+        result = refine_bin_1d(0.0, 100.0, values, min_points=100, alpha=0.001)
+        assert result.num_bins == 1
+
+    def test_bimodal_data_is_split(self):
+        rng = np.random.default_rng(1)
+        values = np.concatenate([rng.normal(10, 1, 3000), rng.normal(90, 1, 3000)])
+        values = np.clip(values, 0, 100)
+        result = refine_bin_1d(0.0, 100.0, values, min_points=100, alpha=0.001)
+        assert result.num_bins > 1
+
+    def test_empty_bin(self):
+        result = refine_bin_1d(0.0, 10.0, np.array([]), 10, 0.01)
+        assert result.num_bins == 1
+        assert result.unique == [0]
+        assert result.v_minus == [0.0]
+        assert result.v_plus == [10.0]
+
+    def test_single_value_bin(self):
+        result = refine_bin_1d(0.0, 10.0, np.full(50, 7.0), 10, 0.01)
+        assert result.num_bins == 1
+        assert result.v_minus == [7.0] and result.v_plus == [7.0]
+        assert result.unique == [1]
+
+    def test_too_few_points_not_split(self):
+        rng = np.random.default_rng(2)
+        values = np.concatenate([rng.normal(10, 1, 20), rng.normal(90, 1, 20)])
+        result = refine_bin_1d(0.0, 100.0, values, min_points=1000, alpha=0.001)
+        assert result.num_bins == 1
+
+    def test_edges_are_increasing_and_end_at_upper(self):
+        rng = np.random.default_rng(3)
+        values = np.clip(np.concatenate([rng.normal(20, 2, 2000), rng.uniform(0, 100, 500)]), 0, 100)
+        result = refine_bin_1d(0.0, 100.0, values, min_points=50, alpha=0.01)
+        edges = result.upper_edges
+        assert edges == sorted(edges)
+        assert edges[-1] == 100.0
+
+    def test_metadata_consistency(self):
+        rng = np.random.default_rng(4)
+        values = np.clip(rng.exponential(10, 3000), 0, 100)
+        result = refine_bin_1d(0.0, 100.0, values, min_points=100, alpha=0.001)
+        for v_min, v_max, unique in zip(result.v_minus, result.v_plus, result.unique):
+            assert v_min <= v_max
+            assert unique >= 0
+
+    def test_max_depth_limits_recursion(self):
+        rng = np.random.default_rng(5)
+        values = np.clip(rng.lognormal(0, 2, 5000), 0, 1000)
+        shallow = refine_bin_1d(0.0, 1000.0, values, 50, 0.001, max_depth=1)
+        deep = refine_bin_1d(0.0, 1000.0, values, 50, 0.001, max_depth=10)
+        assert shallow.num_bins <= deep.num_bins
+        assert shallow.num_bins <= 2
+
+
+class TestRefine2D:
+    def test_uniform_cell_not_split(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 10, 3000)
+        y = rng.uniform(0, 10, 3000)
+        result = refine_bin_2d(0, 10, 0, 10, x, y, min_points=100, alpha=0.001)
+        assert not result.has_splits
+
+    def test_clustered_cell_splits_at_least_one_dimension(self):
+        rng = np.random.default_rng(1)
+        x = np.concatenate([rng.normal(2, 0.2, 2000), rng.normal(8, 0.2, 2000)])
+        y = rng.uniform(0, 10, 4000)
+        result = refine_bin_2d(0, 10, 0, 10, np.clip(x, 0, 10), y, min_points=100, alpha=0.001)
+        assert result.has_splits
+        assert len(result.new_edges_i) >= 1
+
+    def test_splits_are_inside_the_cell(self):
+        rng = np.random.default_rng(2)
+        x = np.clip(rng.exponential(1, 3000), 0, 10)
+        y = np.clip(rng.exponential(2, 3000), 0, 10)
+        result = refine_bin_2d(0, 10, 0, 10, x, y, min_points=100, alpha=0.001)
+        assert all(0 < e < 10 for e in result.new_edges_i)
+        assert all(0 < e < 10 for e in result.new_edges_j)
+
+    def test_small_cell_not_split(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(2, 0.1, 50)
+        y = rng.normal(8, 0.1, 50)
+        result = refine_bin_2d(0, 10, 0, 10, x, y, min_points=100, alpha=0.001)
+        assert not result.has_splits
+
+
+class TestHistogram2D:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 100, 4000)
+        y = 0.5 * x + rng.normal(0, 5, 4000)
+        hist_x = Histogram1D.from_refinement(
+            "x", x, np.linspace(0, 100, 6), np.linspace(0, 80, 5), np.linspace(20, 100, 5),
+            np.full(5, 100), 100, 0.001,
+        )
+        hist_y = Histogram1D.from_refinement(
+            "y", y, np.linspace(y.min(), y.max(), 5),
+            np.linspace(y.min(), y.max(), 5)[:-1], np.linspace(y.min(), y.max(), 5)[1:],
+            np.full(4, 100), 100, 0.001,
+        )
+        pair = Histogram2D.build("x", "y", x, y, hist_x.edges, hist_y.edges, hist_x, hist_y)
+        return pair, hist_x, hist_y, x, y
+
+    def test_total_count(self, pair):
+        hist2d, *_ = pair
+        assert hist2d.total_count == 4000
+
+    def test_marginals_match_axis_sums(self, pair):
+        hist2d, *_ = pair
+        np.testing.assert_allclose(hist2d.row.marginal_counts, hist2d.counts.sum(axis=1))
+        np.testing.assert_allclose(hist2d.col.marginal_counts, hist2d.counts.sum(axis=0))
+
+    def test_oriented_both_ways(self, pair):
+        hist2d, *_ = pair
+        counts_x, agg_axis, pred_axis = hist2d.oriented("x")
+        assert counts_x.shape == (hist2d.row.num_bins, hist2d.col.num_bins)
+        assert agg_axis.column == "x"
+        counts_y, agg_axis_y, _ = hist2d.oriented("y")
+        assert counts_y.shape == (hist2d.col.num_bins, hist2d.row.num_bins)
+        assert agg_axis_y.column == "y"
+        np.testing.assert_allclose(counts_y, counts_x.T)
+
+    def test_oriented_unknown_column_raises(self, pair):
+        hist2d, *_ = pair
+        with pytest.raises(KeyError):
+            hist2d.oriented("unknown")
+
+    def test_axis_extrema_bracket_data(self, pair):
+        hist2d, _, _, x, _ = pair
+        assert hist2d.row.v_minus.min() >= x.min() - 1e-9
+        assert hist2d.row.v_plus.max() <= x.max() + 1e-9
+
+    def test_parent_maps_point_into_containing_1d_bin(self, pair):
+        hist2d, hist_x, _, _, _ = pair
+        for t in range(hist2d.row.num_bins):
+            midpoint = (hist2d.row.edges[t] + hist2d.row.edges[t + 1]) / 2
+            assert hist2d.row.parent[t] == hist_x.find_bin(midpoint)
+
+    def test_non_zero_count(self, pair):
+        hist2d, *_ = pair
+        assert 0 < hist2d.non_zero_count() <= hist2d.counts.size
+
+    def test_shape_mismatch_rejected(self, pair):
+        hist2d, *_ = pair
+        with pytest.raises(ValueError):
+            Histogram2D(row=hist2d.row, col=hist2d.col, counts=np.zeros((2, 2)))

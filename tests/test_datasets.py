@@ -1,0 +1,165 @@
+"""Tests for the synthetic dataset generators and the IDEBench-style scaler."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import available_datasets, load_dataset
+from repro.data.idebench import IdeBenchScaler, scale_dataset
+from repro.data.sampling import stratified_sample, uniform_sample
+
+# Column counts from Table 4 of the paper.
+EXPECTED_COLUMNS = {
+    "aqua": 13,
+    "basement": 12,
+    "build": 7,
+    "current": 24,
+    "flights": 32,
+    "furnace": 12,
+    "gas": 12,
+    "light": 9,
+    "power": 10,
+    "taxis": 23,
+    "temp": 5,
+}
+
+
+class TestDatasetRegistry:
+    def test_all_eleven_datasets_available(self):
+        assert sorted(EXPECTED_COLUMNS) == available_datasets()
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("does_not_exist")
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_COLUMNS))
+    def test_column_counts_match_table4(self, name):
+        table = load_dataset(name, rows=300, seed=0)
+        assert table.num_columns == EXPECTED_COLUMNS[name]
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_COLUMNS))
+    def test_row_count_respected(self, name):
+        table = load_dataset(name, rows=250, seed=0)
+        assert table.num_rows == 250
+
+    def test_generation_is_deterministic(self):
+        a = load_dataset("power", rows=200, seed=5)
+        b = load_dataset("power", rows=200, seed=5)
+        np.testing.assert_allclose(a.column("voltage"), b.column("voltage"))
+
+    def test_different_seeds_differ(self):
+        a = load_dataset("power", rows=200, seed=1)
+        b = load_dataset("power", rows=200, seed=2)
+        assert not np.allclose(a.column("voltage"), b.column("voltage"))
+
+
+class TestDatasetProperties:
+    def test_aqua_has_many_nulls(self):
+        table = load_dataset("aqua", rows=2000, seed=0)
+        fractions = [table.null_fraction(c) for c in table.schema.numeric_names if c != "timestamp"]
+        assert max(fractions) > 0.15
+
+    def test_build_has_many_nulls(self):
+        table = load_dataset("build", rows=2000, seed=0)
+        assert table.null_fraction("co2") > 0.15
+
+    def test_flights_has_categorical_columns(self):
+        table = load_dataset("flights", rows=500, seed=0)
+        assert "airline" in table.schema.categorical_names
+        assert "origin_airport" in table.schema.categorical_names
+
+    def test_flights_delay_components_null_for_on_time(self):
+        table = load_dataset("flights", rows=3000, seed=0)
+        assert table.null_fraction("airline_delay") > 0.3
+
+    def test_taxis_fare_correlates_with_miles(self):
+        table = load_dataset("taxis", rows=5000, seed=0)
+        fare = table.column("fare")
+        miles = table.column("trip_miles")
+        mask = np.isfinite(fare) & np.isfinite(miles)
+        corr = np.corrcoef(fare[mask], miles[mask])[0, 1]
+        assert corr > 0.7
+
+    def test_power_submeters_do_not_exceed_total(self):
+        table = load_dataset("power", rows=2000, seed=0)
+        total = table.column("global_active_power")
+        parts = (
+            table.column("sub_metering_1")
+            + table.column("sub_metering_2")
+            + table.column("sub_metering_3")
+        )
+        # Sub-meters are rounded to 2 decimals, so allow rounding slack.
+        assert (parts <= total + 0.02).mean() > 0.95
+
+    def test_meter_channels_are_non_negative(self):
+        table = load_dataset("current", rows=1000, seed=0)
+        for name in table.schema.numeric_names:
+            if name.startswith("channel"):
+                assert np.nanmin(table.column(name)) >= 0
+
+
+class TestIdeBenchScaler:
+    def test_scaled_rows_and_schema(self, power_table):
+        scaled = scale_dataset(power_table, rows=2000, seed=1)
+        assert scaled.num_rows == 2000
+        assert scaled.column_names == power_table.column_names
+
+    def test_scaled_values_within_source_range(self, power_table):
+        scaled = scale_dataset(power_table, rows=1500, seed=1)
+        source = power_table.column("voltage")
+        generated = scaled.column("voltage")
+        finite = generated[np.isfinite(generated)]
+        assert finite.min() >= np.nanmin(source) - 1e-9
+        assert finite.max() <= np.nanmax(source) + 1e-9
+
+    def test_scaled_preserves_correlation_sign(self, power_table):
+        scaled = scale_dataset(power_table, rows=4000, seed=1)
+        a = scaled.column("global_active_power")
+        b = scaled.column("global_intensity")
+        mask = np.isfinite(a) & np.isfinite(b)
+        assert np.corrcoef(a[mask], b[mask])[0, 1] > 0.5
+
+    def test_scaler_preserves_null_fraction(self):
+        table = load_dataset("aqua", rows=3000, seed=0)
+        scaled = scale_dataset(table, rows=3000, seed=0)
+        original = table.null_fraction("ph")
+        generated = scaled.null_fraction("ph")
+        assert abs(original - generated) < 0.1
+
+    def test_scaler_preserves_categorical_labels(self, flights_table):
+        scaled = scale_dataset(flights_table, rows=1000, seed=2)
+        source_labels = {v for v in flights_table.column("airline") if v is not None}
+        scaled_labels = {v for v in scaled.column("airline") if v is not None}
+        assert scaled_labels <= source_labels
+
+    def test_generate_is_deterministic_per_seed(self, power_table):
+        scaler = IdeBenchScaler(power_table, seed=4)
+        a = scaler.generate(500, seed=9)
+        b = scaler.generate(500, seed=9)
+        np.testing.assert_allclose(a.column("voltage"), b.column("voltage"))
+
+
+class TestSampling:
+    def test_uniform_sample_info(self, power_table):
+        sample, info = uniform_sample(power_table, 1000, seed=0)
+        assert sample.num_rows == 1000
+        assert info.population_rows == power_table.num_rows
+        assert info.ratio == pytest.approx(1000 / power_table.num_rows)
+        assert not info.is_full_scan
+
+    def test_uniform_sample_full_scan(self, power_table):
+        sample, info = uniform_sample(power_table, None)
+        assert sample is power_table
+        assert info.is_full_scan
+        assert info.ratio == 1.0
+
+    def test_stratified_sample_caps_per_stratum(self, simple_table):
+        sample, info = stratified_sample(simple_table, "category", per_stratum=50, seed=0)
+        labels, counts = np.unique(
+            np.asarray([v for v in sample.column("category")], dtype=object), return_counts=True
+        )
+        assert counts.max() <= 50
+        assert info.population_rows == simple_table.num_rows
+
+    def test_stratified_sample_requires_categorical(self, simple_table):
+        with pytest.raises(ValueError):
+            stratified_sample(simple_table, "x", per_stratum=10)

@@ -1,0 +1,136 @@
+"""Tests for GreedyGD base/deviation splitting and the compressed store."""
+
+import numpy as np
+import pytest
+
+from repro.data.table import Table
+from repro.gd.greedygd import GDSplit, GreedyGD, GreedyGDConfig, select_deviation_bits
+from repro.gd.store import CompressedStore
+
+
+def _codes_with_shared_high_bits(rows: int = 2000, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Rows whose columns share high bits (ideal for GD deduplication)."""
+    rng = np.random.default_rng(seed)
+    # High bits come from a handful of cluster values; only a few low-order
+    # bits vary per row, which is the regime where GD deduplication wins.
+    base_a = rng.integers(0, 4, size=rows) << 8
+    base_b = rng.integers(0, 2, size=rows) << 10
+    col_a = base_a | rng.integers(0, 16, size=rows)
+    col_b = base_b | rng.integers(0, 32, size=rows)
+    codes = np.column_stack([col_a, col_b]).astype(np.int64)
+    total_bits = np.array([10, 11], dtype=np.int64)
+    return codes, total_bits
+
+
+class TestDeviationBitSelection:
+    def test_selects_some_deviation_bits(self):
+        codes, total_bits = _codes_with_shared_high_bits()
+        deviation_bits = select_deviation_bits(codes, total_bits)
+        assert (deviation_bits >= 0).all()
+        assert (deviation_bits <= total_bits).all()
+        assert deviation_bits.sum() > 0
+
+    def test_constant_column_needs_no_deviation_bits(self):
+        codes = np.column_stack([np.full(500, 7), np.arange(500)]).astype(np.int64)
+        total_bits = np.array([3, 9], dtype=np.int64)
+        deviation_bits = select_deviation_bits(codes, total_bits)
+        assert deviation_bits[0] == 0
+
+
+class TestGreedyGDCompress:
+    def test_reconstruction_is_lossless(self):
+        codes, total_bits = _codes_with_shared_high_bits()
+        split = GreedyGD().compress(codes, total_bits)
+        np.testing.assert_array_equal(split.reconstruct(), codes)
+
+    def test_partial_reconstruction(self):
+        codes, total_bits = _codes_with_shared_high_bits()
+        split = GreedyGD().compress(codes, total_bits)
+        rows = np.array([0, 10, 500])
+        np.testing.assert_array_equal(split.reconstruct(rows), codes[rows])
+
+    def test_deduplication_reduces_bases(self):
+        codes, total_bits = _codes_with_shared_high_bits()
+        split = GreedyGD().compress(codes, total_bits)
+        assert split.num_bases < len(codes)
+
+    def test_compression_beats_raw_for_redundant_data(self):
+        codes, total_bits = _codes_with_shared_high_bits(rows=5000)
+        split = GreedyGD().compress(codes, total_bits)
+        raw_bits = int(total_bits.sum()) * len(codes)
+        assert split.compressed_bits() < raw_bits
+
+    def test_compressed_bytes_positive(self):
+        codes, total_bits = _codes_with_shared_high_bits(rows=200)
+        split = GreedyGD().compress(codes, total_bits)
+        assert split.compressed_bytes() > 0
+
+    def test_rejects_non_2d_codes(self):
+        with pytest.raises(ValueError):
+            GreedyGD().compress(np.arange(10), np.array([4]))
+
+    def test_append_preserves_existing_rows(self):
+        codes, total_bits = _codes_with_shared_high_bits(rows=800)
+        split = GreedyGD().compress(codes[:600], total_bits)
+        extended = GreedyGD().append(split, codes[600:])
+        assert isinstance(extended, GDSplit)
+        np.testing.assert_array_equal(extended.reconstruct(np.arange(600)), codes[:600])
+        np.testing.assert_array_equal(extended.reconstruct(np.arange(600, 800)), codes[600:])
+
+    def test_search_rows_subsampling(self):
+        codes, total_bits = _codes_with_shared_high_bits(rows=3000)
+        config = GreedyGDConfig(search_rows=200)
+        split = GreedyGD(config).compress(codes, total_bits)
+        np.testing.assert_array_equal(split.reconstruct(), codes)
+
+
+class TestCompressedStore:
+    @pytest.fixture(scope="class")
+    def store(self, power_table):
+        return CompressedStore.compress(power_table)
+
+    def test_row_count_preserved(self, store, power_table):
+        assert store.num_rows == power_table.num_rows
+
+    def test_lossless_reconstruction_of_numeric_columns(self, store, power_table):
+        reconstructed = store.reconstruct_rows(np.arange(200))
+        for name in ("voltage", "global_active_power"):
+            np.testing.assert_allclose(
+                reconstructed.column(name)[:200], power_table.column(name)[:200], atol=1e-6
+            )
+
+    def test_compression_reduces_size(self, store, power_table):
+        assert store.compressed_bytes() < power_table.memory_bytes()
+        assert store.compression_ratio(power_table.memory_bytes()) > 1.0
+
+    def test_base_values_span_column_range(self, store, power_table):
+        bases = store.base_values("voltage")
+        assert len(bases) >= 1
+        assert bases.min() >= 0
+
+    def test_decoded_codes_have_all_columns(self, store, power_table):
+        codes, nulls = store.decoded_codes()
+        assert set(codes) == set(power_table.column_names)
+        for name in power_table.column_names:
+            assert len(codes[name]) == power_table.num_rows
+
+    def test_append_rows(self, power_table):
+        store = CompressedStore.compress(power_table.head(1000))
+        extended = store.append(power_table.select_rows(np.arange(1000, 1500)))
+        assert extended.num_rows == 1500
+        reconstructed = extended.reconstruct_rows(np.arange(1000, 1500))
+        np.testing.assert_allclose(
+            reconstructed.column("voltage"),
+            power_table.column("voltage")[1000:1500],
+            atol=1e-6,
+        )
+
+    def test_append_schema_mismatch_rejected(self, store):
+        other = Table.from_dict({"different": [1.0, 2.0]})
+        with pytest.raises(ValueError):
+            store.append(other)
+
+    def test_categorical_round_trip(self, flights_table):
+        store = CompressedStore.compress(flights_table.head(500))
+        reconstructed = store.reconstruct_rows(np.arange(500))
+        assert list(reconstructed.column("airline")) == list(flights_table.column("airline")[:500])

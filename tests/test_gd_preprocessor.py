@@ -1,0 +1,103 @@
+"""Tests for GreedyGD pre-processing (transforms, inverses, missing values)."""
+
+import numpy as np
+import pytest
+
+from repro.data.table import Table
+from repro.gd.preprocessor import Preprocessor
+
+
+@pytest.fixture(scope="module")
+def preprocessor(simple_table):
+    return Preprocessor.fit(simple_table)
+
+
+class TestNumericTransforms:
+    def test_offset_is_column_minimum(self, simple_table, preprocessor):
+        x = simple_table.column("x")
+        assert preprocessor["x"].offset == pytest.approx(float(np.nanmin(x)))
+
+    def test_scale_from_decimals(self, preprocessor):
+        assert preprocessor["x"].scale == pytest.approx(100.0)
+        assert preprocessor["w"].scale == pytest.approx(1.0)
+
+    def test_transform_value_round_trip(self, preprocessor):
+        transform = preprocessor["x"]
+        for value in [0.25, 10.5, 99.17]:
+            code = transform.transform_value(value)
+            assert transform.inverse_value(code) == pytest.approx(value, abs=1e-9)
+
+    def test_transform_array_produces_non_negative_codes(self, simple_table, preprocessor):
+        codes, nulls = preprocessor["x"].transform_array(simple_table.column("x"))
+        assert codes.dtype == np.int64
+        assert codes[~nulls].min() >= 0
+
+    def test_array_round_trip(self, simple_table, preprocessor):
+        transform = preprocessor["x"]
+        values = simple_table.column("x")
+        codes, nulls = transform.transform_array(values)
+        recovered = transform.inverse_array(codes, nulls)
+        np.testing.assert_allclose(recovered, values, atol=1e-6)
+
+    def test_missing_values_have_reserved_code_and_mask(self, simple_table, preprocessor):
+        transform = preprocessor["with_nulls"]
+        values = simple_table.column("with_nulls")
+        codes, nulls = transform.transform_array(values)
+        assert nulls.sum() == np.isnan(values).sum()
+        assert (codes[nulls] == transform.missing_code).all()
+        assert transform.missing_code > transform.max_code
+
+
+class TestCategoricalTransforms:
+    def test_frequency_ranked_codes(self, simple_table, preprocessor):
+        transform = preprocessor["category"]
+        # "alpha" is the most frequent label in the fixture, so it gets code 0.
+        assert transform.categories[0] == "alpha"
+        assert transform.transform_value("alpha") == 0.0
+
+    def test_unknown_label_maps_outside_range(self, preprocessor):
+        assert preprocessor["category"].transform_value("unknown") == -1.0
+
+    def test_inverse_of_code(self, preprocessor):
+        transform = preprocessor["category"]
+        assert transform.inverse_value(0) == "alpha"
+        assert transform.inverse_value(999) == "<unknown>"
+
+    def test_categorical_array_round_trip(self, simple_table, preprocessor):
+        transform = preprocessor["category"]
+        values = simple_table.column("category")
+        codes, nulls = transform.transform_array(values)
+        recovered = transform.inverse_array(codes, nulls)
+        assert list(recovered) == list(values)
+
+
+class TestPreprocessorTable:
+    def test_transform_table_covers_all_columns(self, simple_table, preprocessor):
+        codes, nulls = preprocessor.transform_table(simple_table)
+        assert set(codes) == set(simple_table.column_names)
+        assert set(nulls) == set(simple_table.column_names)
+
+    def test_bits_per_column_sufficient(self, simple_table, preprocessor):
+        bits = preprocessor.bits_per_column()
+        codes, _ = preprocessor.transform_table(simple_table)
+        for name, width in bits.items():
+            assert codes[name].max() < (1 << width)
+
+    def test_contains_and_names(self, preprocessor, simple_table):
+        assert "x" in preprocessor
+        assert set(preprocessor.column_names) == set(simple_table.column_names)
+
+    def test_transform_literal_matches_transform_value(self, preprocessor):
+        assert preprocessor.transform_literal("x", 12.0) == preprocessor["x"].transform_value(12.0)
+
+    def test_all_null_numeric_column(self):
+        table = Table.from_dict({"v": [np.nan, np.nan], "w": [1.0, 2.0]})
+        pre = Preprocessor.fit(table)
+        codes, nulls = pre["v"].transform_array(table.column("v"))
+        assert nulls.all()
+
+    def test_empty_categorical_column(self):
+        table = Table.from_dict({"c": [None, None], "w": [1.0, 2.0]})
+        # Force categorical inference by providing a string elsewhere
+        pre = Preprocessor.fit(table)
+        assert "c" in pre

@@ -1,0 +1,73 @@
+"""Unit tests for the Golomb–Rice codec used by the sparse storage encoding."""
+
+import numpy as np
+import pytest
+
+from repro.core.golomb import (
+    decode_sequence,
+    decode_value,
+    encode_sequence,
+    encode_value,
+    encoded_bit_length,
+    rice_parameter,
+)
+from repro.util.bitstream import BitReader, BitWriter
+
+
+class TestRiceParameter:
+    def test_empty_sequence_gets_zero(self):
+        assert rice_parameter([]) == 0
+
+    def test_small_values_get_small_parameter(self):
+        assert rice_parameter([0, 1, 0, 1]) <= 1
+
+    def test_large_values_get_larger_parameter(self):
+        assert rice_parameter([1000] * 10) >= 8
+
+    def test_parameter_is_bounded(self):
+        assert 0 <= rice_parameter([10 ** 9]) <= 30
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize("value", [0, 1, 2, 7, 8, 100, 12345])
+    @pytest.mark.parametrize("k", [0, 1, 3, 5])
+    def test_round_trip_single_value(self, value, k):
+        writer = BitWriter()
+        encode_value(writer, value, k)
+        reader = BitReader(writer.getvalue())
+        assert decode_value(reader, k) == value
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            encode_value(BitWriter(), -1, 2)
+
+
+class TestSequenceCodec:
+    def test_round_trip_sequence(self):
+        values = [0, 3, 1, 7, 42, 0, 0, 5]
+        payload, k = encode_sequence(values)
+        assert decode_sequence(payload, len(values), k) == values
+
+    def test_round_trip_with_explicit_parameter(self):
+        values = [10, 20, 30]
+        payload, k = encode_sequence(values, k=2)
+        assert k == 2
+        assert decode_sequence(payload, len(values), k) == values
+
+    def test_geometric_gaps_compress_well(self):
+        rng = np.random.default_rng(0)
+        gaps = rng.geometric(0.3, size=500) - 1
+        payload, _ = encode_sequence(gaps)
+        # Fixed-width encoding would need at least ceil(log2(max+1)) bits per gap.
+        fixed_bits = 500 * max(1, int(np.ceil(np.log2(gaps.max() + 1))))
+        assert len(payload) * 8 <= fixed_bits * 1.5
+
+    def test_encoded_bit_length_matches_actual(self):
+        values = [0, 1, 5, 9, 2]
+        payload, k = encode_sequence(values, k=1)
+        bits = encoded_bit_length(values, k=1)
+        assert (bits + 7) // 8 == len(payload)
+
+    def test_empty_sequence(self):
+        payload, k = encode_sequence([])
+        assert decode_sequence(payload, 0, k) == []

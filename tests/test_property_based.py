@@ -1,0 +1,164 @@
+"""Property-based tests (hypothesis) for the core codecs and estimators.
+
+These check invariants over randomly generated inputs: bit-stream and
+Golomb round trips, coverage ranges, weighted-centre bound ordering,
+histogram count conservation and the bracketing of exact partial counts by
+the Theorem 2 bounds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.centre_bounds import weighted_centre_bounds
+from repro.core.coverage import coverage_bounds, coverage_estimate, interval_coverage, partial_count_bounds
+from repro.core.golomb import decode_sequence, encode_sequence
+from repro.core.histogram1d import bin_indices
+from repro.core.hypothesis import terrell_scott_bins
+from repro.core.refine import refine_bin_1d
+from repro.sql.ast import ComparisonOp
+from repro.util.bitstream import BitReader, BitWriter
+
+_SMALL_INTS = st.integers(min_value=0, max_value=10_000)
+
+
+class TestBitstreamProperties:
+    @given(st.lists(st.tuples(_SMALL_INTS, st.integers(min_value=14, max_value=20)), max_size=50))
+    def test_fixed_width_round_trip(self, pairs):
+        writer = BitWriter()
+        for value, width in pairs:
+            writer.write_bits(value, width)
+        reader = BitReader(writer.getvalue())
+        for value, width in pairs:
+            assert reader.read_bits(width) == value
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), max_size=40))
+    def test_unary_round_trip(self, values):
+        writer = BitWriter()
+        for value in values:
+            writer.write_unary(value)
+        reader = BitReader(writer.getvalue())
+        for value in values:
+            assert reader.read_unary() == value
+
+
+class TestGolombProperties:
+    @given(
+        st.lists(_SMALL_INTS, max_size=100),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=12)),
+    )
+    def test_sequence_round_trip(self, values, k):
+        payload, used_k = encode_sequence(values, k=k)
+        assert decode_sequence(payload, len(values), used_k) == values
+
+
+class TestCoverageProperties:
+    @given(
+        st.floats(min_value=-50, max_value=150, allow_nan=False),
+        st.sampled_from(list(ComparisonOp)),
+        st.integers(min_value=1, max_value=500),
+    )
+    @settings(max_examples=60)
+    def test_coverage_always_in_unit_interval(self, literal, op, unique):
+        v_minus = np.array([0.0, 25.0, 50.0, 75.0])
+        v_plus = np.array([25.0, 50.0, 75.0, 100.0])
+        uniques = np.full(4, float(unique))
+        beta = coverage_estimate(op, literal, v_minus, v_plus, uniques)
+        assert (beta >= 0.0).all() and (beta <= 1.0).all()
+
+    @given(
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+    )
+    @settings(max_examples=60)
+    def test_interval_coverage_in_unit_interval_and_monotone(self, a, b):
+        lower, upper = min(a, b), max(a, b)
+        v_minus = np.array([0.0, 25.0, 50.0, 75.0])
+        v_plus = np.array([25.0, 50.0, 75.0, 100.0])
+        uniques = np.full(4, 20.0)
+        beta = interval_coverage(lower, upper, v_minus, v_plus, uniques)
+        wider = interval_coverage(lower - 5, upper + 5, v_minus, v_plus, uniques)
+        assert (beta >= 0).all() and (beta <= 1).all()
+        assert (wider >= beta - 1e-12).all()
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.integers(min_value=2, max_value=5_000),
+        st.integers(min_value=2, max_value=500),
+    )
+    @settings(max_examples=60)
+    def test_coverage_bounds_bracket_estimate(self, beta_value, count, unique):
+        beta = np.array([beta_value])
+        counts = np.array([float(count)])
+        uniques = np.array([float(unique)])
+        lower, upper = coverage_bounds(beta, counts, uniques, min_points=50, alpha=0.001)
+        assert lower[0] <= beta_value + 1e-9
+        assert upper[0] >= beta_value - 1e-9
+        assert 0.0 <= lower[0] <= upper[0] <= 1.0
+
+    @given(
+        st.integers(min_value=100, max_value=100_000),
+        st.integers(min_value=2, max_value=30),
+        st.floats(min_value=0.1, max_value=50.0),
+    )
+    @settings(max_examples=60)
+    def test_partial_count_bounds_are_ordered_and_feasible(self, count, sub_bins, chi2_alpha):
+        for covered in range(sub_bins + 1):
+            lower, upper = partial_count_bounds(float(count), sub_bins, covered, chi2_alpha)
+            assert 0.0 <= lower <= upper <= count + 1e-9
+
+
+class TestCentreBoundProperties:
+    @given(
+        st.integers(min_value=1, max_value=100_000),
+        st.floats(min_value=-1000, max_value=1000, allow_nan=False),
+        st.floats(min_value=0, max_value=1000, allow_nan=False),
+        st.integers(min_value=1, max_value=10_000),
+    )
+    @settings(max_examples=80)
+    def test_bounds_ordered_and_within_extrema(self, count, v_minus, width, unique):
+        v_plus = v_minus + width
+        lower, upper = weighted_centre_bounds(
+            np.array([float(count)]), np.array([v_minus]), np.array([v_plus]),
+            np.array([float(min(unique, count))]), min_points=100, alpha=0.001,
+        )
+        assert v_minus - 1e-6 <= lower[0] <= upper[0] <= v_plus + 1e-6
+
+
+class TestRefinementProperties:
+    @given(st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_refinement_conserves_counts_and_order(self, seed):
+        rng = np.random.default_rng(seed)
+        size = int(rng.integers(0, 3000))
+        values = np.round(rng.gamma(2.0, 100.0, size))
+        lower, upper = 0.0, max(float(values.max()) if size else 1.0, 1.0)
+        result = refine_bin_1d(lower, upper, values, min_points=50, alpha=0.01)
+        edges = np.array([lower] + result.upper_edges)
+        # Edges are non-decreasing and end at the original upper edge.
+        assert (np.diff(edges) >= 0).all()
+        assert edges[-1] == pytest.approx(upper)
+        # Histogramming the data over the refined edges conserves the count.
+        if size:
+            counts, _ = np.histogram(values, bins=np.unique(edges))
+            assert counts.sum() == size
+        # Metadata is ordered.
+        for v_min, v_max in zip(result.v_minus, result.v_plus):
+            assert v_min <= v_max
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_terrell_scott_at_least_one(self, unique):
+        assert terrell_scott_bins(unique) >= 1
+
+
+class TestBinIndexProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_values_land_in_containing_bins(self, values):
+        edges = np.linspace(0, 100, 11)
+        values = np.asarray(values)
+        idx = bin_indices(edges, values)
+        assert (idx >= 0).all() and (idx <= 9).all()
+        for value, t in zip(values, idx):
+            assert edges[t] <= value or t == 0
+            assert value <= edges[t + 1] or t == 9

@@ -1,0 +1,147 @@
+"""Unit tests for the schema and columnar table substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import ColumnSchema, ColumnType, TableSchema
+from repro.data.table import Table
+
+
+class TestColumnSchema:
+    def test_numeric_flags(self):
+        col = ColumnSchema("a", ColumnType.NUMERIC)
+        assert col.is_numeric and not col.is_categorical
+
+    def test_datetime_counts_as_numeric(self):
+        col = ColumnSchema("ts", ColumnType.DATETIME)
+        assert col.is_numeric
+
+    def test_categorical_flags(self):
+        col = ColumnSchema("c", ColumnType.CATEGORICAL)
+        assert col.is_categorical and not col.is_numeric
+
+
+class TestTableSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            TableSchema([ColumnSchema("a"), ColumnSchema("a")])
+
+    def test_lookup_and_membership(self):
+        schema = TableSchema([ColumnSchema("a"), ColumnSchema("b", ColumnType.CATEGORICAL)])
+        assert "a" in schema
+        assert "missing" not in schema
+        assert schema["b"].is_categorical
+        assert schema.index_of("b") == 1
+        with pytest.raises(KeyError):
+            schema["missing"]
+
+    def test_name_lists(self):
+        schema = TableSchema(
+            [
+                ColumnSchema("n1"),
+                ColumnSchema("c1", ColumnType.CATEGORICAL),
+                ColumnSchema("n2", ColumnType.DATETIME),
+            ]
+        )
+        assert schema.names == ["n1", "c1", "n2"]
+        assert schema.numeric_names == ["n1", "n2"]
+        assert schema.categorical_names == ["c1"]
+
+    def test_add_rejects_duplicates(self):
+        schema = TableSchema([ColumnSchema("a")])
+        schema.add(ColumnSchema("b"))
+        assert len(schema) == 2
+        with pytest.raises(ValueError):
+            schema.add(ColumnSchema("a"))
+
+
+class TestTableConstruction:
+    def test_from_dict_infers_types(self):
+        table = Table.from_dict({"num": [1.5, 2.5, 3.0], "cat": ["a", "b", "a"]})
+        assert table.schema["num"].is_numeric
+        assert table.schema["cat"].is_categorical
+        assert table.num_rows == 3
+
+    def test_from_dict_integer_column_has_zero_decimals(self):
+        table = Table.from_dict({"count": [1, 2, 3]})
+        assert table.schema["count"].decimals == 0
+
+    def test_from_dict_float_column_gets_decimals(self):
+        table = Table.from_dict({"v": [1.25, 2.5]})
+        assert table.schema["v"].decimals > 0
+
+    def test_inconsistent_lengths_rejected(self):
+        schema = TableSchema([ColumnSchema("a"), ColumnSchema("b")])
+        with pytest.raises(ValueError):
+            Table(name="t", schema=schema, columns={"a": np.arange(3.0), "b": np.arange(4.0)})
+
+    def test_missing_schema_column_rejected(self):
+        schema = TableSchema([ColumnSchema("a"), ColumnSchema("b")])
+        with pytest.raises(ValueError):
+            Table(name="t", schema=schema, columns={"a": np.arange(3.0)})
+
+
+class TestTableOperations:
+    @pytest.fixture()
+    def table(self):
+        return Table.from_dict(
+            {
+                "x": [1.0, 2.0, np.nan, 4.0, 5.0],
+                "label": ["a", None, "b", "a", "c"],
+            },
+            name="ops",
+        )
+
+    def test_len_and_columns(self, table):
+        assert len(table) == 5
+        assert table.num_columns == 2
+        assert "x" in table
+        assert table.column_names == ["x", "label"]
+
+    def test_column_access_unknown_raises(self, table):
+        with pytest.raises(KeyError):
+            table.column("nope")
+
+    def test_select_rows_with_mask(self, table):
+        mask = np.array([True, False, True, False, False])
+        subset = table.select_rows(mask)
+        assert subset.num_rows == 2
+        assert list(subset.column("x")) == [1.0, 3.0] or np.isnan(subset.column("x")[1])
+
+    def test_sample_smaller_than_table(self, table):
+        sampled = table.sample(3, rng=np.random.default_rng(0))
+        assert sampled.num_rows == 3
+
+    def test_sample_larger_returns_same_table(self, table):
+        assert table.sample(100) is table
+
+    def test_head(self, table):
+        assert table.head(2).num_rows == 2
+
+    def test_null_handling(self, table):
+        assert table.null_mask("x").sum() == 1
+        assert table.null_mask("label").sum() == 1
+        assert table.null_fraction("x") == pytest.approx(0.2)
+
+    def test_memory_bytes_positive(self, table):
+        assert table.memory_bytes() > 0
+
+    def test_concat(self, table):
+        doubled = table.concat(table)
+        assert doubled.num_rows == 10
+
+    def test_concat_schema_mismatch(self, table):
+        other = Table.from_dict({"y": [1.0]})
+        with pytest.raises(ValueError):
+            table.concat(other)
+
+    def test_to_rows(self, table):
+        rows = table.to_rows()
+        assert len(rows) == 5
+        assert len(rows[0]) == 2
+
+    def test_describe(self, table):
+        stats = table.describe()
+        assert stats["x"]["min"] == 1.0
+        assert stats["x"]["max"] == 5.0
+        assert stats["label"]["unique"] == 3.0

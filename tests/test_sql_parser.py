@@ -1,0 +1,184 @@
+"""Tests for the SQL parser and the query / predicate AST."""
+
+import pytest
+
+from repro.sql.ast import (
+    AggregateFunction,
+    Aggregation,
+    ComparisonOp,
+    Condition,
+    LogicalOp,
+    PredicateNode,
+    Query,
+    predicate_columns,
+    predicate_conditions,
+)
+from repro.sql.parser import ParseError, parse_predicate, parse_query
+
+
+class TestBasicQueries:
+    def test_simple_avg(self):
+        query = parse_query("SELECT AVG(delay) FROM flights")
+        assert query.aggregation.func is AggregateFunction.AVG
+        assert query.aggregation.column == "delay"
+        assert query.table == "flights"
+        assert query.predicate is None
+        assert query.group_by is None
+
+    def test_count_star(self):
+        query = parse_query("SELECT COUNT(*) FROM flights")
+        assert query.aggregation.func is AggregateFunction.COUNT
+        assert query.aggregation.column is None
+
+    def test_star_only_allowed_for_count(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT AVG(*) FROM flights")
+
+    @pytest.mark.parametrize(
+        "name,func",
+        [
+            ("COUNT", AggregateFunction.COUNT),
+            ("SUM", AggregateFunction.SUM),
+            ("AVG", AggregateFunction.AVG),
+            ("MIN", AggregateFunction.MIN),
+            ("MAX", AggregateFunction.MAX),
+            ("MEDIAN", AggregateFunction.MEDIAN),
+            ("VAR", AggregateFunction.VAR),
+            ("VARIANCE", AggregateFunction.VAR),
+        ],
+    )
+    def test_all_aggregation_functions(self, name, func):
+        query = parse_query(f"SELECT {name}(x) FROM t")
+        assert query.aggregation.func is func
+
+    def test_unknown_aggregation_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT FANCY(x) FROM t")
+
+    def test_multiple_aggregations(self):
+        query = parse_query("SELECT COUNT(x), AVG(y) FROM t")
+        assert len(query.aggregations) == 2
+        assert query.aggregations[1] == Aggregation(AggregateFunction.AVG, "y")
+
+    def test_trailing_semicolon_optional(self):
+        assert parse_query("SELECT AVG(x) FROM t;").table == "t"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT AVG(x) FROM t extra")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT AVG(x) WHERE y > 1")
+
+
+class TestPredicates:
+    def test_single_condition(self):
+        query = parse_query("SELECT AVG(x) FROM t WHERE y > 10")
+        assert isinstance(query.predicate, Condition)
+        assert query.predicate == Condition("y", ComparisonOp.GT, 10)
+
+    @pytest.mark.parametrize(
+        "op_text,op",
+        [
+            ("<", ComparisonOp.LT),
+            (">", ComparisonOp.GT),
+            ("<=", ComparisonOp.LE),
+            (">=", ComparisonOp.GE),
+            ("=", ComparisonOp.EQ),
+            ("!=", ComparisonOp.NE),
+            ("<>", ComparisonOp.NE),
+        ],
+    )
+    def test_all_operators(self, op_text, op):
+        predicate = parse_predicate(f"x {op_text} 5")
+        assert predicate.op is op
+
+    def test_float_and_int_literals(self):
+        assert parse_predicate("x > 1.5").literal == pytest.approx(1.5)
+        assert parse_predicate("x > 3").literal == 3
+        assert isinstance(parse_predicate("x > 3").literal, int)
+
+    def test_string_literal(self):
+        predicate = parse_predicate("airline = 'AA'")
+        assert predicate.literal == "AA"
+
+    def test_bare_word_literal(self):
+        predicate = parse_predicate("airline = AA")
+        assert predicate.literal == "AA"
+
+    def test_and_precedence_over_or(self):
+        predicate = parse_predicate("a > 1 AND b < 2 OR c = 3")
+        assert isinstance(predicate, PredicateNode)
+        assert predicate.op is LogicalOp.OR
+        left, right = predicate.children
+        assert isinstance(left, PredicateNode) and left.op is LogicalOp.AND
+        assert isinstance(right, Condition)
+
+    def test_parentheses_override_precedence(self):
+        predicate = parse_predicate("a > 1 AND (b < 2 OR c = 3)")
+        assert isinstance(predicate, PredicateNode)
+        assert predicate.op is LogicalOp.AND
+        assert isinstance(predicate.children[1], PredicateNode)
+        assert predicate.children[1].op is LogicalOp.OR
+
+    def test_figure7_query_shape(self):
+        # The Fig. 7 example: (P1 AND P2 OR P3) AND P4 with precedence applied.
+        sql = (
+            "SELECT AVG(delay) FROM flights WHERE "
+            "dist > 150 AND dist < 300 OR dist < 450 AND air_time > 90.5"
+        )
+        query = parse_query(sql)
+        assert isinstance(query.predicate, PredicateNode)
+        assert query.predicate.op is LogicalOp.OR
+        assert len(predicate_conditions(query.predicate)) == 4
+        assert predicate_columns(query.predicate) == ["dist", "air_time"]
+
+    def test_group_by(self):
+        query = parse_query("SELECT COUNT(x) FROM t WHERE x > 0 GROUP BY category")
+        assert query.group_by == "category"
+
+    def test_group_requires_by(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT COUNT(x) FROM t GROUP category")
+
+    def test_missing_literal_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT COUNT(x) FROM t WHERE x >")
+
+
+class TestAstHelpers:
+    def test_query_str_round_trips_through_parser(self):
+        sql = "SELECT SUM(fare) FROM taxis WHERE trip_miles > 2 AND payment_type = 'Cash'"
+        query = parse_query(sql)
+        reparsed = parse_query(str(query))
+        assert str(reparsed) == str(query)
+
+    def test_condition_str(self):
+        assert str(Condition("x", ComparisonOp.LE, 5)) == "x <= 5"
+        assert str(Condition("c", ComparisonOp.EQ, "abc")) == "c = 'abc'"
+
+    def test_predicate_conditions_of_none(self):
+        assert predicate_conditions(None) == []
+        assert predicate_columns(None) == []
+
+    def test_query_columns(self):
+        query = parse_query("SELECT AVG(a) FROM t WHERE b > 1 AND c < 2 GROUP BY d")
+        assert query.columns == ["a", "b", "c", "d"]
+
+    def test_operator_negation(self):
+        assert ComparisonOp.LT.negate() is ComparisonOp.GE
+        assert ComparisonOp.EQ.negate() is ComparisonOp.NE
+        assert ComparisonOp.NE.negate() is ComparisonOp.EQ
+
+    def test_aggregation_str(self):
+        assert str(Aggregation(AggregateFunction.COUNT, None)) == "COUNT(*)"
+        assert str(Aggregation(AggregateFunction.AVG, "x")) == "AVG(x)"
+
+    def test_query_str_contains_group_by(self):
+        query = Query(
+            aggregations=[Aggregation(AggregateFunction.COUNT, "x")],
+            table="t",
+            group_by="g",
+        )
+        assert "GROUP BY g" in str(query)

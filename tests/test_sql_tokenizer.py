@@ -1,0 +1,75 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sql.tokenizer import Token, TokenType, TokenizeError, tokenize
+
+
+def kinds(sql: str) -> list[TokenType]:
+    return [t.type for t in tokenize(sql)]
+
+
+def values(sql: str) -> list[str]:
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+class TestTokenizer:
+    def test_empty_input_yields_end_token(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.END
+
+    def test_keywords_are_recognised(self):
+        tokens = tokenize("SELECT FROM WHERE GROUP BY AND OR")
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select from where")
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers(self):
+        tokens = tokenize("avg delay air_time table.column")
+        assert all(t.type is TokenType.IDENTIFIER for t in tokens[:-1])
+
+    def test_numbers_integer_and_float(self):
+        assert values("42 3.14 1e5 -7") == ["42", "3.14", "1e5", "-7"]
+        assert kinds("42 3.14")[:2] == [TokenType.NUMBER, TokenType.NUMBER]
+
+    def test_negative_exponent(self):
+        assert values("1.5e-3") == ["1.5e-3"]
+
+    def test_string_literals(self):
+        tokens = tokenize("'hello world' \"quoted\"")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "hello world"
+        assert tokens[1].value == "quoted"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(TokenizeError):
+            tokenize("'oops")
+
+    def test_operators_single_and_double(self):
+        assert values("< > = <= >= != <>") == ["<", ">", "=", "<=", ">=", "!=", "<>"]
+
+    def test_punctuation(self):
+        assert values("( ) , * ;") == ["(", ")", ",", "*", ";"]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("a < 5")
+        assert [t.position for t in tokens[:-1]] == [0, 2, 4]
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(TokenizeError):
+            tokenize("a @ b")
+
+    def test_matches_helper(self):
+        token = Token(TokenType.KEYWORD, "SELECT", 0)
+        assert token.matches(TokenType.KEYWORD, "select")
+        assert not token.matches(TokenType.IDENTIFIER)
+
+    def test_full_query_token_count(self):
+        sql = "SELECT AVG(delay) FROM flights WHERE dist > 150 AND dist < 300;"
+        tokens = tokenize(sql)
+        assert tokens[-1].type is TokenType.END
+        # SELECT AVG ( delay ) FROM flights WHERE dist > 150 AND dist < 300 ; END
+        assert len(tokens) == 17

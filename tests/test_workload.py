@@ -1,0 +1,175 @@
+"""Tests for workload generation, metrics and the runner."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PairwiseHistSystem, SamplingAQP, UnsupportedQueryError
+from repro.sql.ast import AggregateFunction, predicate_conditions
+from repro.sql.predicate import selectivity
+from repro.workload import (
+    QueryGenerator,
+    QueryRecord,
+    WorkloadRunner,
+    WorkloadSpec,
+    WorkloadSummary,
+    bound_width_percent,
+    bounds_correct,
+    relative_error,
+)
+
+
+class TestMetrics:
+    def test_relative_error(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+        assert relative_error(100, 0) == pytest.approx(100.0)
+        assert relative_error(float("nan"), 100) == float("inf")
+
+    def test_bounds_correct(self):
+        assert bounds_correct(90, 110, 100)
+        assert not bounds_correct(101, 110, 100)
+        assert not bounds_correct(float("nan"), 110, 100)
+
+    def test_bound_width_percent(self):
+        assert bound_width_percent(90, 110, 100) == pytest.approx(20.0)
+
+    def test_query_record_properties(self):
+        record = QueryRecord(
+            sql="q", aggregation="COUNT", truth=100.0, estimate=105.0,
+            lower=95.0, upper=110.0, latency_seconds=0.002,
+        )
+        assert record.relative_error == pytest.approx(0.05)
+        assert record.bounds_correct
+        assert record.bound_width_percent == pytest.approx(15.0)
+
+    def test_summary_statistics(self):
+        records = [
+            QueryRecord("a", "COUNT", 100, 101, 95, 105, 0.001),
+            QueryRecord("b", "AVG", 50, 60, 55, 65, 0.002),
+            QueryRecord("c", "SUM", 10, float("nan"), supported=False),
+        ]
+        summary = WorkloadSummary(records)
+        assert len(summary) == 3
+        assert len(summary.supported_records) == 2
+        assert summary.median_error_percent() == pytest.approx(10.5, abs=0.1)
+        assert summary.median_latency_ms() == pytest.approx(1.5)
+        assert summary.bounds_correct_rate_percent() == pytest.approx(50.0)
+        assert summary.fraction_below(0.15) == pytest.approx(0.5)
+
+    def test_summary_by_aggregation(self):
+        records = [
+            QueryRecord("a", "COUNT", 100, 101),
+            QueryRecord("b", "COUNT", 100, 110),
+            QueryRecord("c", "AVG", 50, 51),
+        ]
+        split = WorkloadSummary(records).by_aggregation()
+        assert set(split) == {"COUNT", "AVG"}
+        assert len(split["COUNT"]) == 2
+
+    def test_error_percentiles_sorted(self):
+        records = [QueryRecord(str(i), "COUNT", 100, 100 + i) for i in range(10)]
+        summary = WorkloadSummary(records)
+        percentiles = summary.error_percentiles([50, 90])
+        assert percentiles[0] <= percentiles[1]
+
+    def test_empty_summary_yields_nan(self):
+        summary = WorkloadSummary()
+        assert np.isnan(summary.median_error_percent())
+        assert np.isnan(summary.median_latency_ms())
+
+
+class TestQueryGenerator:
+    def test_initial_spec_generates_single_predicate_queries(self, simple_table):
+        spec = WorkloadSpec.initial_experiments(num_queries=25, seed=0)
+        queries = QueryGenerator(simple_table, spec).generate()
+        assert len(queries) == 25
+        for query in queries:
+            assert len(predicate_conditions(query.predicate)) == 1
+            assert query.aggregation.func in {
+                AggregateFunction.COUNT, AggregateFunction.SUM, AggregateFunction.AVG}
+
+    def test_scaled_spec_generates_multi_predicate_queries(self, simple_table):
+        spec = WorkloadSpec.scaled_experiments(num_queries=30, seed=1)
+        queries = QueryGenerator(simple_table, spec).generate()
+        assert len(queries) >= 25
+        counts = [len(predicate_conditions(q.predicate)) for q in queries]
+        assert max(counts) > 1
+        functions = {q.aggregation.func for q in queries}
+        assert len(functions) >= 5
+
+    def test_minimum_selectivity_enforced(self, simple_table):
+        spec = WorkloadSpec(num_queries=20, min_selectivity=0.05, seed=2)
+        queries = QueryGenerator(simple_table, spec).generate()
+        for query in queries:
+            assert selectivity(query.predicate, simple_table.columns) >= 0.05
+
+    def test_generation_is_deterministic(self, simple_table):
+        spec = WorkloadSpec.initial_experiments(num_queries=10, seed=3)
+        a = [str(q) for q in QueryGenerator(simple_table, spec).generate()]
+        b = [str(q) for q in QueryGenerator(simple_table, spec).generate()]
+        assert a == b
+
+    def test_aggregation_columns_are_numeric(self, simple_table):
+        spec = WorkloadSpec.scaled_experiments(num_queries=20, seed=4)
+        for query in QueryGenerator(simple_table, spec).generate():
+            assert query.aggregation.column in simple_table.schema.numeric_names
+
+    def test_requires_numeric_column(self):
+        from repro.data.table import Table
+
+        table = Table.from_dict({"only_cat": ["a", "b", "c"]})
+        with pytest.raises(ValueError):
+            QueryGenerator(table, WorkloadSpec())
+
+    def test_queries_reference_existing_columns(self, power_table):
+        spec = WorkloadSpec.scaled_experiments(num_queries=15, seed=5)
+        for query in QueryGenerator(power_table, spec).generate():
+            for column in query.columns:
+                assert column in power_table.column_names
+
+
+class TestWorkloadRunner:
+    def test_run_produces_summary_with_latency(self, simple_table, simple_engine):
+        spec = WorkloadSpec.initial_experiments(num_queries=10, seed=6)
+        queries = QueryGenerator(simple_table, spec).generate()
+        runner = WorkloadRunner(simple_table)
+        system = PairwiseHistSystem(engine=simple_engine)
+        summary = runner.run(system, queries)
+        assert len(summary) == 10
+        assert summary.median_latency_ms() > 0
+        assert np.isfinite(summary.median_error_percent())
+
+    def test_unsupported_queries_are_recorded(self, simple_table):
+        class RejectingSystem:
+            name = "rejector"
+            construction_seconds = 0.0
+
+            def estimate(self, query):
+                raise UnsupportedQueryError("nope")
+
+            def synopsis_bytes(self):
+                return 0
+
+        spec = WorkloadSpec.initial_experiments(num_queries=5, seed=7)
+        queries = QueryGenerator(simple_table, spec).generate()
+        summary = WorkloadRunner(simple_table).run(RejectingSystem(), queries)
+        assert len(summary.supported_records) == 0
+        assert len(summary) == 5
+
+    def test_run_many(self, simple_table, simple_engine):
+        spec = WorkloadSpec.initial_experiments(num_queries=5, seed=8)
+        queries = QueryGenerator(simple_table, spec).generate()
+        runner = WorkloadRunner(simple_table)
+        systems = [
+            PairwiseHistSystem(engine=simple_engine, name="PH"),
+            SamplingAQP.fit(simple_table, sample_size=500),
+        ]
+        summaries = runner.run_many(systems, queries)
+        assert set(summaries) == {"PH", "Sampling"}
+
+    def test_pairwisehist_beats_or_matches_nothing_baseline(self, simple_table, simple_engine):
+        # Sanity: the engine's median error on the generated workload is small.
+        spec = WorkloadSpec.initial_experiments(num_queries=20, seed=9)
+        queries = QueryGenerator(simple_table, spec).generate()
+        runner = WorkloadRunner(simple_table)
+        summary = runner.run(PairwiseHistSystem(engine=simple_engine), queries)
+        assert summary.median_error_percent() < 10.0
