@@ -1,42 +1,45 @@
 """Edge analytics over compressed IoT data (the paper's deployment scenario).
 
-An edge gateway receives a stream of sensor rows, keeps only the GreedyGD-
-compressed form plus a PairwiseHist synopsis, and answers monitoring
-queries locally — the Fig. 2 pipeline including incremental data updates
-(red arrows).
+An edge gateway receives a stream of sensor rows and keeps only the
+partitioned GreedyGD-compressed form plus per-partition PairwiseHist
+synopses, merged into one queryable synopsis — the Fig. 2 pipeline
+including incremental data updates (red arrows), served through the
+multi-table :class:`~repro.service.QueryService`.  Streaming batches only
+recompress and re-summarise the tail partition, so ingest cost stays
+bounded no matter how much history the gateway has accumulated.
 
 Run with:  python examples/iot_edge_monitoring.py
 """
 
 import numpy as np
 
-from repro import PairwiseHistEngine, PairwiseHistParams, load_dataset
-from repro.gd.store import CompressedStore
+from repro import PairwiseHistParams, QueryService, load_dataset
 
 
 def main() -> None:
     # The gateway has seen the first day of data ...
     history = load_dataset("gas", rows=40_000, seed=2)
     # ... and new readings keep arriving in batches.
-    incoming = load_dataset("gas", rows=5_000, seed=99)
+    incoming = load_dataset("gas", rows=15_000, seed=99)
 
     raw_bytes = history.memory_bytes()
-    store = CompressedStore.compress(history)
+    service = QueryService(
+        default_params=PairwiseHistParams.with_defaults(sample_size=20_000),
+        partition_size=8_192,
+    )
+    gas = service.register_table(history)
+    store = gas.store
     print("ingestion")
-    print(f"  raw data          : {raw_bytes / 1e6:8.2f} MB")
+    print(f"  raw data           : {raw_bytes / 1e6:8.2f} MB")
     print(f"  GreedyGD compressed: {store.compressed_bytes() / 1e6:8.2f} MB "
-          f"({store.compression_ratio(raw_bytes):.2f}x)")
-    print(f"  deduplicated bases : {store.num_bases} for {store.num_rows} rows")
-
-    # Build the synopsis directly from the compressed store: bases seed the
-    # initial histogram bins (Algorithm 1, line 4).
-    params = PairwiseHistParams.with_defaults(sample_size=20_000)
-    engine = PairwiseHistEngine.from_compressed(store, params=params)
-    total = store.compressed_bytes() + engine.synopsis_bytes()
-    print(f"  PairwiseHist       : {engine.synopsis_bytes() / 1e6:8.2f} MB "
+          f"({store.compression_ratio(raw_bytes):.2f}x) in {store.num_partitions} partitions")
+    total = store.compressed_bytes() + gas.synopsis_bytes()
+    print(f"  PairwiseHist       : {gas.synopsis_bytes() / 1e6:8.2f} MB across "
+          f"{len(gas.partition_synopses)} partition synopses "
           f"(total storage {total / 1e6:.2f} MB vs {raw_bytes / 1e6:.2f} MB raw)\n")
 
-    # Local monitoring queries with bounds — no cloud round trip.
+    # Local monitoring queries with bounds — no cloud round trip.  The
+    # service routes each query to the table named in its FROM clause.
     print("edge monitoring queries")
     for sql in [
         "SELECT AVG(temperature) FROM gas WHERE humidity > 60",
@@ -44,24 +47,29 @@ def main() -> None:
         "SELECT MAX(sensor_r1) FROM gas WHERE temperature > 24",
         "SELECT VAR(humidity) FROM gas WHERE temperature < 23",
     ]:
-        result = engine.execute_scalar(sql)
+        result = service.execute_scalar(sql)
         print(f"  {sql}")
         print(f"    -> {result.value:10.3f}   bounds [{result.lower:.3f}, {result.upper:.3f}]")
 
-    # New rows arrive: append to the compressed store (incremental, no full
-    # recompression) and rebuild the synopsis from the updated store.
-    updated_store = store.append(incoming)
-    updated_engine = PairwiseHistEngine.from_compressed(updated_store, params=params)
-    print("\nincremental update")
-    print(f"  rows: {store.num_rows} -> {updated_store.num_rows}")
-    before = engine.execute_scalar("SELECT AVG(temperature) FROM gas WHERE humidity > 60")
-    after = updated_engine.execute_scalar("SELECT AVG(temperature) FROM gas WHERE humidity > 60")
+    # New rows arrive in batches: each ingest appends to the partitioned
+    # store and refreshes only the affected tail partition's synopsis.
+    before = service.execute_scalar("SELECT AVG(temperature) FROM gas WHERE humidity > 60")
+    print("\nincremental updates")
+    for start in range(0, incoming.num_rows, 5_000):
+        batch = incoming.select_rows(np.arange(start, min(start + 5_000, incoming.num_rows)))
+        outcome = service.ingest("gas", batch)
+        print(f"  +{outcome.appended_rows} rows -> rebuilt partitions "
+              f"{outcome.rebuilt_partitions} of {outcome.total_partitions} "
+              f"({outcome.untouched_partitions} untouched) in {outcome.seconds * 1e3:.0f} ms")
+    after = service.execute_scalar("SELECT AVG(temperature) FROM gas WHERE humidity > 60")
     drift = after.value - before.value
+    print(f"  rows: {history.num_rows} -> {gas.num_rows}; lifetime synopsis builds: "
+          f"{gas.synopsis_builds}")
     print(f"  AVG(temperature | humidity > 60): {before.value:.3f} -> {after.value:.3f} "
           f"(drift {drift:+.3f})")
 
     # A tiny anomaly check an edge device could run every few seconds.
-    p99_proxy = updated_engine.execute_scalar(
+    p99_proxy = service.execute_scalar(
         "SELECT MAX(gas_flow) FROM gas WHERE temperature > 20"
     )
     if np.isfinite(p99_proxy.value) and p99_proxy.value > 5.0:

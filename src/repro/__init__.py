@@ -1,34 +1,60 @@
 """PairwiseHist reproduction: approximate query processing with data compression.
 
+The engine stack is partitioned end to end: tables are sharded into
+fixed-size partitions, each an independent GreedyGD
+:class:`CompressedStore` (grouped under a :class:`PartitionedStore`), each
+partition gets its own PairwiseHist synopsis (built in parallel) and the
+per-partition synopses merge into one queryable synopsis.  Streaming
+appends only recompress and re-summarise the tail partition, so update
+cost stays bounded as tables grow.  :class:`QueryService` is the
+multi-table entry point: register tables, stream rows in with
+``ingest(table_name, rows)`` and route SQL by table name.
+
 The public API is re-exported at the top level for convenience:
 
->>> from repro import PairwiseHistEngine, load_dataset
->>> table = load_dataset("power", rows=10_000)
->>> engine = PairwiseHistEngine.from_table(table)
->>> result = engine.execute_scalar(
+>>> from repro import QueryService, load_dataset
+>>> service = QueryService()
+>>> _ = service.register_table(load_dataset("power", rows=10_000))
+>>> result = service.execute_scalar(
 ...     "SELECT AVG(global_active_power) FROM power WHERE voltage > 240"
 ... )
 >>> result.lower <= result.value <= result.upper
 True
+
+The single-table :class:`PairwiseHistEngine` remains available for
+monolithic (non-partitioned) construction and ablations.
 """
 
 from .core.engine import AqpResult, PairwiseHistEngine
 from .core.aggregation import AqpEstimate
 from .core.params import PairwiseHistParams
 from .core.synopsis import PairwiseHist
-from .core.builder import build_pairwise_hist
-from .core.serialization import deserialize, serialize, synopsis_size_bytes
+from .core.builder import (
+    PartitionInput,
+    build_pairwise_hist,
+    build_partition_synopses,
+    build_partitioned_hist,
+)
+from .core.serialization import (
+    deserialize,
+    deserialize_partitioned,
+    serialize,
+    serialize_partitioned,
+    synopsis_size_bytes,
+)
 from .data.table import Table
 from .data.schema import ColumnSchema, ColumnType, TableSchema
 from .data.datasets import available_datasets, load_dataset
 from .data.idebench import IdeBenchScaler, scale_dataset
 from .gd.store import CompressedStore
+from .gd.partitioned import PartitionedStore
 from .gd.preprocessor import Preprocessor
 from .exactdb.executor import ExactQueryEngine
+from .service import Database, IngestResult, ManagedTable, QueryService, QueryServiceSystem
 from .sql.parser import parse_query
 from .sql.ast import AggregateFunction, Query
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AqpResult",
@@ -36,9 +62,14 @@ __all__ = [
     "PairwiseHistEngine",
     "PairwiseHistParams",
     "PairwiseHist",
+    "PartitionInput",
     "build_pairwise_hist",
+    "build_partition_synopses",
+    "build_partitioned_hist",
     "serialize",
     "deserialize",
+    "serialize_partitioned",
+    "deserialize_partitioned",
     "synopsis_size_bytes",
     "Table",
     "ColumnSchema",
@@ -49,8 +80,14 @@ __all__ = [
     "IdeBenchScaler",
     "scale_dataset",
     "CompressedStore",
+    "PartitionedStore",
     "Preprocessor",
     "ExactQueryEngine",
+    "Database",
+    "IngestResult",
+    "ManagedTable",
+    "QueryService",
+    "QueryServiceSystem",
     "parse_query",
     "AggregateFunction",
     "Query",

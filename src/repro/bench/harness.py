@@ -22,6 +22,7 @@ from ..baselines.sampling_aqp import SamplingAQP
 from ..data.datasets import load_dataset
 from ..data.idebench import scale_dataset
 from ..data.table import Table
+from ..service.system import QueryServiceSystem
 from ..sql.ast import Query, predicate_conditions
 from ..workload.generator import QueryGenerator, WorkloadSpec
 from ..workload.metrics import WorkloadSummary
@@ -122,11 +123,18 @@ def build_suite(
     scale: ExperimentScale,
     queries: list[Query] | None = None,
     include_sampling: bool = False,
+    include_partitioned: bool = False,
     pairwisehist_sample: int | None = None,
     deepdb_sample: int | None = None,
     dbest_sample: int | None = None,
+    partition_size: int | None = None,
 ) -> SystemSuite:
-    """Build the PairwiseHist / DeepDB / DBEst++ (/ Sampling) suite for one table."""
+    """Build the PairwiseHist / DeepDB / DBEst++ (/ Sampling) suite for one table.
+
+    ``include_partitioned=True`` adds the service-backed partitioned engine
+    (parallel per-partition synopses merged into one), the configuration the
+    streaming / multi-table benchmarks compare against the monolith.
+    """
     ph_sample = pairwisehist_sample or scale.sample_large
     dd_sample = deepdb_sample or scale.sample_large
     db_sample = dbest_sample or scale.sample_tiny
@@ -136,6 +144,12 @@ def build_suite(
         DeepDBLike.fit(table, sample_size=dd_sample),
         DBEstPlusPlusLike.fit(table, sample_size=db_sample, templates=templates),
     ]
+    if include_partitioned:
+        systems.append(
+            QueryServiceSystem.fit(
+                table, sample_size=ph_sample, partition_size=partition_size
+            )
+        )
     if include_sampling:
         systems.append(SamplingAQP.fit(table, sample_size=ph_sample))
     return SystemSuite(systems)

@@ -3,11 +3,23 @@
 from .params import PairwiseHistParams
 from .hypothesis import UniformityResult, chi2_critical_value, is_uniform, terrell_scott_bins, uniformity_test
 from .centre_bounds import non_passing_centre_bounds, passing_centre_bounds, weighted_centre_bounds
-from .histogram1d import Histogram1D, bin_indices
+from .histogram1d import (
+    Histogram1D,
+    bin_indices,
+    distinct_capacity,
+    project_extrema,
+    projection_matrix,
+)
 from .histogram2d import AxisMetadata, Histogram2D
 from .refine import RefinementResult1D, RefinementResult2D, refine_bin_1d, refine_bin_2d
 from .synopsis import PairwiseHist
-from .builder import build_pairwise_hist
+from .builder import (
+    PartitionInput,
+    build_pairwise_hist,
+    build_partition_synopses,
+    build_partitioned_hist,
+    partition_params,
+)
 from .coverage import (
     CoverageResult,
     condition_coverage,
@@ -19,7 +31,13 @@ from .coverage import (
 )
 from .weightings import PredicateEvaluator, WeightingResult
 from .aggregation import AqpEstimate, aggregate
-from .serialization import deserialize, serialize, synopsis_size_bytes
+from .serialization import (
+    deserialize,
+    deserialize_partitioned,
+    serialize,
+    serialize_partitioned,
+    synopsis_size_bytes,
+)
 from .golomb import decode_sequence, encode_sequence, rice_parameter
 from .groupby import group_predicates
 from .engine import AqpResult, PairwiseHistEngine
@@ -36,6 +54,9 @@ __all__ = [
     "weighted_centre_bounds",
     "Histogram1D",
     "bin_indices",
+    "projection_matrix",
+    "project_extrema",
+    "distinct_capacity",
     "AxisMetadata",
     "Histogram2D",
     "RefinementResult1D",
@@ -43,7 +64,11 @@ __all__ = [
     "refine_bin_1d",
     "refine_bin_2d",
     "PairwiseHist",
+    "PartitionInput",
     "build_pairwise_hist",
+    "build_partition_synopses",
+    "build_partitioned_hist",
+    "partition_params",
     "CoverageResult",
     "condition_coverage",
     "consolidate_and",
@@ -57,6 +82,8 @@ __all__ = [
     "aggregate",
     "serialize",
     "deserialize",
+    "serialize_partitioned",
+    "deserialize_partitioned",
     "synopsis_size_bytes",
     "encode_sequence",
     "decode_sequence",

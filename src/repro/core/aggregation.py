@@ -87,11 +87,10 @@ def _count(weights: WeightingResult, rho: float) -> AqpEstimate:
 
 def _sum(hist: Histogram1D, weights: WeightingResult, rho: float) -> AqpEstimate:
     midpoints = hist.midpoints
-    return AqpEstimate(
-        value=float(weights.estimate @ midpoints / rho),
-        lower=float(weights.lower @ hist.centre_lower / rho),
-        upper=float(weights.upper @ hist.centre_upper / rho),
-    )
+    value = float(weights.estimate @ midpoints / rho)
+    lower = float(weights.lower @ hist.centre_lower / rho)
+    upper = float(weights.upper @ hist.centre_upper / rho)
+    return AqpEstimate(value=value, lower=min(lower, value), upper=max(upper, value))
 
 
 def _weighted_mean(weights: np.ndarray, values: np.ndarray) -> float:
@@ -108,7 +107,9 @@ def _avg(hist: Histogram1D, weights: WeightingResult) -> AqpEstimate:
         candidates = [weights.estimate]
     lower = min(_weighted_mean(w, hist.centre_lower) for w in candidates)
     upper = max(_weighted_mean(w, hist.centre_upper) for w in candidates)
-    return AqpEstimate(value=estimate, lower=lower, upper=upper)
+    # Clamp like the other estimators: merged (partitioned) histograms can
+    # shift the centre bounds slightly relative to the midpoints.
+    return AqpEstimate(value=estimate, lower=min(lower, estimate), upper=max(upper, estimate))
 
 
 # --------------------------------------------------------------------------- #

@@ -9,7 +9,10 @@ histograms for every pair of columns.
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+import os
+from collections.abc import Mapping, Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -148,6 +151,12 @@ def _build_histogram_2d(
         edges_i = np.unique(np.concatenate([edges_i, np.asarray(new_edges_i, dtype=float)]))
     if new_edges_j:
         edges_j = np.unique(np.concatenate([edges_j, np.asarray(new_edges_j, dtype=float)]))
+    if not new_edges_i and not new_edges_j:
+        # Refinement added no edges: the detection pass's counts are final.
+        return Histogram2D.build(
+            column_i, column_j, values_i, values_j, edges_i, edges_j, hist_i, hist_j,
+            counts=counts,
+        )
     return Histogram2D.build(
         column_i, column_j, values_i, values_j, edges_i, edges_j, hist_i, hist_j
     )
@@ -231,3 +240,121 @@ def build_pairwise_hist(
                     params,
                 )
     return synopsis
+
+
+# --------------------------------------------------------------------------- #
+# Partitioned construction
+
+
+@dataclass(frozen=True)
+class PartitionInput:
+    """Inputs for building one partition's synopsis.
+
+    The same shapes :func:`build_pairwise_hist` takes, bundled per
+    partition so a list of them can be fanned out to an executor.
+    """
+
+    codes: Mapping[str, np.ndarray]
+    population_rows: int | None = None
+    null_masks: Mapping[str, np.ndarray] | None = None
+    initial_edges: Mapping[str, np.ndarray] | None = None
+
+
+def partition_params(
+    params: PairwiseHistParams, partition_rows: int, total_rows: int
+) -> PairwiseHistParams:
+    """Scale construction parameters down to one partition's share.
+
+    Only ``Ns`` shrinks (proportionally to the partition's row count);
+    ``M`` stays global.  Since the per-column bin budget is ``Ns / M``
+    (Algorithm 1, line 4 and the refinement stop condition), this hands
+    each partition a proportional slice of the whole table's bin budget:
+    the union of the per-partition edges after the merge has monolithic
+    granularity instead of ``num_partitions`` times it — which would blow
+    up both build time and the merged 2-d grids.
+    """
+    fraction = partition_rows / total_rows if total_rows else 1.0
+    cap = max(1, int(np.ceil(params.effective_initial_bins * fraction)))
+    sample = params.sample_size
+    if sample is not None:
+        sample = max(1, int(np.ceil(sample * fraction)))
+    return replace(params, sample_size=sample, max_initial_bins=cap)
+
+
+def _build_partition(
+    part: PartitionInput,
+    params: PairwiseHistParams,
+    columns: list[str] | None,
+    build_pairs: bool,
+    total_rows: int,
+) -> PairwiseHist:
+    """Build one partition's synopsis (top-level so process pools can pickle it)."""
+    first = next(iter(part.codes.values()))
+    rows = part.population_rows if part.population_rows is not None else len(first)
+    return build_pairwise_hist(
+        part.codes,
+        partition_params(params, rows, total_rows),
+        population_rows=rows,
+        null_masks=part.null_masks,
+        initial_edges=part.initial_edges,
+        columns=columns,
+        build_pairs=build_pairs,
+    )
+
+
+def build_partition_synopses(
+    partitions: Sequence[PartitionInput],
+    params: PairwiseHistParams,
+    columns: list[str] | None = None,
+    build_pairs: bool = True,
+    max_workers: int | None = None,
+    executor: str = "thread",
+    total_rows: int | None = None,
+) -> list[PairwiseHist]:
+    """Build one synopsis per partition, fanning out via ``concurrent.futures``.
+
+    ``executor`` selects ``"thread"`` (default — numpy's histogram and sort
+    kernels release the GIL), ``"process"`` (full parallelism, inputs are
+    pickled to workers) or ``"serial"`` (no pool; also used automatically
+    for a single partition).  ``total_rows`` is the row count the
+    per-partition bin budget is scaled against; pass the whole table's
+    size when rebuilding a subset of its partitions (e.g. the tail after
+    an append) so those partitions don't get the full table's budget.
+    """
+    if not partitions:
+        raise ValueError("cannot build a synopsis from zero partitions")
+    if total_rows is None:
+        total_rows = sum(
+            p.population_rows if p.population_rows is not None else len(next(iter(p.codes.values())))
+            for p in partitions
+        )
+    if executor not in ("thread", "process", "serial"):
+        raise ValueError(f"unknown executor kind {executor!r}")
+    if executor == "serial" or len(partitions) == 1:
+        return [
+            _build_partition(part, params, columns, build_pairs, total_rows)
+            for part in partitions
+        ]
+    workers = max_workers or min(len(partitions), os.cpu_count() or 1)
+    pool_cls = ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
+    with pool_cls(max_workers=workers) as pool:
+        futures = [
+            pool.submit(_build_partition, part, params, columns, build_pairs, total_rows)
+            for part in partitions
+        ]
+        return [future.result() for future in futures]
+
+
+def build_partitioned_hist(
+    partitions: Sequence[PartitionInput],
+    params: PairwiseHistParams,
+    columns: list[str] | None = None,
+    build_pairs: bool = True,
+    max_workers: int | None = None,
+    executor: str = "thread",
+) -> PairwiseHist:
+    """Build per-partition synopses in parallel and merge them into one."""
+    synopses = build_partition_synopses(
+        partitions, params, columns, build_pairs, max_workers, executor
+    )
+    return PairwiseHist.merge(synopses, params=params)

@@ -179,6 +179,12 @@ class PairwiseHistEngine:
         """Serialized synopsis size (the Fig. 8 / Fig. 11 storage metric)."""
         return synopsis_size_bytes(self.synopsis)
 
+    def refresh_synopsis(self, synopsis: PairwiseHist) -> None:
+        """Swap in a new synopsis (e.g. re-merged after an incremental
+        append) and drop the evaluator caches built against the old one."""
+        self.synopsis = synopsis
+        self._evaluators.clear()
+
     def serialize_synopsis(self) -> bytes:
         return serialize(self.synopsis)
 
@@ -208,9 +214,28 @@ class PairwiseHistEngine:
                 self._execute_single(agg, predicate, query, group=label)
                 for agg in query.aggregations
             ]
-            if any(r.value > 0 for r in group_results if r.aggregation.func is AggregateFunction.COUNT) or True:
+            if self._group_count(group_results, predicate, query) > 0:
                 results[label] = group_results
         return results
+
+    def _group_count(
+        self,
+        group_results: list[AqpResult],
+        predicate: Predicate,
+        query: Query,
+    ) -> float:
+        """Estimated row count of one group (drives the empty-group filter).
+
+        Reuses a COUNT aggregation from the SELECT list when there is one;
+        otherwise estimates COUNT(*) over the group's predicate.
+        """
+        for result in group_results:
+            if result.aggregation.func is AggregateFunction.COUNT:
+                return result.value
+        count = self._execute_single(
+            Aggregation(func=AggregateFunction.COUNT, column=None), predicate, query
+        )
+        return count.value
 
     def execute_scalar(self, query: Query | str) -> AqpResult:
         """Execute a non-GROUP BY query and return the first aggregation's result."""

@@ -63,8 +63,7 @@ def _count_bit_width(counts: np.ndarray) -> int:
 
 def _pack_counts_dense(counts: np.ndarray, width: int) -> bytes:
     writer = BitWriter()
-    for value in counts.ravel():
-        writer.write_bits(int(value), width)
+    writer.write_bits_array(counts.ravel().astype(np.int64), width)
     return writer.getvalue()
 
 
@@ -84,7 +83,7 @@ def _pack_counts_sparse(counts: np.ndarray, width: int) -> bytes:
 def _unpack_counts_dense(payload: bytes, shape: tuple[int, ...], width: int) -> np.ndarray:
     reader = BitReader(payload)
     total = int(np.prod(shape))
-    values = np.array([reader.read_bits(width) for _ in range(total)], dtype=float)
+    values = reader.read_bits_array(total, width).astype(float)
     return values.reshape(shape)
 
 
@@ -105,9 +104,14 @@ def _unpack_counts_sparse(
 def _encode_counts(counts: np.ndarray, force_dense: bool = False) -> bytes:
     """Dense-or-sparse bin-count block, whichever is smaller (Fig. 6, right).
 
+    Counts are stored as integers; merged (partitioned) synopses carry
+    fractional counts from the projection step, so they are rounded — not
+    truncated — here, keeping the encoding unbiased.
+
     ``force_dense=True`` disables the sparse (Golomb) path; it exists for the
     storage-encoding ablation benchmark.
     """
+    counts = np.rint(counts)
     width = _count_bit_width(counts)
     dense = _pack_counts_dense(counts, width)
     sparse = _pack_counts_sparse(counts, width)
@@ -288,3 +292,41 @@ def deserialize(payload: bytes) -> PairwiseHist:
 def synopsis_size_bytes(synopsis: PairwiseHist, force_dense: bool = False) -> int:
     """Size of the serialized synopsis in bytes (the Fig. 8 / Fig. 11 metric)."""
     return len(serialize(synopsis, force_dense))
+
+
+# --------------------------------------------------------------------------- #
+# Partitioned synopses
+
+_PARTITIONED_MAGIC = b"PWHP"
+
+
+def serialize_partitioned(synopses: list[PairwiseHist], force_dense: bool = False) -> bytes:
+    """Encode a sequence of per-partition synopses as one framed payload.
+
+    Each partition keeps its own independent :func:`serialize` blob so a
+    single partition can be replaced after an incremental append without
+    re-encoding the others; the merged, queryable synopsis is rebuilt from
+    the parts at load time via :meth:`PairwiseHist.merge`.
+    """
+    parts = [serialize(synopsis, force_dense) for synopsis in synopses]
+    framed = [_PARTITIONED_MAGIC, struct.pack("<I", len(parts))]
+    for payload in parts:
+        framed.append(struct.pack("<Q", len(payload)))
+        framed.append(payload)
+    return b"".join(framed)
+
+
+def deserialize_partitioned(payload: bytes) -> list[PairwiseHist]:
+    """Decode bytes produced by :func:`serialize_partitioned`."""
+    buffer = memoryview(payload)
+    if bytes(buffer[:4]) != _PARTITIONED_MAGIC:
+        raise ValueError("not a partitioned PairwiseHist payload (bad magic)")
+    (count,) = struct.unpack_from("<I", buffer, 4)
+    offset = 8
+    synopses: list[PairwiseHist] = []
+    for _ in range(count):
+        (length,) = struct.unpack_from("<Q", buffer, offset)
+        offset += 8
+        synopses.append(deserialize(bytes(buffer[offset : offset + length])))
+        offset += length
+    return synopses

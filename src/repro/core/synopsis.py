@@ -8,7 +8,7 @@ book-keeping needed to scale estimates back to the full dataset.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -71,6 +71,61 @@ class PairwiseHist:
         except ValueError:
             return False
         return key in self.hist2d
+
+    # ------------------------------------------------------------------ #
+    # Merging
+
+    @classmethod
+    def merge(
+        cls,
+        synopses: list["PairwiseHist"],
+        params: PairwiseHistParams | None = None,
+    ) -> "PairwiseHist":
+        """Combine per-partition synopses into one queryable synopsis.
+
+        All inputs must cover the same columns (built from partitions of one
+        table sharing a pre-processor, so their code domains line up).
+        Population and sample row counts add up; every 1-d and 2-d histogram
+        is merged on the union of its partitions' bin edges.  ``params``
+        (defaulting to the first input's) becomes the merged synopsis'
+        construction parameters, whose ``min_points`` / ``alpha`` drive the
+        recomputed centre bounds — pass the whole-table parameters when the
+        inputs were built with partition-scaled copies.
+        """
+        if not synopses:
+            raise ValueError("cannot merge zero synopses")
+        first = synopses[0]
+        if len(synopses) == 1:
+            if params is not None and params != first.params:
+                # Shallow copy rather than mutating the caller's synopsis.
+                return replace(first, params=params)
+            return first
+        if any(s.columns != first.columns for s in synopses):
+            raise ValueError("can only merge synopses over the same columns")
+        params = params if params is not None else first.params
+        merged = cls(
+            params=params,
+            columns=list(first.columns),
+            population_rows=sum(s.population_rows for s in synopses),
+            sample_rows=sum(s.sample_rows for s in synopses),
+        )
+        for column in first.columns:
+            merged.hist1d[column] = Histogram1D.merge(
+                [s.hist1d[column] for s in synopses],
+                params.min_points,
+                params.alpha,
+                params.min_spacing,
+            )
+        for key in first.hist2d:
+            if any(key not in s.hist2d for s in synopses):
+                continue
+            merged.hist2d[key] = Histogram2D.merge(
+                [s.hist2d[key] for s in synopses],
+                merged.hist1d[key[0]],
+                merged.hist1d[key[1]],
+                params.min_spacing,
+            )
+        return merged
 
     # ------------------------------------------------------------------ #
     # Diagnostics

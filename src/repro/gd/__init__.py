@@ -3,6 +3,7 @@
 from .preprocessor import ColumnTransform, Preprocessor
 from .greedygd import GDSplit, GreedyGD, GreedyGDConfig, select_deviation_bits
 from .store import CompressedStore
+from .partitioned import DEFAULT_PARTITION_SIZE, PartitionedStore
 
 __all__ = [
     "ColumnTransform",
@@ -12,4 +13,6 @@ __all__ = [
     "GreedyGDConfig",
     "select_deviation_bits",
     "CompressedStore",
+    "PartitionedStore",
+    "DEFAULT_PARTITION_SIZE",
 ]

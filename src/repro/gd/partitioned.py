@@ -1,0 +1,193 @@
+"""Partitioned GreedyGD storage: fixed-size shards of one logical table.
+
+The monolithic :class:`~repro.gd.store.CompressedStore` re-runs the greedy
+bit-selection search over every row on each rebuild, so appends get more
+expensive as the table grows.  :class:`PartitionedStore` shards rows into
+fixed-size partitions, each an independent :class:`CompressedStore` over a
+*shared* pre-processor (so every partition lives in the same code domain
+and per-partition synopses can be merged).  ``append()`` only touches the
+tail: it tops up the last partition with GreedyGD's incremental append and
+compresses overflow rows into fresh partitions, leaving every sealed
+partition — and its synopsis — untouched.  This is the partitioned-block
+architecture that machine-generated-data stores (GreedyGD itself, RLZ web
+collections) use to bound update cost and unlock parallel processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.schema import TableSchema
+from ..data.table import Table
+from .greedygd import GreedyGD, GreedyGDConfig
+from .preprocessor import Preprocessor
+from .store import CompressedStore
+
+#: Default rows per partition — small enough that a tail rebuild is cheap,
+#: large enough that GreedyGD still finds shared bases.
+DEFAULT_PARTITION_SIZE = 65_536
+
+
+@dataclass
+class PartitionedStore:
+    """A list of independently-compressed partitions of one table."""
+
+    table_name: str
+    schema: TableSchema
+    preprocessor: Preprocessor
+    partition_size: int
+    partitions: list[CompressedStore] = field(default_factory=list)
+    _column_order: list[str] = field(default_factory=list)
+    _config: GreedyGDConfig = field(default_factory=GreedyGDConfig)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+
+    @classmethod
+    def compress(
+        cls,
+        table: Table,
+        partition_size: int = DEFAULT_PARTITION_SIZE,
+        config: GreedyGDConfig | None = None,
+    ) -> "PartitionedStore":
+        """Pre-process a table once, then compress it partition by partition."""
+        if partition_size < 1:
+            raise ValueError("partition_size must be positive")
+        config = config or GreedyGDConfig()
+        preprocessor = Preprocessor.fit(table)
+        store = cls(
+            table_name=table.name,
+            schema=table.schema,
+            preprocessor=preprocessor,
+            partition_size=partition_size,
+            _column_order=table.column_names,
+            _config=config,
+        )
+        for start in range(0, table.num_rows, partition_size):
+            chunk = table.select_rows(np.arange(start, min(start + partition_size, table.num_rows)))
+            store.partitions.append(store._compress_partition(chunk))
+        if not store.partitions:
+            raise ValueError("cannot build a partitioned store from an empty table")
+        return store
+
+    def _compress_partition(self, chunk: Table) -> CompressedStore:
+        """Compress one chunk with the shared pre-processor."""
+        codes, nulls = self.preprocessor.transform_table(chunk)
+        matrix = (
+            np.column_stack([codes[name] for name in self._column_order])
+            if self._column_order
+            else np.empty((chunk.num_rows, 0), dtype=np.int64)
+        )
+        bits = self.preprocessor.bits_per_column()
+        total_bits = np.array([bits[name] for name in self._column_order], dtype=np.int64)
+        split = GreedyGD(self._config).compress(matrix, total_bits)
+        return CompressedStore(
+            table_name=self.table_name,
+            schema=self.schema,
+            preprocessor=self.preprocessor,
+            split=split,
+            null_masks=nulls,
+            _column_order=list(self._column_order),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    @property
+    def num_rows(self) -> int:
+        return sum(p.num_rows for p in self.partitions)
+
+    @property
+    def column_order(self) -> list[str]:
+        return list(self._column_order)
+
+    def partition_row_offsets(self) -> np.ndarray:
+        """Global row index at which each partition starts (plus a final total)."""
+        sizes = [p.num_rows for p in self.partitions]
+        return np.concatenate([[0], np.cumsum(sizes)])
+
+    def compressed_bytes(self) -> int:
+        """Compressed payload size summed over all partitions."""
+        return sum(p.compressed_bytes() for p in self.partitions)
+
+    def compression_ratio(self, original_bytes: int) -> float:
+        compressed = self.compressed_bytes()
+        return original_bytes / compressed if compressed else float("inf")
+
+    # ------------------------------------------------------------------ #
+    # Access
+
+    def base_values(self, name: str) -> np.ndarray:
+        """Distinct GD base values of one column across all partitions."""
+        values = np.concatenate([p.base_values(name) for p in self.partitions])
+        return np.unique(values)
+
+    def reconstruct_rows(self, row_indices: np.ndarray | None = None) -> Table:
+        """Losslessly reconstruct (a subset of) the original table.
+
+        Global row indices are mapped onto the owning partitions; the
+        result preserves the requested order.
+        """
+        if row_indices is None:
+            tables = [p.reconstruct_rows() for p in self.partitions]
+            out = tables[0]
+            for extra in tables[1:]:
+                out = out.concat(extra)
+            return out
+        row_indices = np.asarray(row_indices, dtype=int)
+        offsets = self.partition_row_offsets()
+        owner = np.searchsorted(offsets, row_indices, side="right") - 1
+        columns = {name: [] for name in self._column_order}
+        pieces = []
+        for rank, part in enumerate(self.partitions):
+            local = row_indices[owner == rank] - offsets[rank]
+            if local.size:
+                pieces.append((np.flatnonzero(owner == rank), part.reconstruct_rows(local)))
+        order = np.argsort(np.concatenate([idx for idx, _ in pieces])) if pieces else np.array([], dtype=int)
+        for name in self._column_order:
+            merged = (
+                np.concatenate([piece.column(name) for _, piece in pieces])
+                if pieces
+                else np.array([])
+            )
+            columns[name] = merged[order]
+        return Table(name=self.table_name, schema=self.schema, columns=columns)
+
+    # ------------------------------------------------------------------ #
+    # Updates
+
+    def append(self, table: Table) -> list[int]:
+        """Append rows, compressing only the tail; returns affected partitions.
+
+        The last partition is topped up to ``partition_size`` with
+        GreedyGD's incremental append (new bases only, no re-splitting);
+        remaining rows are compressed into fresh partitions.  Sealed
+        partitions are never touched, so their synopses stay valid — the
+        returned indices tell callers exactly which partitions to refresh.
+        """
+        if table.schema.names != self.schema.names:
+            raise ValueError("appended rows must match the store schema")
+        if table.num_rows == 0:
+            return []
+        affected: list[int] = []
+        consumed = 0
+        tail = self.partitions[-1]
+        capacity = self.partition_size - tail.num_rows
+        if capacity > 0:
+            take = min(capacity, table.num_rows)
+            self.partitions[-1] = tail.append(table.select_rows(np.arange(take)))
+            affected.append(self.num_partitions - 1)
+            consumed = take
+        while consumed < table.num_rows:
+            take = min(self.partition_size, table.num_rows - consumed)
+            chunk = table.select_rows(np.arange(consumed, consumed + take))
+            self.partitions.append(self._compress_partition(chunk))
+            affected.append(self.num_partitions - 1)
+            consumed += take
+        return affected

@@ -30,6 +30,10 @@ class CompressedStore:
     split: GDSplit
     null_masks: dict[str, np.ndarray]
     _column_order: list[str] = field(default_factory=list)
+    #: Memoized full decode of the split (bases + deviations -> codes).  The
+    #: reconstruction is read-only and shared by every accessor; ``append``
+    #: returns a fresh store, so the cache never outlives its split.
+    _decoded: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -81,11 +85,16 @@ class CompressedStore:
     # ------------------------------------------------------------------ #
     # Access
 
+    def _decoded_matrix(self) -> np.ndarray:
+        """Full decoded code matrix, computed once and memoized."""
+        if self._decoded is None:
+            self._decoded = self.split.reconstruct()
+        return self._decoded
+
     def column_codes(self, name: str) -> np.ndarray:
         """Integer codes of one column, reconstructed from bases + deviations."""
         idx = self._column_order.index(name)
-        reconstructed = self.split.reconstruct()
-        return reconstructed[:, idx]
+        return self._decoded_matrix()[:, idx]
 
     def base_values(self, name: str) -> np.ndarray:
         """Distinct base values of one column, shifted back to the code domain.
@@ -103,7 +112,9 @@ class CompressedStore:
         """Losslessly reconstruct (a subset of) the original table."""
         if row_indices is None:
             row_indices = np.arange(self.num_rows)
-        codes = self.split.reconstruct(row_indices)
+            codes = self._decoded_matrix()
+        else:
+            codes = self.split.reconstruct(row_indices)
         columns: dict[str, np.ndarray] = {}
         for idx, name in enumerate(self._column_order):
             transform = self.preprocessor[name]
@@ -113,7 +124,7 @@ class CompressedStore:
 
     def decoded_codes(self) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
         """All column codes plus null masks (input format for PairwiseHist)."""
-        reconstructed = self.split.reconstruct()
+        reconstructed = self._decoded_matrix()
         codes = {name: reconstructed[:, i] for i, name in enumerate(self._column_order)}
         return codes, self.null_masks
 
@@ -121,7 +132,11 @@ class CompressedStore:
     # Updates
 
     def append(self, table: Table) -> "CompressedStore":
-        """Add new rows (same schema) to the compressed store."""
+        """Add new rows (same schema) to the compressed store.
+
+        Returns a new store whose decoded-matrix cache starts empty, so a
+        stale reconstruction can never be served after an append.
+        """
         if table.schema.names != self.schema.names:
             raise ValueError("appended rows must match the store schema")
         codes, nulls = self.preprocessor.transform_table(table)

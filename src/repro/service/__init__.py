@@ -1,0 +1,18 @@
+"""Multi-table query service over partitioned, incrementally-updatable engines.
+
+:class:`Database` owns registration, partitioned compression, parallel
+synopsis construction and streaming ingestion; :class:`QueryService` is the
+SQL front end routing queries by table name.  :class:`QueryServiceSystem`
+plugs a service table into the benchmark harness.
+"""
+
+from .database import Database, IngestResult, ManagedTable, QueryService
+from .system import QueryServiceSystem
+
+__all__ = [
+    "Database",
+    "IngestResult",
+    "ManagedTable",
+    "QueryService",
+    "QueryServiceSystem",
+]

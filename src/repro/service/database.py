@@ -1,0 +1,302 @@
+"""Multi-table database and SQL query service over partitioned engines.
+
+The monolithic pipeline (one table → one synopsis → one engine) becomes a
+service here:
+
+* :class:`Database` is the catalog and maintenance layer.  Registering a
+  table shards it into a :class:`~repro.gd.partitioned.PartitionedStore`,
+  builds one PairwiseHist per partition in parallel and merges them into
+  the queryable synopsis.  :meth:`Database.ingest` streams new rows in:
+  only the tail partition's store and synopsis are rebuilt, the merged
+  synopsis is recomposed from the (mostly untouched) per-partition parts
+  and swapped into the live engine.
+* :class:`QueryService` is the SQL front end: it parses queries, routes
+  them by table name to the owning engine and exposes streaming ingestion.
+
+This is the Fig. 2 pipeline including the red incremental-update arrows,
+generalised to many tables with bounded-cost appends.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.builder import PartitionInput, build_partition_synopses
+from ..core.engine import AqpResult, PairwiseHistEngine
+from ..core.params import PairwiseHistParams
+from ..core.serialization import serialize_partitioned, synopsis_size_bytes
+from ..core.synopsis import PairwiseHist
+from ..data.table import Table
+from ..gd.greedygd import GreedyGDConfig
+from ..gd.partitioned import DEFAULT_PARTITION_SIZE, PartitionedStore
+from ..sql.ast import Query
+from ..sql.parser import parse_query
+
+
+@dataclass
+class IngestResult:
+    """Outcome of one streaming append: what changed and what it cost."""
+
+    table_name: str
+    appended_rows: int
+    rebuilt_partitions: list[int]
+    total_partitions: int
+    seconds: float
+
+    @property
+    def untouched_partitions(self) -> int:
+        return self.total_partitions - len(self.rebuilt_partitions)
+
+
+@dataclass
+class ManagedTable:
+    """One registered table: partitioned store, per-partition synopses, engine."""
+
+    name: str
+    store: PartitionedStore
+    params: PairwiseHistParams
+    partition_synopses: list[PairwiseHist]
+    engine: PairwiseHistEngine
+    #: Total partition-synopsis builds over the table's lifetime — the
+    #: incremental-maintenance cost metric (grows by the number of affected
+    #: partitions per ingest, not by the partition count).
+    synopsis_builds: int = 0
+
+    @property
+    def num_rows(self) -> int:
+        return self.store.num_rows
+
+    @property
+    def num_partitions(self) -> int:
+        return self.store.num_partitions
+
+    def compressed_bytes(self) -> int:
+        return self.store.compressed_bytes()
+
+    def synopsis_bytes(self) -> int:
+        """Persisted synopsis size: the framed per-partition payload.
+
+        Partitioned synopses are stored per partition (so an append only
+        rewrites the tail's blob) and merged at load time; the merged
+        synopsis is a transient in-memory query accelerator whose union
+        grids are not what lands on disk.
+        """
+        return len(self.serialized_partition_synopses())
+
+    def merged_synopsis_bytes(self) -> int:
+        """In-memory serialized size of the merged, queryable synopsis."""
+        return synopsis_size_bytes(self.engine.synopsis)
+
+    def serialized_partition_synopses(self) -> bytes:
+        """Framed payload of every per-partition synopsis (PWHP format)."""
+        return serialize_partitioned(self.partition_synopses)
+
+
+class Database:
+    """Catalog + maintenance layer: registration, ingestion, synopsis refresh."""
+
+    def __init__(
+        self,
+        default_params: PairwiseHistParams | None = None,
+        partition_size: int = DEFAULT_PARTITION_SIZE,
+        max_workers: int | None = None,
+        executor: str = "thread",
+        gd_config: GreedyGDConfig | None = None,
+    ) -> None:
+        self.default_params = default_params or PairwiseHistParams.with_defaults(
+            sample_size=100_000
+        )
+        self.partition_size = partition_size
+        self.max_workers = max_workers
+        self.executor = executor
+        self.gd_config = gd_config
+        self._tables: dict[str, ManagedTable] = {}
+
+    # ------------------------------------------------------------------ #
+    # Catalog
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def table_names(self) -> list[str]:
+        return list(self._tables)
+
+    def table(self, name: str) -> ManagedTable:
+        if name not in self._tables:
+            raise KeyError(
+                f"no table named {name!r} is registered (have: {self.table_names})"
+            )
+        return self._tables[name]
+
+    def engine(self, name: str) -> PairwiseHistEngine:
+        return self.table(name).engine
+
+    def drop(self, name: str) -> None:
+        self.table(name)
+        del self._tables[name]
+
+    # ------------------------------------------------------------------ #
+    # Registration
+
+    def register(
+        self,
+        table: Table,
+        params: PairwiseHistParams | None = None,
+        partition_size: int | None = None,
+    ) -> ManagedTable:
+        """Shard, compress and summarise a table, making it queryable."""
+        if table.name in self._tables:
+            raise ValueError(f"table {table.name!r} is already registered")
+        start = time.perf_counter()
+        params = params or self.default_params
+        store = PartitionedStore.compress(
+            table, partition_size or self.partition_size, self.gd_config
+        )
+        synopses = self._build_synopses(store, params, store.partitions)
+        merged = PairwiseHist.merge(list(synopses), params=params)
+        engine = PairwiseHistEngine(
+            synopsis=merged,
+            preprocessor=store.preprocessor,
+            table_name=table.name,
+            store=None,
+            construction_seconds=time.perf_counter() - start,
+        )
+        managed = ManagedTable(
+            name=table.name,
+            store=store,
+            params=params,
+            partition_synopses=synopses,
+            engine=engine,
+            synopsis_builds=len(synopses),
+        )
+        self._tables[table.name] = managed
+        return managed
+
+    def _build_synopses(
+        self,
+        store: PartitionedStore,
+        params: PairwiseHistParams,
+        partitions,
+    ) -> list[PairwiseHist]:
+        """Build synopses for the given partitions of a store, in parallel."""
+        inputs = []
+        for partition in partitions:
+            codes, nulls = partition.decoded_codes()
+            initial_edges = {
+                name: partition.base_values(name)
+                for name in store.column_order
+                if not store.preprocessor[name].is_categorical
+            }
+            inputs.append(
+                PartitionInput(
+                    codes=codes,
+                    population_rows=partition.num_rows,
+                    null_masks=nulls,
+                    initial_edges=initial_edges,
+                )
+            )
+        return build_partition_synopses(
+            inputs,
+            params,
+            columns=store.column_order,
+            max_workers=self.max_workers,
+            executor=self.executor,
+            # Scale each partition's bin budget against the whole table even
+            # when rebuilding only the tail after an append.
+            total_rows=store.num_rows,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Streaming ingestion
+
+    def ingest(self, table_name: str, rows: Table) -> IngestResult:
+        """Append rows to a registered table, refreshing only what changed.
+
+        The partitioned store appends (tail top-up + overflow partitions),
+        then only the affected partitions' synopses are rebuilt; untouched
+        partitions keep their existing synopsis objects.  The merged
+        synopsis is recomposed from the parts and swapped into the engine.
+        """
+        start = time.perf_counter()
+        managed = self.table(table_name)
+        affected = managed.store.append(rows)
+        if affected:
+            rebuilt = self._build_synopses(
+                managed.store,
+                managed.params,
+                [managed.store.partitions[index] for index in affected],
+            )
+            synopses = list(managed.partition_synopses)
+            synopses.extend([None] * (managed.store.num_partitions - len(synopses)))
+            for index, synopsis in zip(affected, rebuilt):
+                synopses[index] = synopsis
+            managed.partition_synopses = synopses
+            managed.synopsis_builds += len(rebuilt)
+            merged = PairwiseHist.merge(list(synopses), params=managed.params)
+            managed.engine.refresh_synopsis(merged)
+        return IngestResult(
+            table_name=table_name,
+            appended_rows=rows.num_rows,
+            rebuilt_partitions=affected,
+            total_partitions=managed.store.num_partitions,
+            seconds=time.perf_counter() - start,
+        )
+
+
+class QueryService:
+    """SQL front end: parse, route by table name, execute, ingest.
+
+    >>> service = QueryService()
+    >>> service.register_table(table)            # doctest: +SKIP
+    >>> service.execute("SELECT AVG(x) FROM t WHERE y > 3")  # doctest: +SKIP
+    """
+
+    def __init__(self, database: Database | None = None, **database_kwargs) -> None:
+        if database is not None and database_kwargs:
+            raise ValueError("pass either a Database or its constructor arguments")
+        self.database = database or Database(**database_kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Catalog passthrough
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.database
+
+    @property
+    def table_names(self) -> list[str]:
+        return self.database.table_names
+
+    def table(self, name: str) -> ManagedTable:
+        return self.database.table(name)
+
+    def register_table(
+        self,
+        table: Table,
+        params: PairwiseHistParams | None = None,
+        partition_size: int | None = None,
+    ) -> ManagedTable:
+        return self.database.register(table, params=params, partition_size=partition_size)
+
+    def ingest(self, table_name: str, rows: Table) -> IngestResult:
+        """Stream new rows into a registered table (incremental refresh)."""
+        return self.database.ingest(table_name, rows)
+
+    # ------------------------------------------------------------------ #
+    # Query execution
+
+    def _route(self, query: Query | str) -> tuple[Query, PairwiseHistEngine]:
+        if isinstance(query, str):
+            query = parse_query(query)
+        return query, self.database.engine(query.table)
+
+    def execute(self, query: Query | str) -> list[AqpResult] | dict[str, list[AqpResult]]:
+        """Execute a query against the table it names."""
+        query, engine = self._route(query)
+        return engine.execute(query)
+
+    def execute_scalar(self, query: Query | str) -> AqpResult:
+        """Execute a non-GROUP BY query, returning the first aggregation."""
+        query, engine = self._route(query)
+        return engine.execute_scalar(query)

@@ -1,0 +1,56 @@
+"""Adapter exposing a :class:`~repro.service.database.QueryService` table
+through the :class:`~repro.baselines.base.AqpSystem` interface, so the
+partitioned engine can sit next to the monolithic PairwiseHist and the
+baselines in the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.params import PairwiseHistParams
+from ..data.table import Table
+from ..baselines.base import BaselineResult, UnsupportedQueryError
+from ..sql.ast import Query
+from .database import QueryService
+
+
+@dataclass
+class QueryServiceSystem:
+    """One table of a query service wrapped as an evaluated AQP system."""
+
+    service: QueryService
+    table_name: str
+    name: str = "PairwiseHist (partitioned)"
+
+    @classmethod
+    def fit(
+        cls,
+        table: Table,
+        sample_size: int | None = 100_000,
+        partition_size: int | None = None,
+        params: PairwiseHistParams | None = None,
+        max_workers: int | None = None,
+        executor: str = "thread",
+        name: str = "PairwiseHist (partitioned)",
+    ) -> "QueryServiceSystem":
+        """Stand up a single-table service for benchmarking."""
+        params = params or PairwiseHistParams.with_defaults(sample_size=sample_size)
+        kwargs = {"max_workers": max_workers, "executor": executor}
+        if partition_size is not None:
+            kwargs["partition_size"] = partition_size
+        service = QueryService(**kwargs)
+        service.register_table(table, params=params)
+        return cls(service=service, table_name=table.name, name=name)
+
+    @property
+    def construction_seconds(self) -> float:
+        return self.service.table(self.table_name).engine.construction_seconds
+
+    def synopsis_bytes(self) -> int:
+        return self.service.table(self.table_name).synopsis_bytes()
+
+    def estimate(self, query: Query) -> BaselineResult:
+        if query.group_by is not None:
+            raise UnsupportedQueryError("the harness compares non-GROUP BY queries")
+        result = self.service.execute_scalar(query)
+        return BaselineResult(value=result.value, lower=result.lower, upper=result.upper)

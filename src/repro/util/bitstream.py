@@ -2,30 +2,51 @@
 
 Both GreedyGD (base / deviation packing) and the PairwiseHist storage
 encoding of §4.3 (Golomb-coded sparse bin counts, fixed-width dense counts)
-need sub-byte framing.  The implementations here favour clarity over raw
-speed; they are only used on synopsis-sized payloads.
+need sub-byte framing.  Bits are staged as numpy ``uint8`` arrays and the
+byte rendering / parsing goes through ``np.packbits`` / ``np.unpackbits``,
+so the Golomb–Rice hot path of the compressed storage accounting runs as
+batch array operations instead of per-bit Python loops.
 """
 
 from __future__ import annotations
+
+import numpy as np
+
+_ONE = np.uint64(1)
+
+
+def _value_bits(value: int, width: int) -> np.ndarray:
+    """Big-endian bit array of ``value`` in a fixed ``width`` field."""
+    if width <= 64:
+        shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+        return ((np.uint64(value) >> shifts) & _ONE).astype(np.uint8)
+    # Arbitrary-precision fallback for fields wider than a machine word.
+    return np.fromiter(
+        ((value >> shift) & 1 for shift in range(width - 1, -1, -1)),
+        dtype=np.uint8,
+        count=width,
+    )
 
 
 class BitWriter:
     """Accumulates bits most-significant-first and renders them as bytes."""
 
     def __init__(self) -> None:
-        self._bits: list[int] = []
+        self._chunks: list[np.ndarray] = []
+        self._length = 0
 
     def __len__(self) -> int:
-        return len(self._bits)
+        return self._length
 
     @property
     def bit_length(self) -> int:
         """Number of bits written so far."""
-        return len(self._bits)
+        return self._length
 
     def write_bit(self, bit: int) -> None:
         """Append a single bit (0 or 1)."""
-        self._bits.append(1 if bit else 0)
+        self._chunks.append(np.array([1 if bit else 0], dtype=np.uint8))
+        self._length += 1
 
     def write_bits(self, value: int, width: int) -> None:
         """Append ``value`` as a fixed-width big-endian bit field."""
@@ -35,38 +56,66 @@ class BitWriter:
             raise ValueError("width must be non-negative")
         if width and value >= (1 << width):
             raise ValueError(f"value {value} does not fit in {width} bits")
-        for shift in range(width - 1, -1, -1):
-            self._bits.append((value >> shift) & 1)
+        if width == 0:
+            return
+        self._chunks.append(_value_bits(value, width))
+        self._length += width
+
+    def write_bits_array(self, values: np.ndarray, width: int) -> None:
+        """Append every value of an array as a fixed-width big-endian field.
+
+        Batch equivalent of calling :meth:`write_bits` per element; the bit
+        matrix is produced in one vectorized shift instead of a Python loop.
+        """
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if width == 0 or len(values) == 0:
+            return
+        values = np.asarray(values)
+        if np.any(values < 0):
+            raise ValueError("cannot write negative values")
+        if width < 64 and np.any(values >= (1 << width)):
+            raise ValueError(f"some values do not fit in {width} bits")
+        if width > 64:
+            for value in values.tolist():
+                self.write_bits(int(value), width)
+            return
+        shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+        bits = ((values.astype(np.uint64)[:, None] >> shifts[None, :]) & _ONE).astype(np.uint8)
+        self._chunks.append(bits.ravel())
+        self._length += width * len(values)
 
     def write_unary(self, value: int) -> None:
         """Append ``value`` ones followed by a terminating zero."""
         if value < 0:
             raise ValueError("cannot unary-encode negative values")
-        self._bits.extend([1] * value)
-        self._bits.append(0)
+        chunk = np.ones(value + 1, dtype=np.uint8)
+        chunk[-1] = 0
+        self._chunks.append(chunk)
+        self._length += value + 1
 
     def getvalue(self) -> bytes:
         """Render the accumulated bits as bytes, zero-padded to a byte boundary."""
-        out = bytearray()
-        acc = 0
-        count = 0
-        for bit in self._bits:
-            acc = (acc << 1) | bit
-            count += 1
-            if count == 8:
-                out.append(acc)
-                acc = 0
-                count = 0
-        if count:
-            out.append(acc << (8 - count))
-        return bytes(out)
+        if not self._chunks:
+            return b""
+        bits = np.concatenate(self._chunks)
+        return np.packbits(bits).tobytes()
 
 
 class BitReader:
-    """Reads bits most-significant-first from a byte string."""
+    """Reads bits most-significant-first from a byte string.
+
+    The whole buffer is unpacked to a ``uint8`` bit array once at
+    construction so fixed-width and unary reads are array slices rather
+    than per-bit shifts.
+    """
+
+    #: Window size used when scanning for the terminating zero of a unary code.
+    _SCAN = 256
 
     def __init__(self, data: bytes) -> None:
         self._data = data
+        self._bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
         self._pos = 0
 
     @property
@@ -76,26 +125,62 @@ class BitReader:
 
     @property
     def remaining_bits(self) -> int:
-        return len(self._data) * 8 - self._pos
+        return len(self._bits) - self._pos
 
     def read_bit(self) -> int:
         """Read a single bit; raises ``EOFError`` past the end of the stream."""
-        byte_index, bit_index = divmod(self._pos, 8)
-        if byte_index >= len(self._data):
+        if self._pos >= len(self._bits):
             raise EOFError("bit stream exhausted")
+        bit = int(self._bits[self._pos])
         self._pos += 1
-        return (self._data[byte_index] >> (7 - bit_index)) & 1
+        return bit
 
     def read_bits(self, width: int) -> int:
         """Read a fixed-width big-endian bit field."""
+        if width == 0:
+            return 0
+        if self._pos + width > len(self._bits):
+            raise EOFError("bit stream exhausted")
+        bits = self._bits[self._pos : self._pos + width]
+        self._pos += width
+        if width <= 64:
+            shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+            return int((bits.astype(np.uint64) << shifts).sum(dtype=np.uint64))
         value = 0
-        for _ in range(width):
-            value = (value << 1) | self.read_bit()
+        for bit in bits.tolist():
+            value = (value << 1) | bit
         return value
+
+    def read_bits_array(self, count: int, width: int) -> np.ndarray:
+        """Read ``count`` consecutive fixed-width fields as a ``uint64`` array.
+
+        Batch equivalent of calling :meth:`read_bits` per field.
+        """
+        if count == 0 or width == 0:
+            self._pos += count * width
+            return np.zeros(count, dtype=np.uint64)
+        total = count * width
+        if self._pos + total > len(self._bits):
+            raise EOFError("bit stream exhausted")
+        if width > 64:
+            return np.array([self.read_bits(width) for _ in range(count)], dtype=object)
+        bits = self._bits[self._pos : self._pos + total].reshape(count, width)
+        self._pos += total
+        shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+        return (bits.astype(np.uint64) << shifts[None, :]).sum(axis=1, dtype=np.uint64)
 
     def read_unary(self) -> int:
         """Read a unary-coded value (count of ones before the first zero)."""
-        count = 0
-        while self.read_bit():
-            count += 1
-        return count
+        start = self._pos
+        scan = start
+        while True:
+            window = self._bits[scan : scan + self._SCAN]
+            if window.size == 0:
+                raise EOFError("bit stream exhausted")
+            zeros = np.flatnonzero(window == 0)
+            if zeros.size:
+                terminator = scan + int(zeros[0])
+                break
+            scan += window.size
+        self._pos = terminator + 1
+        return terminator - start

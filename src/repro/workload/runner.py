@@ -1,4 +1,10 @@
-"""Run a workload against an AQP system and collect per-query measurements."""
+"""Run a workload against an AQP system and collect per-query measurements.
+
+Systems under test include the classic single-table adapters and whole
+:class:`~repro.service.database.QueryService` tables (via
+:meth:`WorkloadRunner.for_service`, which reconstructs the ground-truth
+rows losslessly from the service's partitioned store).
+"""
 
 from __future__ import annotations
 
@@ -20,6 +26,16 @@ class WorkloadRunner:
 
     def __post_init__(self) -> None:
         self._exact = ExactQueryEngine(self.table)
+
+    @classmethod
+    def for_service(cls, service, table_name: str) -> "WorkloadRunner":
+        """Build a runner for one table of a query service.
+
+        Ground truth comes from the partitioned store's lossless
+        reconstruction, so the runner stays in sync with whatever the
+        service has ingested so far (call again after further ingests).
+        """
+        return cls(table=service.table(table_name).store.reconstruct_rows())
 
     # ------------------------------------------------------------------ #
 

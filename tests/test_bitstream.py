@@ -98,3 +98,57 @@ class TestBitReader:
     def test_zero_width_read_returns_zero(self):
         reader = BitReader(b"\xff")
         assert reader.read_bits(0) == 0
+
+    def test_wide_field_round_trip(self):
+        # Fields wider than a machine word take the arbitrary-precision path.
+        value = (1 << 100) + 12345
+        writer = BitWriter()
+        writer.write_bits(value, 104)
+        assert BitReader(writer.getvalue()).read_bits(104) == value
+
+    def test_long_unary_round_trip(self):
+        # Longer than the reader's zero-scan window.
+        writer = BitWriter()
+        writer.write_unary(1000)
+        writer.write_bits(3, 2)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_unary() == 1000
+        assert reader.read_bits(2) == 3
+
+
+class TestBatchOperations:
+    def test_array_round_trip_matches_scalar_path(self):
+        import numpy as np
+
+        values = np.array([0, 1, 5, 255, 1023, 512])
+        batch = BitWriter()
+        batch.write_bits_array(values, 10)
+        scalar = BitWriter()
+        for value in values:
+            scalar.write_bits(int(value), 10)
+        assert batch.getvalue() == scalar.getvalue()
+        reader = BitReader(batch.getvalue())
+        np.testing.assert_array_equal(reader.read_bits_array(len(values), 10), values)
+
+    def test_empty_array_writes_nothing(self):
+        import numpy as np
+
+        writer = BitWriter()
+        writer.write_bits_array(np.array([], dtype=np.int64), 8)
+        assert writer.getvalue() == b""
+        assert writer.bit_length == 0
+
+    def test_array_rejects_negative_and_overflow(self):
+        import numpy as np
+        import pytest
+
+        with pytest.raises(ValueError):
+            BitWriter().write_bits_array(np.array([-1]), 4)
+        with pytest.raises(ValueError):
+            BitWriter().write_bits_array(np.array([16]), 4)
+
+    def test_read_array_past_end_raises(self):
+        import pytest
+
+        with pytest.raises(EOFError):
+            BitReader(b"\x00").read_bits_array(3, 10)

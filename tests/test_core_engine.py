@@ -159,6 +159,52 @@ class TestGroupBy:
             assert group_results[0].group == label
 
 
+class TestEmptyGroupFilter:
+    """Regression tests: GROUP BY must drop groups with zero estimated count."""
+
+    @pytest.fixture(scope="class")
+    def separated_engine(self):
+        # Only category "rare" lives in the high-x range, so a predicate on
+        # x can empty out the other groups entirely.  Skewed category counts
+        # make the category histogram refine into per-category bins.
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        x = np.concatenate(
+            [rng.uniform(0, 10, 700), rng.uniform(0, 10, 400), rng.uniform(100, 110, 100)]
+        )
+        category = np.array(["common"] * 700 + ["medium"] * 400 + ["rare"] * 100, dtype=object)
+        from repro import Table
+
+        table = Table.from_dict({"x": np.round(x, 2), "category": category}, name="sep")
+        # Fine-grained bins (min_points well below the group sizes) so the
+        # synopsis can actually tell the categories apart.
+        params = PairwiseHistParams(sample_size=None, min_points=30, seed=0)
+        return PairwiseHistEngine.from_table(table, params=params)
+
+    def test_empty_group_dropped_with_count(self, separated_engine):
+        results = separated_engine.execute(
+            "SELECT COUNT(x) FROM sep WHERE x > 50 GROUP BY category"
+        )
+        assert "rare" in results
+        assert "common" not in results
+        assert "medium" not in results
+
+    def test_empty_group_dropped_without_count_aggregation(self, separated_engine):
+        # No COUNT in the SELECT list: the engine estimates COUNT(*) over
+        # the group's predicate to decide whether the group is empty.
+        results = separated_engine.execute(
+            "SELECT AVG(x) FROM sep WHERE x > 50 GROUP BY category"
+        )
+        assert "rare" in results
+        assert "common" not in results
+        assert "medium" not in results
+
+    def test_non_empty_groups_survive(self, separated_engine):
+        results = separated_engine.execute("SELECT COUNT(x) FROM sep GROUP BY category")
+        assert set(results) == {"common", "medium", "rare"}
+
+
 class TestCountStar:
     def test_count_star_no_predicate(self, simple_engine, simple_table):
         result = simple_engine.execute_scalar("SELECT COUNT(*) FROM simple")
