@@ -1,0 +1,113 @@
+"""Many dashboard clients over TCP while rows stream in (heavy traffic).
+
+The paper pitches PairwiseHist for interactive AQP under dashboard-style
+load.  This example stands up the full concurrent stack:
+
+* a :class:`~repro.service.ConcurrentQueryService` (per-table
+  reader-writer locks, copy-on-write synopsis refresh),
+* the :class:`~repro.service.AsyncQueryService` coroutine front end with
+  its coalescing ingest queue,
+* a :class:`~repro.service.QueryServer` speaking newline-delimited JSON
+  over TCP,
+
+then drives it with several concurrent dashboard sessions issuing SQL
+over the wire while a writer task streams new rows in.  Queries keep
+answering at full speed through the ingest stream — the writer only takes
+each table's write lock for the final synopsis swap.
+
+Run with:  python examples/concurrent_dashboard.py
+"""
+
+import asyncio
+import time
+
+from repro import (
+    AsyncQueryClient,
+    AsyncQueryService,
+    PairwiseHistParams,
+    QueryServer,
+    load_dataset,
+)
+
+DASHBOARDS = 6
+QUERIES_PER_DASHBOARD = 40
+INGEST_BATCHES = 8
+INGEST_BATCH_ROWS = 2_000
+
+DASHBOARD_SQL = [
+    "SELECT COUNT(*) FROM power",
+    "SELECT AVG(global_active_power) FROM power WHERE voltage > 240",
+    "SELECT SUM(sub_metering_3) FROM power WHERE global_active_power > 1.0",
+    "SELECT MAX(voltage) FROM power WHERE global_intensity < 10",
+    "SELECT COUNT(voltage) FROM power WHERE voltage > 235 AND voltage < 245",
+]
+
+
+async def dashboard(host: str, port: int, session: int, latencies: list) -> int:
+    """One closed-loop dashboard session issuing SQL over its own socket."""
+    async with AsyncQueryClient(host, port) as client:
+        for step in range(QUERIES_PER_DASHBOARD):
+            sql = DASHBOARD_SQL[(session + step) % len(DASHBOARD_SQL)]
+            began = time.perf_counter()
+            await client.query(sql)
+            latencies.append(time.perf_counter() - began)
+            await asyncio.sleep(0.002)  # render time between refreshes
+    return QUERIES_PER_DASHBOARD
+
+
+async def writer(service: AsyncQueryService, source) -> None:
+    """Stream batches in; concurrent small appends coalesce automatically."""
+    for index in range(INGEST_BATCHES):
+        batch = source.sample(INGEST_BATCH_ROWS)
+        outcome = await service.ingest("power", batch)
+        print(
+            f"  writer: +{outcome.appended_rows} rows, rebuilt partitions "
+            f"{outcome.rebuilt_partitions} of {outcome.total_partitions} "
+            f"in {outcome.seconds * 1e3:.0f} ms"
+        )
+        await asyncio.sleep(0.05)
+
+
+async def main() -> None:
+    table = load_dataset("power", rows=30_000, seed=7)
+    async with AsyncQueryService(
+        partition_size=4_096, max_workers=4
+    ) as service:
+        managed = await service.register_table(
+            table, params=PairwiseHistParams.with_defaults(sample_size=15_000)
+        )
+        print(
+            f"registered {managed.name!r}: {managed.num_rows} rows in "
+            f"{managed.num_partitions} partitions\n"
+        )
+        async with QueryServer(service) as server:
+            host, port = server.address
+            print(f"serving newline-delimited JSON on {host}:{port}")
+            print(
+                f"driving {DASHBOARDS} dashboards x {QUERIES_PER_DASHBOARD} "
+                f"queries with background ingest\n"
+            )
+            latencies: list[float] = []
+            started = time.perf_counter()
+            results = await asyncio.gather(
+                writer(service, table),
+                *[
+                    dashboard(host, port, session, latencies)
+                    for session in range(DASHBOARDS)
+                ],
+            )
+            wall = time.perf_counter() - started
+            completed = sum(r for r in results if isinstance(r, int))
+            latencies.sort()
+            print("\ndashboard traffic summary")
+            print(f"  completed queries : {completed} in {wall:.2f} s "
+                  f"({completed / wall:.0f} queries/s aggregate)")
+            print(f"  median latency    : {latencies[len(latencies) // 2] * 1e3:.1f} ms")
+            print(f"  p95 latency       : {latencies[int(len(latencies) * 0.95)] * 1e3:.1f} ms")
+            final = await service.query_scalar("SELECT COUNT(*) FROM power")
+            print(f"  COUNT(*) after ingest stream: {final.value:.0f} "
+                  f"(started at {table.num_rows})")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -50,7 +50,19 @@ from .gd.store import CompressedStore
 from .gd.partitioned import PartitionedStore
 from .gd.preprocessor import Preprocessor
 from .exactdb.executor import ExactQueryEngine
-from .service import Database, IngestResult, ManagedTable, QueryService, QueryServiceSystem
+from .service import (
+    AsyncQueryClient,
+    AsyncQueryService,
+    ConcurrentQueryService,
+    Database,
+    IngestResult,
+    ManagedTable,
+    QueryServer,
+    QueryService,
+    QueryServiceSystem,
+    ReadWriteLock,
+    SerializedQueryService,
+)
 from .sql.parser import parse_query
 from .sql.ast import AggregateFunction, Query
 
@@ -83,11 +95,17 @@ __all__ = [
     "PartitionedStore",
     "Preprocessor",
     "ExactQueryEngine",
+    "AsyncQueryClient",
+    "AsyncQueryService",
+    "ConcurrentQueryService",
     "Database",
     "IngestResult",
     "ManagedTable",
+    "QueryServer",
     "QueryService",
     "QueryServiceSystem",
+    "ReadWriteLock",
+    "SerializedQueryService",
     "parse_query",
     "AggregateFunction",
     "Query",

@@ -12,11 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
-from ..sql.ast import Query
+from ..sql.ast import Query, UnsupportedQueryError
 
-
-class UnsupportedQueryError(ValueError):
-    """Raised by an AQP system for query shapes it cannot answer."""
+__all__ = ["AqpSystem", "BaselineResult", "UnsupportedQueryError"]
 
 
 @dataclass

@@ -10,6 +10,8 @@ time is available.  Relative comparisons — who wins, by roughly what factor
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -19,9 +21,12 @@ from ..baselines.base import AqpSystem
 from ..baselines.dbest import DBEstPlusPlusLike
 from ..baselines.deepdb import DeepDBLike
 from ..baselines.sampling_aqp import SamplingAQP
+from ..core.params import PairwiseHistParams
 from ..data.datasets import load_dataset
 from ..data.idebench import scale_dataset
 from ..data.table import Table
+from ..service.concurrency import ConcurrentQueryService, SerializedQueryService
+from ..service.database import QueryService
 from ..service.system import QueryServiceSystem
 from ..sql.ast import Query, predicate_conditions
 from ..workload.generator import QueryGenerator, WorkloadSpec
@@ -177,6 +182,182 @@ def run_suite(
     """Run the workload against every system in the suite."""
     runner = WorkloadRunner(table)
     return runner.run_many(list(suite), queries)
+
+
+# --------------------------------------------------------------------------- #
+# Concurrency benchmark: queries/sec under parallel clients + background ingest
+
+
+@dataclass
+class ThroughputMeasurement:
+    """One closed-loop throughput run: N clients, optional ingest stream."""
+
+    mode: str
+    num_clients: int
+    completed_queries: int
+    wall_seconds: float
+    ingest_batches: int = 0
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.completed_queries / self.wall_seconds
+
+
+def build_service_under_test(
+    table: Table,
+    kind: str = "concurrent",
+    partition_size: int = 2_000,
+    sample_size: int | None = None,
+    seed: int = 7,
+) -> QueryService:
+    """Stand up one registered-table service for the concurrency benchmark.
+
+    ``kind`` selects ``"concurrent"`` (per-table reader-writer locks,
+    copy-on-write ingest) or ``"serialized"`` (one global mutex around
+    queries *and* ingest — the no-concurrency baseline).
+    """
+    classes = {
+        "concurrent": ConcurrentQueryService,
+        "serialized": SerializedQueryService,
+    }
+    if kind not in classes:
+        raise ValueError(f"unknown service kind {kind!r}")
+    service = classes[kind](partition_size=partition_size)
+    service.register_table(
+        table, params=PairwiseHistParams.with_defaults(sample_size=sample_size, seed=seed)
+    )
+    return service
+
+
+def measure_query_throughput(
+    service: QueryService,
+    queries: list[Query],
+    num_clients: int,
+    duration_seconds: float = 2.0,
+    think_seconds: float = 0.002,
+    ingest_batches: list[Table] | None = None,
+    ingest_interval_seconds: float = 0.05,
+    mode: str = "concurrent",
+) -> ThroughputMeasurement:
+    """Closed-loop throughput over a fixed wall-clock window.
+
+    Every client thread cycles through the query list with a small think
+    time between requests (a dashboard rendering between refreshes) until
+    the window elapses; the measurement counts completed queries.  When
+    ``ingest_batches`` is given, a background writer streams one batch
+    into the service's (single) table every ``ingest_interval_seconds``,
+    cycling through the batches until all clients finish — so the window
+    includes query/ingest contention, which is the whole point.
+    """
+    table_name = service.table_names[0]
+    stop = threading.Event()
+    ingest_count = [0]
+    completed = [0] * num_clients
+    failures: list[BaseException] = []
+    deadline = [0.0]
+
+    def ingester() -> None:
+        index = 0
+        try:
+            while not stop.is_set():
+                began = time.perf_counter()
+                service.ingest(table_name, ingest_batches[index % len(ingest_batches)])
+                ingest_count[0] += 1
+                index += 1
+                remaining = ingest_interval_seconds - (time.perf_counter() - began)
+                if remaining > 0:
+                    stop.wait(remaining)
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            failures.append(exc)
+
+    def client(worker: int) -> None:
+        step = 0
+        try:
+            while time.perf_counter() < deadline[0]:
+                if think_seconds > 0:
+                    time.sleep(think_seconds)
+                query = queries[(worker + step * num_clients) % len(queries)]
+                service.execute_scalar(query)
+                completed[worker] += 1
+                step += 1
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            failures.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(worker,), daemon=True)
+        for worker in range(num_clients)
+    ]
+    writer = (
+        threading.Thread(target=ingester, daemon=True)
+        if ingest_batches
+        else None
+    )
+    start = time.perf_counter()
+    deadline[0] = start + duration_seconds
+    if writer is not None:
+        writer.start()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_seconds = time.perf_counter() - start
+    stop.set()
+    if writer is not None:
+        writer.join()
+    if failures:
+        raise failures[0]
+    return ThroughputMeasurement(
+        mode=mode,
+        num_clients=num_clients,
+        completed_queries=sum(completed),
+        wall_seconds=wall_seconds,
+        ingest_batches=ingest_count[0],
+    )
+
+
+def run_concurrency_benchmark(
+    table: Table,
+    queries: list[Query],
+    client_counts: tuple[int, ...] = (1, 4, 16),
+    baseline_clients: tuple[int, ...] = (4,),
+    duration_seconds: float = 2.0,
+    think_seconds: float = 0.002,
+    partition_size: int = 2_000,
+    ingest_batches: list[Table] | None = None,
+    ingest_interval_seconds: float = 0.05,
+    seed: int = 7,
+) -> list[ThroughputMeasurement]:
+    """The concurrency experiment: the concurrent service at 1/4/16
+    clients against the serialized (single global mutex) baseline, all
+    with the same background ingest stream and measurement window.
+
+    The baseline is measured only at ``baseline_clients`` counts — it is
+    an order of magnitude slower under ingest, and one point suffices for
+    the speedup ratio.  A fresh service is registered per measurement so
+    earlier ingests never bleed into later runs.
+    """
+    measurements: list[ThroughputMeasurement] = []
+    plan = [("serialized", n) for n in baseline_clients]
+    plan += [("concurrent", n) for n in client_counts]
+    for kind, num_clients in plan:
+        service = build_service_under_test(
+            table, kind=kind, partition_size=partition_size, seed=seed
+        )
+        measurements.append(
+            measure_query_throughput(
+                service,
+                queries,
+                num_clients=num_clients,
+                duration_seconds=duration_seconds,
+                think_seconds=think_seconds,
+                ingest_batches=ingest_batches,
+                ingest_interval_seconds=ingest_interval_seconds,
+                mode=kind,
+            )
+        )
+    return measurements
 
 
 def format_table(headers: list[str], rows: list[list[str]], title: str | None = None) -> str:

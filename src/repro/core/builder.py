@@ -260,6 +260,28 @@ class PartitionInput:
     initial_edges: Mapping[str, np.ndarray] | None = None
 
 
+def snapshot_partition_input(store, partition) -> PartitionInput:
+    """Decode one partition of a partitioned store into a build input.
+
+    The returned :class:`PartitionInput` references only the (immutable,
+    sealed) partition — not the store's mutable partition *list* — so the
+    expensive synopsis build can run off-lock while a concurrent service
+    keeps answering queries and even swaps that list underneath us.
+    """
+    codes, nulls = partition.decoded_codes()
+    initial_edges = {
+        name: partition.base_values(name)
+        for name in store.column_order
+        if not store.preprocessor[name].is_categorical
+    }
+    return PartitionInput(
+        codes=codes,
+        population_rows=partition.num_rows,
+        null_masks=nulls,
+        initial_edges=initial_edges,
+    )
+
+
 def partition_params(
     params: PairwiseHistParams, partition_rows: int, total_rows: int
 ) -> PairwiseHistParams:

@@ -25,12 +25,15 @@ from ..gd.store import CompressedStore
 from ..sql.ast import (
     AggregateFunction,
     Aggregation,
+    ComparisonOp,
     Condition,
     LogicalOp,
     Predicate,
     PredicateNode,
     Query,
+    UnsupportedQueryError,
     predicate_columns,
+    predicate_conditions,
 )
 from ..sql.parser import parse_query
 from .aggregation import AqpEstimate, aggregate
@@ -247,6 +250,8 @@ class PairwiseHistEngine:
     # ------------------------------------------------------------------ #
     # Internals
 
+    _RANGE_OPS = (ComparisonOp.LT, ComparisonOp.GT, ComparisonOp.LE, ComparisonOp.GE)
+
     def _check_query(self, query: Query) -> None:
         if query.table and query.table != self.table_name:
             # Accept any table name; warn-free because the engine serves one table.
@@ -254,6 +259,16 @@ class PairwiseHistEngine:
         for column in query.columns:
             if column not in self.preprocessor:
                 raise KeyError(f"unknown column {column!r} in query")
+        for condition in predicate_conditions(query.predicate):
+            transform = self.preprocessor[condition.column]
+            if transform.is_categorical and condition.op in self._RANGE_OPS:
+                # Categorical codes carry no order, so a range predicate would
+                # silently match an arbitrary subset; reject it instead.  The
+                # workload runner records this as an unsupported query.
+                raise UnsupportedQueryError(
+                    f"range predicate {condition.op.value!r} on categorical "
+                    f"column {condition.column!r} is not supported"
+                )
         for agg in query.aggregations:
             if agg.column is None:
                 continue

@@ -197,13 +197,29 @@ class Table:
 
     def concat(self, other: "Table") -> "Table":
         """Append another table with the same schema (incremental ingestion)."""
-        if self.schema.names != other.schema.names:
-            raise ValueError("cannot concatenate tables with different schemas")
+        return Table.concat_all([self, other])
+
+    @classmethod
+    def concat_all(cls, tables: "list[Table]") -> "Table":
+        """Concatenate many same-schema tables with one copy per column.
+
+        Building an n-table batch this way is O(total rows); repeated
+        pairwise ``concat`` calls would copy the accumulated prefix again
+        for every table appended.
+        """
+        if not tables:
+            raise ValueError("cannot concatenate zero tables")
+        first = tables[0]
+        if len(tables) == 1:
+            return first
+        for other in tables[1:]:
+            if other.schema.names != first.schema.names:
+                raise ValueError("cannot concatenate tables with different schemas")
         new_columns = {
-            name: np.concatenate([self.column(name), other.column(name)])
-            for name in self.column_names
+            name: np.concatenate([table.column(name) for table in tables])
+            for name in first.column_names
         }
-        return Table(name=self.name, schema=self.schema, columns=new_columns)
+        return cls(name=first.name, schema=first.schema, columns=new_columns)
 
     def to_rows(self) -> list[tuple]:
         """Materialise the table as a list of row tuples (small tables only)."""

@@ -170,24 +170,31 @@ class PartitionedStore:
         remaining rows are compressed into fresh partitions.  Sealed
         partitions are never touched, so their synopses stay valid — the
         returned indices tell callers exactly which partitions to refresh.
+
+        The append is *swap-safe*: the new partition list is assembled on
+        the side and published with a single atomic assignment, so a
+        concurrent reader iterating ``partitions`` sees either the old or
+        the new list, never a half-appended one.
         """
         if table.schema.names != self.schema.names:
             raise ValueError("appended rows must match the store schema")
         if table.num_rows == 0:
             return []
+        partitions = list(self.partitions)
         affected: list[int] = []
         consumed = 0
-        tail = self.partitions[-1]
+        tail = partitions[-1]
         capacity = self.partition_size - tail.num_rows
         if capacity > 0:
             take = min(capacity, table.num_rows)
-            self.partitions[-1] = tail.append(table.select_rows(np.arange(take)))
-            affected.append(self.num_partitions - 1)
+            partitions[-1] = tail.append(table.select_rows(np.arange(take)))
+            affected.append(len(partitions) - 1)
             consumed = take
         while consumed < table.num_rows:
             take = min(self.partition_size, table.num_rows - consumed)
             chunk = table.select_rows(np.arange(consumed, consumed + take))
-            self.partitions.append(self._compress_partition(chunk))
-            affected.append(self.num_partitions - 1)
+            partitions.append(self._compress_partition(chunk))
+            affected.append(len(partitions) - 1)
             consumed += take
+        self.partitions = partitions
         return affected

@@ -2,17 +2,41 @@
 
 :class:`Database` owns registration, partitioned compression, parallel
 synopsis construction and streaming ingestion; :class:`QueryService` is the
-SQL front end routing queries by table name.  :class:`QueryServiceSystem`
-plugs a service table into the benchmark harness.
+SQL front end routing queries by table name.  For parallel clients,
+:class:`ConcurrentQueryService` adds per-table reader-writer locks with
+copy-on-write ingestion, :class:`AsyncQueryService` exposes the same API
+as coroutines (with a coalescing ingest queue), and :class:`QueryServer`
+serves it over a newline-delimited-JSON TCP protocol.
+:class:`QueryServiceSystem` plugs a service table into the benchmark
+harness.
 """
 
-from .database import Database, IngestResult, ManagedTable, QueryService
+from .concurrency import (
+    ConcurrentQueryService,
+    ReadWriteLock,
+    SerializedQueryService,
+)
+from .database import (
+    Database,
+    IngestResult,
+    ManagedTable,
+    QueryService,
+    StagedIngest,
+)
+from .server import AsyncQueryClient, AsyncQueryService, QueryServer
 from .system import QueryServiceSystem
 
 __all__ = [
+    "AsyncQueryClient",
+    "AsyncQueryService",
+    "ConcurrentQueryService",
     "Database",
     "IngestResult",
     "ManagedTable",
+    "QueryServer",
     "QueryService",
     "QueryServiceSystem",
+    "ReadWriteLock",
+    "SerializedQueryService",
+    "StagedIngest",
 ]

@@ -22,7 +22,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from ..core.builder import PartitionInput, build_partition_synopses
+from ..core.builder import build_partition_synopses, snapshot_partition_input
 from ..core.engine import AqpResult, PairwiseHistEngine
 from ..core.params import PairwiseHistParams
 from ..core.serialization import serialize_partitioned, synopsis_size_bytes
@@ -47,6 +47,25 @@ class IngestResult:
     @property
     def untouched_partitions(self) -> int:
         return self.total_partitions - len(self.rebuilt_partitions)
+
+
+@dataclass
+class StagedIngest:
+    """An ingest whose rebuild is done but whose results are unpublished.
+
+    Produced by :meth:`Database.stage_ingest` (the expensive, off-lock
+    phase) and consumed by :meth:`Database.commit_ingest` (the cheap swap
+    that a concurrent front end runs under the table's write lock).
+    """
+
+    table_name: str
+    appended_rows: int
+    affected: list[int]
+    #: Full replacement partition-synopsis list (``None`` for a no-op append).
+    synopses: list[PairwiseHist] | None
+    merged: PairwiseHist | None
+    total_partitions: int
+    started: float
 
 
 @dataclass
@@ -181,22 +200,7 @@ class Database:
         partitions,
     ) -> list[PairwiseHist]:
         """Build synopses for the given partitions of a store, in parallel."""
-        inputs = []
-        for partition in partitions:
-            codes, nulls = partition.decoded_codes()
-            initial_edges = {
-                name: partition.base_values(name)
-                for name in store.column_order
-                if not store.preprocessor[name].is_categorical
-            }
-            inputs.append(
-                PartitionInput(
-                    codes=codes,
-                    population_rows=partition.num_rows,
-                    null_masks=nulls,
-                    initial_edges=initial_edges,
-                )
-            )
+        inputs = [snapshot_partition_input(store, partition) for partition in partitions]
         return build_partition_synopses(
             inputs,
             params,
@@ -211,38 +215,105 @@ class Database:
     # ------------------------------------------------------------------ #
     # Streaming ingestion
 
+    def validate_ingest(self, table_name: str, rows: Table) -> ManagedTable:
+        """Check an ingest request, raising a clear error for bad input.
+
+        * unknown table → :class:`KeyError` naming the table and the
+          registered catalog,
+        * ``rows`` not a :class:`~repro.data.table.Table` → :class:`TypeError`,
+        * schema mismatch → :class:`ValueError` naming both column lists,
+
+        instead of whatever attribute error would otherwise escape from
+        deep inside the partitioned store.
+        """
+        managed = self.table(table_name)
+        if not isinstance(rows, Table):
+            raise TypeError(
+                f"ingest into {table_name!r} needs a Table of rows, "
+                f"got {type(rows).__name__}"
+            )
+        if rows.schema.names != managed.store.schema.names:
+            raise ValueError(
+                f"rows for table {table_name!r} do not match its schema: "
+                f"expected columns {managed.store.schema.names}, "
+                f"got {rows.schema.names}"
+            )
+        return managed
+
+    def stage_ingest(self, table_name: str, rows: Table) -> StagedIngest:
+        """Phase 1 of an ingest: append + rebuild, without publishing.
+
+        The partitioned store appends (tail top-up + overflow partitions;
+        the partition list is swapped atomically), then only the affected
+        partitions' synopses are rebuilt and re-merged — into *fresh*
+        objects that no reader can see yet.  Queries running concurrently
+        keep using the table's published synopsis untouched; a concurrent
+        front end runs this phase without holding the table's write lock.
+        """
+        start = time.perf_counter()
+        managed = self.validate_ingest(table_name, rows)
+        partitions_before = managed.store.partitions
+        affected = managed.store.append(rows)
+        synopses = None
+        merged = None
+        try:
+            if affected:
+                rebuilt = self._build_synopses(
+                    managed.store,
+                    managed.params,
+                    [managed.store.partitions[index] for index in affected],
+                )
+                synopses = list(managed.partition_synopses)
+                synopses.extend([None] * (managed.store.num_partitions - len(synopses)))
+                for index, synopsis in zip(affected, rebuilt):
+                    synopses[index] = synopsis
+                merged = PairwiseHist.merge(list(synopses), params=managed.params)
+        except BaseException:
+            # Roll the append back so the store never outruns its synopses:
+            # append() swapped in a fresh partition list and sealed
+            # partitions are immutable, so restoring the old list reverts
+            # it exactly and the table stays ingestable.
+            managed.store.partitions = partitions_before
+            raise
+        return StagedIngest(
+            table_name=table_name,
+            appended_rows=rows.num_rows,
+            affected=affected,
+            synopses=synopses,
+            merged=merged,
+            total_partitions=managed.store.num_partitions,
+            started=start,
+        )
+
+    def commit_ingest(self, staged: StagedIngest) -> IngestResult:
+        """Phase 2 of an ingest: publish the staged synopses (cheap swap).
+
+        Everything expensive happened in :meth:`stage_ingest`; this only
+        swaps the partition-synopsis list and the engine's merged synopsis,
+        so a concurrent front end holds the table's write lock for
+        microseconds, not for the rebuild.
+        """
+        managed = self.table(staged.table_name)
+        if staged.synopses is not None:
+            managed.partition_synopses = staged.synopses
+            managed.synopsis_builds += len(staged.affected)
+            managed.engine.refresh_synopsis(staged.merged)
+        return IngestResult(
+            table_name=staged.table_name,
+            appended_rows=staged.appended_rows,
+            rebuilt_partitions=staged.affected,
+            total_partitions=staged.total_partitions,
+            seconds=time.perf_counter() - staged.started,
+        )
+
     def ingest(self, table_name: str, rows: Table) -> IngestResult:
         """Append rows to a registered table, refreshing only what changed.
 
-        The partitioned store appends (tail top-up + overflow partitions),
-        then only the affected partitions' synopses are rebuilt; untouched
-        partitions keep their existing synopsis objects.  The merged
-        synopsis is recomposed from the parts and swapped into the engine.
+        Equivalent to :meth:`stage_ingest` followed immediately by
+        :meth:`commit_ingest`; concurrent front ends interleave the two
+        phases with the table's write lock.
         """
-        start = time.perf_counter()
-        managed = self.table(table_name)
-        affected = managed.store.append(rows)
-        if affected:
-            rebuilt = self._build_synopses(
-                managed.store,
-                managed.params,
-                [managed.store.partitions[index] for index in affected],
-            )
-            synopses = list(managed.partition_synopses)
-            synopses.extend([None] * (managed.store.num_partitions - len(synopses)))
-            for index, synopsis in zip(affected, rebuilt):
-                synopses[index] = synopsis
-            managed.partition_synopses = synopses
-            managed.synopsis_builds += len(rebuilt)
-            merged = PairwiseHist.merge(list(synopses), params=managed.params)
-            managed.engine.refresh_synopsis(merged)
-        return IngestResult(
-            table_name=table_name,
-            appended_rows=rows.num_rows,
-            rebuilt_partitions=affected,
-            total_partitions=managed.store.num_partitions,
-            seconds=time.perf_counter() - start,
-        )
+        return self.commit_ingest(self.stage_ingest(table_name, rows))
 
 
 class QueryService:
@@ -279,6 +350,9 @@ class QueryService:
     ) -> ManagedTable:
         return self.database.register(table, params=params, partition_size=partition_size)
 
+    def drop_table(self, table_name: str) -> None:
+        self.database.drop(table_name)
+
     def ingest(self, table_name: str, rows: Table) -> IngestResult:
         """Stream new rows into a registered table (incremental refresh)."""
         return self.database.ingest(table_name, rows)
@@ -300,3 +374,11 @@ class QueryService:
         """Execute a non-GROUP BY query, returning the first aggregation."""
         query, engine = self._route(query)
         return engine.execute_scalar(query)
+
+    def query(self, query: Query | str) -> list[AqpResult] | dict[str, list[AqpResult]]:
+        """Alias for :meth:`execute` matching the async front end's verb."""
+        return self.execute(query)
+
+    def query_scalar(self, query: Query | str) -> AqpResult:
+        """Alias for :meth:`execute_scalar` matching the async front end."""
+        return self.execute_scalar(query)

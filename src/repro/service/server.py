@@ -1,0 +1,527 @@
+"""Asyncio front end and line-protocol server for the query service.
+
+:class:`AsyncQueryService` exposes ``query`` / ``ingest`` /
+``register_table`` as coroutines over a thread-safe
+:class:`~repro.service.concurrency.ConcurrentQueryService`.  CPU work is
+dispatched to a bounded thread-pool executor, so the event loop stays
+responsive while hundreds of dashboard clients multiplex onto a handful
+of worker threads.  Small appends are coalesced: each table gets an
+ingest queue whose drain task batches everything pending into a single
+tail-partition recompression, amortising the synopsis rebuild across
+writers (the paper's bounded-cost update, amortised once more).
+
+:class:`QueryServer` puts a newline-delimited-JSON TCP protocol in front
+of it (``asyncio.start_server``), so external clients can drive many
+tables at once:
+
+    → {"op": "query",  "sql": "SELECT AVG(x) FROM t WHERE y > 3"}
+    ← {"ok": true, "result": {"results": [{"value": ..., ...}]}}
+
+Supported ops: ``query``, ``ingest``, ``register``, ``drop``, ``tables``,
+``ping``.
+Errors come back as ``{"ok": false, "error": ..., "error_type": ...}`` —
+never as a dropped connection or a stack trace.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+
+from ..core.engine import AqpResult
+from ..core.params import PairwiseHistParams
+from ..data.table import Table
+from ..sql.ast import Query
+from ..sql.parser import ParseError
+from .concurrency import ConcurrentQueryService
+from .database import IngestResult, ManagedTable
+
+#: Coalesce at most this many rows into one batched tail recompression.
+DEFAULT_MAX_BATCH_ROWS = 65_536
+
+#: Per-line buffer limit for the TCP protocol (asyncio's default is 64 KiB,
+#: far smaller than a realistic ingest frame).
+DEFAULT_LINE_LIMIT = 32 * 1024 * 1024
+
+
+class AsyncQueryService:
+    """Coroutine face of a :class:`ConcurrentQueryService`.
+
+    ``query`` / ``query_scalar`` / ``register_table`` dispatch straight to
+    the bounded executor; ``ingest`` goes through a per-table coalescing
+    queue unless ``coalesce=False``.  Use as an async context manager (or
+    call :meth:`close`) so the drain tasks and executor shut down cleanly.
+    """
+
+    def __init__(
+        self,
+        service: ConcurrentQueryService | None = None,
+        max_workers: int = 4,
+        max_batch_rows: int = DEFAULT_MAX_BATCH_ROWS,
+        **service_kwargs,
+    ) -> None:
+        if service is not None and service_kwargs:
+            raise ValueError("pass either a service or its constructor arguments")
+        self.service = service or ConcurrentQueryService(**service_kwargs)
+        self.max_batch_rows = max_batch_rows
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="aqp-worker"
+        )
+        self._ingest_queues: dict[str, asyncio.Queue] = {}
+        self._drain_tasks: dict[str, asyncio.Task] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+
+    async def __aenter__(self) -> "AsyncQueryService":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        """Cancel drain tasks, fail queued ingests and release the executor."""
+        if self._closed:
+            return
+        self._closed = True
+        for task in self._drain_tasks.values():
+            task.cancel()
+        for task in self._drain_tasks.values():
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        # Anything still sitting in a queue was never dequeued by a drain
+        # task; cancel those futures so their awaiting callers don't hang.
+        for queue in self._ingest_queues.values():
+            while not queue.empty():
+                _, future = queue.get_nowait()
+                if not future.done():
+                    future.cancel()
+        self._drain_tasks.clear()
+        self._ingest_queues.clear()
+        # Waiting for in-flight executor work can take as long as a synopsis
+        # rebuild; do it off the event loop so other tasks keep running.
+        await asyncio.get_running_loop().run_in_executor(
+            None, partial(self._executor.shutdown, wait=True)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+
+    async def _dispatch(self, fn, *args, **kwargs):
+        if self._closed:
+            raise RuntimeError("the async query service is closed")
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, partial(fn, *args, **kwargs)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Coroutine API
+
+    async def query(self, query: Query | str):
+        """Execute a query (list of results, or a dict for GROUP BY)."""
+        return await self._dispatch(self.service.execute, query)
+
+    async def query_scalar(self, query: Query | str) -> AqpResult:
+        """Execute a non-GROUP BY query, returning the first aggregation."""
+        return await self._dispatch(self.service.execute_scalar, query)
+
+    async def register_table(
+        self,
+        table: Table,
+        params: PairwiseHistParams | None = None,
+        partition_size: int | None = None,
+    ) -> ManagedTable:
+        return await self._dispatch(
+            self.service.register_table,
+            table,
+            params=params,
+            partition_size=partition_size,
+        )
+
+    async def ingest(
+        self, table_name: str, rows: Table, coalesce: bool = True
+    ) -> IngestResult:
+        """Append rows; small concurrent appends coalesce into one rebuild.
+
+        All callers whose rows land in the same drained batch share a
+        single :class:`IngestResult` (one tail recompression).  Validation
+        errors (unknown table, schema mismatch) raise immediately in the
+        caller, before anything is enqueued, so one bad writer cannot
+        poison a batch.
+        """
+        if self._closed:
+            raise RuntimeError("the async query service is closed")
+        self.service.database.validate_ingest(table_name, rows)
+        if not coalesce:
+            return await self._dispatch(self.service.ingest, table_name, rows)
+        queue = self._queue_for(table_name)
+        future = asyncio.get_running_loop().create_future()
+        queue.put_nowait((rows, future))
+        return await future
+
+    async def drop_table(self, table_name: str) -> None:
+        """Drop a table, retiring its coalescing queue and drain task.
+
+        Without this cleanup, every register/ingest/drop cycle under a new
+        name would leak a parked drain task and its queue until close().
+        Queued-but-undrained ingests for the table are cancelled.
+        """
+        if self._closed:
+            raise RuntimeError("the async query service is closed")
+        await self._retire_queue(table_name)
+        await self._dispatch(self.service.drop_table, table_name)
+        # An ingest that passed validation while the drop was in flight may
+        # have recreated the queue; now that the catalog entry is gone no
+        # further ingest can, so one more retirement closes the race (the
+        # validate-and-enqueue step is atomic on the event loop).
+        await self._retire_queue(table_name)
+
+    async def _retire_queue(self, table_name: str) -> None:
+        task = self._drain_tasks.pop(table_name, None)
+        queue = self._ingest_queues.pop(table_name, None)
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        if queue is not None:
+            while not queue.empty():
+                _, future = queue.get_nowait()
+                if not future.done():
+                    future.cancel()
+
+    @property
+    def table_names(self) -> list[str]:
+        return self.service.table_names
+
+    # ------------------------------------------------------------------ #
+    # Ingest coalescing
+
+    def _queue_for(self, table_name: str) -> asyncio.Queue:
+        if table_name not in self._ingest_queues:
+            self._ingest_queues[table_name] = asyncio.Queue()
+            self._drain_tasks[table_name] = asyncio.ensure_future(
+                self._drain(table_name)
+            )
+        return self._ingest_queues[table_name]
+
+    async def _drain(self, table_name: str) -> None:
+        """Per-table drain loop: batch whatever is pending, ingest once."""
+        queue = self._ingest_queues[table_name]
+        carried: tuple | None = None  # dequeued but over-budget for the last batch
+        while True:
+            rows, future = carried if carried is not None else await queue.get()
+            carried = None
+            parts = [rows]
+            batch_rows = rows.num_rows
+            futures = [future]
+            while not queue.empty():
+                more_rows, more_future = queue.get_nowait()
+                if batch_rows + more_rows.num_rows > self.max_batch_rows:
+                    carried = (more_rows, more_future)
+                    break
+                parts.append(more_rows)
+                batch_rows += more_rows.num_rows
+                futures.append(more_future)
+            rows = Table.concat_all(parts)
+            try:
+                result = await self._dispatch(self.service.ingest, table_name, rows)
+            except asyncio.CancelledError:
+                if carried is not None and not carried[1].done():
+                    carried[1].cancel()
+                for f in futures:
+                    if not f.done():
+                        f.cancel()
+                raise
+            except Exception as exc:
+                for f in futures:
+                    if not f.done():
+                        f.set_exception(exc)
+            else:
+                for f in futures:
+                    if not f.done():
+                        f.set_result(result)
+
+
+# --------------------------------------------------------------------------- #
+# Wire format
+
+
+def encode_result(result) -> dict:
+    """JSON-encodable payload for one execute() return value."""
+    if isinstance(result, dict):  # GROUP BY: label -> [AqpResult]
+        return {
+            "groups": {
+                label: [_encode_aqp(r) for r in results]
+                for label, results in result.items()
+            }
+        }
+    return {"results": [_encode_aqp(r) for r in result]}
+
+
+def _encode_aqp(result: AqpResult) -> dict:
+    aggregation = result.aggregation
+    column = aggregation.column if aggregation.column is not None else "*"
+    return {
+        "aggregation": f"{aggregation.func.value}({column})",
+        "value": _json_float(result.value),
+        "lower": _json_float(result.lower),
+        "upper": _json_float(result.upper),
+        "group": result.group,
+    }
+
+
+def _json_float(value: float) -> float | None:
+    """NaN / inf are not valid JSON; encode them as null."""
+    return value if isinstance(value, (int, float)) and math.isfinite(value) else None
+
+
+def _encode_ingest(result: IngestResult) -> dict:
+    return {
+        "table": result.table_name,
+        "appended_rows": result.appended_rows,
+        "rebuilt_partitions": result.rebuilt_partitions,
+        "total_partitions": result.total_partitions,
+        "seconds": result.seconds,
+    }
+
+
+#: Errors the server converts into clean ``{"ok": false}`` responses.
+_CLIENT_ERRORS = (KeyError, ValueError, TypeError, ParseError)
+
+
+class QueryServer:
+    """Newline-delimited-JSON TCP server over an :class:`AsyncQueryService`.
+
+    >>> server = QueryServer(async_service)          # doctest: +SKIP
+    >>> await server.start()                         # doctest: +SKIP
+    >>> host, port = server.address                  # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        service: AsyncQueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        line_limit: int = DEFAULT_LINE_LIMIT,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.line_limit = line_limit
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+
+    async def start(self) -> "QueryServer":
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=self.line_limit
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._server is None:
+            raise RuntimeError("the server has not been started")
+        return self.host, self.port
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            # wait_closed() (Python >= 3.12.1) waits for every connection
+            # handler to return, and _handle blocks in readline() until its
+            # client hangs up — so close lingering connections ourselves
+            # instead of hanging on an idle client.
+            for writer in list(self._connections):
+                writer.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "QueryServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------ #
+    # Protocol
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError as exc:
+                    # Line exceeded the buffer limit; the stream cannot be
+                    # re-synchronised, so answer with an error frame and
+                    # drop this connection only.
+                    writer.write(
+                        json.dumps(self._error(exc)).encode("utf-8") + b"\n"
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                response = await self._respond(line)
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _respond(self, line: bytes) -> dict:
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return self._error(exc)
+        if not isinstance(request, dict):
+            return self._error(ValueError("requests must be JSON objects"))
+        try:
+            return {"ok": True, "result": await self._execute_op(request)}
+        except _CLIENT_ERRORS as exc:
+            return self._error(exc)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            # The documented contract: errors are frames, never dropped
+            # connections or stack traces (e.g. a query racing close()).
+            return self._error(exc)
+
+    @staticmethod
+    def _error(exc: Exception) -> dict:
+        message = exc.args[0] if exc.args else str(exc)
+        return {"ok": False, "error": str(message), "error_type": type(exc).__name__}
+
+    async def _execute_op(self, request: dict):
+        op = request.get("op")
+        if op == "ping":
+            return "pong"
+        if op == "tables":
+            return {"tables": self.service.table_names}
+        if op == "query":
+            if "sql" not in request:
+                raise ValueError("query requests need a 'sql' field")
+            return encode_result(await self.service.query(request["sql"]))
+        if op == "ingest":
+            table_name, rows = self._rows_from_request(request)
+            result = await self.service.ingest(
+                table_name, rows, coalesce=bool(request.get("coalesce", True))
+            )
+            return _encode_ingest(result)
+        if op == "register":
+            table_name, rows = self._rows_from_request(request, registered=False)
+            managed = await self.service.register_table(
+                rows, partition_size=request.get("partition_size")
+            )
+            return {
+                "table": managed.name,
+                "rows": managed.num_rows,
+                "partitions": managed.num_partitions,
+            }
+        if op == "drop":
+            table_name = request.get("table")
+            if not isinstance(table_name, str):
+                raise ValueError("drop requests need a 'table' name")
+            await self.service.drop_table(table_name)
+            return {"table": table_name, "dropped": True}
+        raise ValueError(f"unknown op {op!r}")
+
+    def _rows_from_request(
+        self, request: dict, registered: bool = True
+    ) -> tuple[str, Table]:
+        table_name = request.get("table")
+        if not isinstance(table_name, str):
+            raise ValueError("ingest/register requests need a 'table' name")
+        payload = request.get("rows")
+        if not isinstance(payload, dict) or not payload:
+            raise ValueError("ingest/register requests need a 'rows' mapping")
+        schema = None
+        if registered:
+            # Decode against the registered schema so numeric columns arrive
+            # typed the way the store expects (raises KeyError if unknown).
+            schema = self.service.service.table(table_name).store.schema
+        return table_name, Table.from_dict(payload, name=table_name, schema=schema)
+
+
+class AsyncQueryClient:
+    """Minimal line-protocol client for :class:`QueryServer` (tests, examples).
+
+    One request is in flight per connection at a time; concurrent callers
+    sharing a client serialize on an internal lock, so open one client per
+    simulated dashboard session for parallel traffic.
+    """
+
+    def __init__(
+        self, host: str, port: int, line_limit: int = DEFAULT_LINE_LIMIT
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.line_limit = line_limit
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._lock = asyncio.Lock()
+
+    async def connect(self) -> "AsyncQueryClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=self.line_limit
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "AsyncQueryClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def request(self, payload: dict) -> dict:
+        if self._writer is None:
+            raise RuntimeError("client is not connected")
+        async with self._lock:
+            self._writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+            await self._writer.drain()
+            line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    async def query(self, sql: str) -> dict:
+        """Send a query, returning the decoded result payload (raises on error)."""
+        response = await self.request({"op": "query", "sql": sql})
+        if not response["ok"]:
+            raise RuntimeError(f"{response['error_type']}: {response['error']}")
+        return response["result"]
+
+    async def ingest(self, table: str, rows: dict, coalesce: bool = True) -> dict:
+        response = await self.request(
+            {"op": "ingest", "table": table, "rows": rows, "coalesce": coalesce}
+        )
+        if not response["ok"]:
+            raise RuntimeError(f"{response['error_type']}: {response['error']}")
+        return response["result"]

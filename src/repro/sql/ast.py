@@ -18,6 +18,14 @@ from dataclasses import dataclass, field
 from typing import Union
 
 
+class UnsupportedQueryError(ValueError):
+    """Raised by an AQP system for query shapes it cannot answer.
+
+    The workload runner records these as ``supported=False`` instead of
+    failing the run — the paper's per-system supported-query accounting.
+    """
+
+
 class AggregateFunction(enum.Enum):
     """The seven aggregation functions supported by PairwiseHist (Table 3)."""
 

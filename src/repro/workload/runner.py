@@ -8,6 +8,7 @@ rows losslessly from the service's partitioned store).
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 
@@ -52,35 +53,7 @@ class WorkloadRunner:
         """
         summary = WorkloadSummary()
         for query in queries:
-            truth = self.ground_truth(query)
-            aggregation = query.aggregation.func.value
-            sql = str(query)
-            try:
-                start = time.perf_counter()
-                result = system.estimate(query)
-                latency = time.perf_counter() - start
-            except UnsupportedQueryError:
-                summary.add(
-                    QueryRecord(
-                        sql=sql,
-                        aggregation=aggregation,
-                        truth=truth,
-                        estimate=float("nan"),
-                        supported=False,
-                    )
-                )
-                continue
-            summary.add(
-                QueryRecord(
-                    sql=sql,
-                    aggregation=aggregation,
-                    truth=truth,
-                    estimate=result.value,
-                    lower=result.lower,
-                    upper=result.upper,
-                    latency_seconds=latency,
-                )
-            )
+            summary.add(_measure_query(system, query, self.ground_truth(query)))
         return summary
 
     def run_many(
@@ -88,3 +61,98 @@ class WorkloadRunner:
     ) -> dict[str, WorkloadSummary]:
         """Run the same workload against several systems."""
         return {system.name: self.run(system, queries) for system in systems}
+
+    def run_concurrent(
+        self,
+        system: AqpSystem,
+        queries: list[Query],
+        num_clients: int = 4,
+        think_seconds: float = 0.0,
+    ) -> "ConcurrentRunResult":
+        """Run the workload from several concurrent clients (threads).
+
+        The query list is split round-robin across ``num_clients`` threads
+        hitting ``system`` simultaneously — dashboard-style traffic.
+        Ground truth is computed up front on the calling thread, so only
+        the system under test sees concurrency.  ``think_seconds`` adds a
+        per-query client-side pause (render/network time) between requests.
+
+        The summary preserves the original query order; any unexpected
+        exception from a client is re-raised after all threads join.
+        """
+        if num_clients < 1:
+            raise ValueError("num_clients must be at least 1")
+        truths = [self.ground_truth(query) for query in queries]
+        records: list[QueryRecord | None] = [None] * len(queries)
+        failures: list[BaseException] = []
+
+        def client(worker: int) -> None:
+            try:
+                for index in range(worker, len(queries), num_clients):
+                    if think_seconds > 0:
+                        time.sleep(think_seconds)
+                    records[index] = _measure_query(
+                        system, queries[index], truths[index]
+                    )
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(worker,), daemon=True)
+            for worker in range(num_clients)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall_seconds = time.perf_counter() - start
+        if failures:
+            raise failures[0]
+        summary = WorkloadSummary()
+        for record in records:
+            summary.add(record)
+        return ConcurrentRunResult(
+            summary=summary, wall_seconds=wall_seconds, num_clients=num_clients
+        )
+
+
+def _measure_query(system: AqpSystem, query: Query, truth: float) -> QueryRecord:
+    """One timed estimate, recorded the same way :meth:`WorkloadRunner.run` does."""
+    aggregation = query.aggregation.func.value
+    sql = str(query)
+    try:
+        start = time.perf_counter()
+        result = system.estimate(query)
+        latency = time.perf_counter() - start
+    except UnsupportedQueryError:
+        return QueryRecord(
+            sql=sql,
+            aggregation=aggregation,
+            truth=truth,
+            estimate=float("nan"),
+            supported=False,
+        )
+    return QueryRecord(
+        sql=sql,
+        aggregation=aggregation,
+        truth=truth,
+        estimate=result.value,
+        lower=result.lower,
+        upper=result.upper,
+        latency_seconds=latency,
+    )
+
+
+@dataclass
+class ConcurrentRunResult:
+    """Outcome of one multi-client run: accuracy summary plus throughput."""
+
+    summary: WorkloadSummary
+    wall_seconds: float
+    num_clients: int
+
+    @property
+    def queries_per_second(self) -> float:
+        supported = len(self.summary.supported_records)
+        return supported / self.wall_seconds if self.wall_seconds > 0 else 0.0

@@ -1,0 +1,754 @@
+"""Concurrency stress tests: locks, torn reads, starvation, async front end.
+
+The contract under test (see ``repro.service.concurrency``):
+
+* queries hold a per-table read lock for the whole engine call, so every
+  answer reflects exactly one published synopsis — pre- or post-ingest,
+  never a torn mix;
+* ingest stages its rebuild off-lock (reads keep flowing) and commits
+  under the write lock;
+* the reader-writer lock prefers writers, so a steady query stream cannot
+  starve ingestion;
+* the asyncio front end coalesces small concurrent appends into one tail
+  recompression.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import threading
+import time
+
+import pytest
+
+from conftest import make_simple_table
+
+from repro import (
+    AsyncQueryClient,
+    AsyncQueryService,
+    ConcurrentQueryService,
+    PairwiseHistParams,
+    QueryServer,
+    ReadWriteLock,
+    SerializedQueryService,
+)
+
+JOIN_TIMEOUT = 60.0
+
+
+def exact_params() -> PairwiseHistParams:
+    return PairwiseHistParams.with_defaults(sample_size=None, seed=1)
+
+
+def make_service(
+    rows: int = 1200,
+    partition_size: int = 600,
+    name: str = "stream",
+    service_cls=ConcurrentQueryService,
+):
+    service = service_cls(partition_size=partition_size)
+    service.register_table(
+        make_simple_table(rows=rows, seed=50, name=name), params=exact_params()
+    )
+    return service
+
+
+def join_all(threads: list[threading.Thread]) -> None:
+    """Join with a timeout and fail loudly instead of hanging: a thread
+    still alive afterwards means a deadlock in the locking discipline."""
+    for thread in threads:
+        thread.join(timeout=JOIN_TIMEOUT)
+    stuck = [t.name for t in threads if t.is_alive()]
+    assert not stuck, f"threads deadlocked: {stuck}"
+
+
+# --------------------------------------------------------------------------- #
+# ReadWriteLock unit behaviour
+
+
+class TestReadWriteLock:
+    def test_readers_share_the_lock(self):
+        lock = ReadWriteLock()
+        entered = threading.Barrier(2, timeout=JOIN_TIMEOUT)
+
+        def reader():
+            with lock.read_locked():
+                entered.wait()  # both threads inside simultaneously
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        join_all(threads)
+
+    def test_writer_is_exclusive(self):
+        lock = ReadWriteLock()
+        lock.acquire_write()
+        with pytest.raises(TimeoutError):
+            lock.acquire_read(timeout=0.05)
+        with pytest.raises(TimeoutError):
+            lock.acquire_write(timeout=0.05)
+        lock.release_write()
+        with lock.read_locked(timeout=1.0):
+            pass
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        writer_started = threading.Event()
+        writer_done = threading.Event()
+
+        def writer():
+            writer_started.set()
+            with lock.write_locked(timeout=JOIN_TIMEOUT):
+                pass
+            writer_done.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        writer_started.wait(timeout=JOIN_TIMEOUT)
+        time.sleep(0.05)  # let the writer reach its wait
+        # Writer preference: a *new* reader must now queue behind the writer.
+        with pytest.raises(TimeoutError):
+            lock.acquire_read(timeout=0.05)
+        lock.release_read()
+        join_all([thread])
+        assert writer_done.is_set()
+        with lock.read_locked(timeout=1.0):
+            pass
+
+    def test_writer_not_starved_by_reader_stream(self):
+        lock = ReadWriteLock()
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                with lock.read_locked(timeout=JOIN_TIMEOUT):
+                    time.sleep(0.001)
+
+        readers = [threading.Thread(target=reader, daemon=True) for _ in range(6)]
+        for t in readers:
+            t.start()
+        time.sleep(0.05)  # reader stream fully going
+        start = time.perf_counter()
+        with lock.write_locked(timeout=10.0):
+            waited = time.perf_counter() - start
+        stop.set()
+        join_all(readers)
+        assert waited < 5.0, f"writer starved for {waited:.1f}s"
+
+    def test_writer_timeout_releases_queued_readers(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()  # long-running reader holds the lock throughout
+        reader_acquired = threading.Event()
+
+        def queued_reader():
+            with lock.read_locked(timeout=JOIN_TIMEOUT):
+                reader_acquired.set()
+
+        writer_waiting = threading.Event()
+
+        def writer():
+            writer_waiting.set()
+            with pytest.raises(TimeoutError):
+                lock.acquire_write(timeout=0.2)
+
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        writer_waiting.wait(timeout=JOIN_TIMEOUT)
+        time.sleep(0.05)  # writer is parked; a new reader now queues behind it
+        reader_thread = threading.Thread(target=queued_reader)
+        reader_thread.start()
+        join_all([writer_thread])
+        # After the writer's timeout the queued reader must proceed even
+        # though the first reader never released.
+        assert reader_acquired.wait(timeout=5.0), (
+            "reader stayed parked after the waiting writer timed out"
+        )
+        join_all([reader_thread])
+        lock.release_read()
+
+    def test_unbalanced_release_raises(self):
+        lock = ReadWriteLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+
+# --------------------------------------------------------------------------- #
+# Service-level stress
+
+
+class TestConcurrentService:
+    BATCHES = 4
+    BATCH_ROWS = 300
+
+    def batches(self, name: str = "stream"):
+        return [
+            make_simple_table(rows=self.BATCH_ROWS, seed=60 + i, name=name)
+            for i in range(self.BATCHES)
+        ]
+
+    def reference_values(self, sql_list):
+        """Run the same ingest sequence serially and record every synopsis
+        state's answers — the only values a correctly-locked service may
+        ever return."""
+        service = make_service()
+        valid = {sql: [service.execute_scalar(sql).value] for sql in sql_list}
+        for batch in self.batches():
+            service.ingest("stream", batch)
+            for sql in sql_list:
+                valid[sql].append(service.execute_scalar(sql).value)
+        return valid
+
+    @staticmethod
+    def matches_some(value: float, candidates: list[float]) -> bool:
+        return any(
+            math.isclose(value, v, rel_tol=1e-9, abs_tol=1e-9) for v in candidates
+        )
+
+    @pytest.mark.slow
+    def test_no_torn_reads_while_ingest_streams(self):
+        sql_list = [
+            "SELECT COUNT(*) FROM stream",
+            "SELECT AVG(x) FROM stream",
+            "SELECT SUM(w) FROM stream",
+        ]
+        valid = self.reference_values(sql_list)
+        service = make_service()
+        stop = threading.Event()
+        observed: dict[str, list[float]] = {sql: [] for sql in sql_list}
+        failures: list[BaseException] = []
+
+        def reader(sql: str) -> None:
+            try:
+                while not stop.is_set():
+                    observed[sql].append(service.execute_scalar(sql).value)
+            except BaseException as exc:  # pragma: no cover
+                failures.append(exc)
+
+        readers = [
+            threading.Thread(target=reader, args=(sql,), daemon=True)
+            for sql in sql_list
+        ]
+        for t in readers:
+            t.start()
+        for batch in self.batches():
+            service.ingest("stream", batch)
+        stop.set()
+        join_all(readers)
+        assert not failures, failures
+        for sql in sql_list:
+            assert observed[sql], f"reader for {sql!r} never ran"
+            bad = [
+                v for v in observed[sql] if not self.matches_some(v, valid[sql])
+            ]
+            assert not bad, (
+                f"torn reads for {sql!r}: {bad[:5]} not in any published "
+                f"synopsis state {valid[sql]}"
+            )
+        # The final published state is the fully-ingested one.
+        final = service.execute_scalar("SELECT COUNT(*) FROM stream").value
+        assert math.isclose(final, valid["SELECT COUNT(*) FROM stream"][-1], rel_tol=1e-9)
+
+    @pytest.mark.slow
+    def test_reads_flow_while_ingest_is_staging(self):
+        """Copy-on-write: reads complete *during* an in-flight ingest."""
+        service = make_service(rows=2400, partition_size=600)
+        big_batch = make_simple_table(rows=2400, seed=70, name="stream")
+        intervals: list[tuple[float, float]] = []
+        stop = threading.Event()
+
+        def reader() -> None:
+            while not stop.is_set():
+                began = time.perf_counter()
+                service.execute_scalar("SELECT AVG(x) FROM stream")
+                intervals.append((began, time.perf_counter()))
+
+        thread = threading.Thread(target=reader, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        ingest_start = time.perf_counter()
+        service.ingest("stream", big_batch)
+        ingest_end = time.perf_counter()
+        stop.set()
+        join_all([thread])
+        inside = [
+            (a, b) for a, b in intervals if a >= ingest_start and b <= ingest_end
+        ]
+        assert inside, (
+            "no query started and finished inside the ingest window — "
+            "reads are blocking on the rebuild instead of the final swap"
+        )
+
+    @pytest.mark.slow
+    def test_ingest_not_starved_by_query_hammering(self):
+        service = make_service()
+        stop = threading.Event()
+        failures: list[BaseException] = []
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    service.execute_scalar("SELECT COUNT(*) FROM stream")
+            except BaseException as exc:  # pragma: no cover
+                failures.append(exc)
+
+        readers = [threading.Thread(target=reader, daemon=True) for _ in range(4)]
+        for t in readers:
+            t.start()
+        time.sleep(0.05)
+        result = service.ingest(
+            "stream", make_simple_table(rows=400, seed=80, name="stream")
+        )
+        stop.set()
+        join_all(readers)
+        assert not failures, failures
+        assert result.appended_rows == 400
+        assert (
+            service.table("stream").engine.synopsis.population_rows == 1600
+        )
+
+    def test_parallel_ingest_on_independent_tables(self):
+        service = ConcurrentQueryService(partition_size=500)
+        for name in ("alpha_t", "beta_t"):
+            service.register_table(
+                make_simple_table(rows=1000, seed=90, name=name),
+                params=exact_params(),
+            )
+        failures: list[BaseException] = []
+
+        def worker(name: str) -> None:
+            try:
+                service.ingest(
+                    name, make_simple_table(rows=250, seed=91, name=name)
+                )
+                service.execute_scalar(f"SELECT COUNT(*) FROM {name}")
+            except BaseException as exc:  # pragma: no cover
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(name,), daemon=True)
+            for name in ("alpha_t", "beta_t")
+        ]
+        for t in threads:
+            t.start()
+        join_all(threads)
+        assert not failures, failures
+        for name in ("alpha_t", "beta_t"):
+            total = service.execute_scalar(f"SELECT COUNT(*) FROM {name}").value
+            assert total == pytest.approx(1250, rel=1e-9)
+
+    def test_multi_client_workload_runner(self):
+        from repro import QueryServiceSystem, parse_query
+        from repro.workload.runner import WorkloadRunner
+
+        service = make_service()
+        runner = WorkloadRunner.for_service(service, "stream")
+        system = QueryServiceSystem(service=service, table_name="stream")
+        queries = [
+            parse_query("SELECT COUNT(x) FROM stream WHERE x > 50"),
+            parse_query("SELECT AVG(y) FROM stream WHERE x > 20 AND x < 80"),
+            parse_query("SELECT SUM(z) FROM stream WHERE x < 70"),
+            parse_query("SELECT COUNT(*) FROM stream"),
+            parse_query("SELECT AVG(x) FROM stream WHERE y > 100"),
+            parse_query("SELECT MAX(x) FROM stream WHERE x < 90"),
+        ]
+        outcome = runner.run_concurrent(system, queries, num_clients=3)
+        assert len(outcome.summary) == len(queries)
+        assert outcome.queries_per_second > 0
+        assert outcome.num_clients == 3
+        # Records keep query order and stay accurate under concurrency.
+        for record, query in zip(outcome.summary.records, queries):
+            assert record.sql == str(query)
+            assert record.supported
+        assert outcome.summary.median_error_percent() < 5.0
+        with pytest.raises(ValueError):
+            runner.run_concurrent(system, queries, num_clients=0)
+
+    def test_unknown_names_do_not_grow_the_lock_registry(self):
+        service = make_service()
+        for i in range(20):
+            with pytest.raises(KeyError):
+                service.execute_scalar(f"SELECT COUNT(*) FROM junk{i}")
+            with pytest.raises(KeyError):
+                service.ingest(f"junk{i}", make_simple_table(rows=5, seed=0))
+            with pytest.raises(KeyError):
+                service.drop_table(f"junk{i}")
+        assert set(service._table_locks) == {"stream"}
+
+    def test_failed_registration_does_not_leak_locks(self):
+        service = make_service()
+        with pytest.raises(ValueError):
+            service.register_table(
+                make_simple_table(rows=100, seed=0, name="broken"),
+                partition_size=-1,
+            )
+        assert "broken" not in service._table_locks
+        assert "broken" not in service._ingest_mutexes
+        # A duplicate-name failure keeps the live table's locks.
+        with pytest.raises(ValueError):
+            service.register_table(make_simple_table(rows=100, seed=0, name="stream"))
+        assert "stream" in service._table_locks
+
+    def test_drop_table_retires_its_locks(self):
+        service = make_service()
+        service.drop_table("stream")
+        assert "stream" not in service
+        assert "stream" not in service._table_locks
+        assert "stream" not in service._ingest_mutexes
+        # Queries after the drop raise and must not resurrect the entry.
+        with pytest.raises(KeyError):
+            service.execute_scalar("SELECT COUNT(*) FROM stream")
+        assert "stream" not in service._table_locks
+
+    def test_drop_then_reregister_same_name(self):
+        service = make_service()
+        old_lock = service.lock_for("stream")
+        service.drop_table("stream")
+        service.register_table(
+            make_simple_table(rows=800, seed=51, name="stream"),
+            params=exact_params(),
+        )
+        assert service.lock_for("stream") is not old_lock
+        total = service.execute_scalar("SELECT COUNT(*) FROM stream").value
+        assert total == pytest.approx(800, rel=1e-9)
+        service.ingest("stream", make_simple_table(rows=200, seed=52, name="stream"))
+        total = service.execute_scalar("SELECT COUNT(*) FROM stream").value
+        assert total == pytest.approx(1000, rel=1e-9)
+
+    def test_failed_synopsis_build_rolls_the_append_back(self, monkeypatch):
+        service = make_service()
+        rows_before = service.table("stream").num_rows
+        partitions_before = service.table("stream").store.partitions
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("synthetic build failure")
+
+        monkeypatch.setattr(service.database, "_build_synopses", explode)
+        with pytest.raises(RuntimeError, match="synthetic"):
+            service.ingest(
+                "stream", make_simple_table(rows=900, seed=53, name="stream")
+            )
+        monkeypatch.undo()
+        # The append was reverted: the store never outran its synopses.
+        assert service.table("stream").num_rows == rows_before
+        assert service.table("stream").store.partitions is partitions_before
+        # The table is still fully ingestable and queryable.
+        service.ingest("stream", make_simple_table(rows=300, seed=54, name="stream"))
+        total = service.execute_scalar("SELECT COUNT(*) FROM stream").value
+        assert total == pytest.approx(rows_before + 300, rel=1e-9)
+
+    def test_serialized_baseline_answers_match(self):
+        concurrent = make_service()
+        serialized = make_service(service_cls=SerializedQueryService)
+        for sql in ("SELECT COUNT(*) FROM stream", "SELECT AVG(y) FROM stream"):
+            assert concurrent.execute_scalar(sql).value == pytest.approx(
+                serialized.execute_scalar(sql).value, rel=1e-12
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Async front end + TCP server
+
+
+def run_async(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestAsyncQueryService:
+    def test_query_register_and_coalesced_ingest(self):
+        async def scenario():
+            async with AsyncQueryService(partition_size=600, max_workers=2) as svc:
+                await svc.register_table(
+                    make_simple_table(rows=1200, seed=50, name="stream"),
+                    params=exact_params(),
+                )
+                before = await svc.query_scalar("SELECT COUNT(*) FROM stream")
+                assert before.value == pytest.approx(1200, rel=1e-9)
+                batches = [
+                    make_simple_table(rows=40, seed=100 + i, name="stream")
+                    for i in range(6)
+                ]
+                results = await asyncio.gather(
+                    *[svc.ingest("stream", batch) for batch in batches]
+                )
+                # All six appends were coalesced into a handful of rebuilds
+                # (usually one); every caller sees a shared batched result.
+                assert {r.appended_rows for r in results} != {40}
+                assert sum({id(r): r.appended_rows for r in results}.values()) == 240
+                after = await svc.query_scalar("SELECT COUNT(*) FROM stream")
+                assert after.value == pytest.approx(1440, rel=1e-9)
+
+        run_async(scenario())
+
+    def test_validation_errors_raise_in_caller(self):
+        async def scenario():
+            async with AsyncQueryService(partition_size=600) as svc:
+                await svc.register_table(
+                    make_simple_table(rows=600, seed=50, name="stream"),
+                    params=exact_params(),
+                )
+                with pytest.raises(KeyError):
+                    await svc.ingest(
+                        "missing", make_simple_table(rows=10, seed=0)
+                    )
+                with pytest.raises(TypeError):
+                    await svc.ingest("stream", {"x": [1.0]})
+
+        run_async(scenario())
+
+    def test_close_cancels_queued_ingests_instead_of_hanging(self):
+        async def scenario():
+            svc = AsyncQueryService(partition_size=600, max_workers=1)
+            await svc.register_table(
+                make_simple_table(rows=600, seed=50, name="stream"),
+                params=exact_params(),
+            )
+            # First ingest occupies the single worker; the second sits in
+            # the coalescing queue when close() runs.
+            first = asyncio.ensure_future(
+                svc.ingest("stream", make_simple_table(rows=400, seed=1, name="stream"))
+            )
+            await asyncio.sleep(0.01)
+            second = asyncio.ensure_future(
+                svc.ingest("stream", make_simple_table(rows=400, seed=2, name="stream"))
+            )
+            await asyncio.sleep(0.01)
+            await svc.close()
+            # Neither awaiter may hang forever; cancelled or completed both count.
+            done, pending = await asyncio.wait({first, second}, timeout=5.0)
+            assert not pending, "a queued ingest future was abandoned by close()"
+            for task in done:
+                if not task.cancelled():
+                    task.exception()  # retrieve, so no unretrieved-exception warning
+            with pytest.raises(RuntimeError, match="closed"):
+                await svc.ingest(
+                    "stream", make_simple_table(rows=10, seed=3, name="stream")
+                )
+            assert not svc._drain_tasks, "close() left orphan drain tasks"
+
+        run_async(scenario())
+
+    def test_uncoalesced_ingest(self):
+        async def scenario():
+            async with AsyncQueryService(partition_size=600) as svc:
+                await svc.register_table(
+                    make_simple_table(rows=600, seed=50, name="stream"),
+                    params=exact_params(),
+                )
+                result = await svc.ingest(
+                    "stream",
+                    make_simple_table(rows=100, seed=1, name="stream"),
+                    coalesce=False,
+                )
+                assert result.appended_rows == 100
+
+        run_async(scenario())
+
+    def test_coalescing_respects_the_batch_row_cap(self):
+        async def scenario():
+            async with AsyncQueryService(
+                partition_size=600, max_batch_rows=100
+            ) as svc:
+                await svc.register_table(
+                    make_simple_table(rows=600, seed=50, name="stream"),
+                    params=exact_params(),
+                )
+                batches = [
+                    make_simple_table(rows=80, seed=110 + i, name="stream")
+                    for i in range(3)
+                ]
+                results = await asyncio.gather(
+                    *[svc.ingest("stream", batch) for batch in batches]
+                )
+                # 80 + 80 would blow the 100-row cap, so no drained batch
+                # may merge two of them.
+                assert all(r.appended_rows <= 100 for r in results)
+                total = await svc.query_scalar("SELECT COUNT(*) FROM stream")
+                assert total.value == pytest.approx(840, rel=1e-9)
+
+        run_async(scenario())
+
+
+class TestQueryServer:
+    def test_wire_roundtrip_and_clean_errors(self):
+        async def scenario():
+            async with AsyncQueryService(partition_size=600, max_workers=2) as svc:
+                await svc.register_table(
+                    make_simple_table(rows=1200, seed=50, name="stream"),
+                    params=exact_params(),
+                )
+                async with QueryServer(svc) as server:
+                    host, port = server.address
+                    async with AsyncQueryClient(host, port) as client:
+                        assert (await client.request({"op": "ping"}))["result"] == "pong"
+                        tables = await client.request({"op": "tables"})
+                        assert tables["result"]["tables"] == ["stream"]
+
+                        payload = await client.query(
+                            "SELECT AVG(x) FROM stream WHERE y > 50"
+                        )
+                        (result,) = payload["results"]
+                        assert result["aggregation"] == "AVG(x)"
+                        assert result["lower"] <= result["value"] <= result["upper"]
+
+                        grouped = await client.query(
+                            "SELECT COUNT(x) FROM stream GROUP BY category"
+                        )
+                        assert set(grouped["groups"]) <= {
+                            "alpha", "beta", "gamma", "delta"
+                        }
+
+                        ingest = await client.ingest(
+                            "stream",
+                            {
+                                "x": [1.0],
+                                "y": [2.0],
+                                "z": [3.0],
+                                "w": [4.0],
+                                "with_nulls": [None],
+                                "category": ["alpha"],
+                            },
+                        )
+                        assert ingest["appended_rows"] == 1
+
+                        # Errors come back as clean frames, never closed sockets.
+                        for bad in (
+                            {"op": "query", "sql": "SELECT FROM"},
+                            {"op": "query", "sql": "SELECT COUNT(*) FROM nope"},
+                            {"op": "query"},
+                            {"op": "ingest", "table": "stream"},
+                            {"op": "ingest", "table": "nope", "rows": {"x": [1]}},
+                            {"op": "explode"},
+                        ):
+                            response = await client.request(bad)
+                            assert response["ok"] is False
+                            assert response["error_type"] in {
+                                "ParseError", "KeyError", "ValueError", "TypeError",
+                            }
+
+                        # Raw garbage on the wire gets a JSON error frame too.
+                        reader, writer = await asyncio.open_connection(host, port)
+                        writer.write(b"this is not json\n")
+                        await writer.drain()
+                        frame = json.loads(await reader.readline())
+                        assert frame["ok"] is False
+                        assert frame["error_type"] == "JSONDecodeError"
+                        writer.close()
+                        await writer.wait_closed()
+
+        run_async(scenario())
+
+    def test_large_ingest_frame_over_the_wire(self):
+        """Frames past asyncio's 64 KiB default line limit must still work."""
+        async def scenario():
+            async with AsyncQueryService(partition_size=2000, max_workers=2) as svc:
+                await svc.register_table(
+                    make_simple_table(rows=2000, seed=50, name="stream"),
+                    params=exact_params(),
+                )
+                rows = 4000  # ~300 KiB of JSON on one line
+                batch = make_simple_table(rows=rows, seed=7, name="stream")
+                payload = {}
+                for name in batch.column_names:
+                    column = batch.column(name)
+                    if batch.schema[name].is_categorical:
+                        payload[name] = list(column)
+                    else:  # NaN is not valid JSON; nulls travel as null
+                        payload[name] = [
+                            None if v != v else v for v in column.tolist()
+                        ]
+                async with QueryServer(svc) as server:
+                    async with AsyncQueryClient(*server.address) as client:
+                        result = await client.ingest("stream", payload)
+                        assert result["appended_rows"] == rows
+                        out = await client.query("SELECT COUNT(*) FROM stream")
+                        assert out["results"][0]["value"] == pytest.approx(
+                            2000 + rows, rel=1e-9
+                        )
+
+        run_async(scenario())
+
+    def test_async_drop_retires_queue_and_drain_task(self):
+        async def scenario():
+            async with AsyncQueryService(partition_size=600) as svc:
+                await svc.register_table(
+                    make_simple_table(rows=600, seed=50, name="stream"),
+                    params=exact_params(),
+                )
+                await svc.ingest(
+                    "stream", make_simple_table(rows=50, seed=1, name="stream")
+                )
+                assert "stream" in svc._drain_tasks
+                await svc.drop_table("stream")
+                assert "stream" not in svc._drain_tasks
+                assert "stream" not in svc._ingest_queues
+                assert "stream" not in svc.table_names
+                # Re-registering under the same name works end to end.
+                await svc.register_table(
+                    make_simple_table(rows=400, seed=2, name="stream"),
+                    params=exact_params(),
+                )
+                result = await svc.ingest(
+                    "stream", make_simple_table(rows=100, seed=3, name="stream")
+                )
+                assert result.appended_rows == 100
+                async with QueryServer(svc) as server:
+                    async with AsyncQueryClient(*server.address) as client:
+                        response = await client.request(
+                            {"op": "drop", "table": "stream"}
+                        )
+                        assert response["ok"] and response["result"]["dropped"]
+                        missing = await client.request(
+                            {"op": "drop", "table": "stream"}
+                        )
+                        assert missing["ok"] is False
+                        assert missing["error_type"] == "KeyError"
+
+        run_async(scenario())
+
+    def test_server_close_does_not_hang_on_idle_clients(self):
+        async def scenario():
+            async with AsyncQueryService(partition_size=600) as svc:
+                await svc.register_table(
+                    make_simple_table(rows=600, seed=50, name="stream"),
+                    params=exact_params(),
+                )
+                server = await QueryServer(svc).start()
+                idle = await AsyncQueryClient(*server.address).connect()
+                try:
+                    # The idle client never sends a request; close() must
+                    # still complete instead of waiting for it to hang up.
+                    await asyncio.wait_for(server.close(), timeout=10.0)
+                finally:
+                    await idle.close()
+
+        run_async(scenario())
+
+    def test_internal_errors_become_frames_not_dropped_connections(self):
+        async def scenario():
+            svc = AsyncQueryService(partition_size=600)
+            await svc.register_table(
+                make_simple_table(rows=600, seed=50, name="stream"),
+                params=exact_params(),
+            )
+            server = await QueryServer(svc).start()
+            client = await AsyncQueryClient(*server.address).connect()
+            try:
+                # Close the service under the server: queries now raise
+                # RuntimeError internally, which must come back as a frame.
+                await svc.close()
+                response = await client.request(
+                    {"op": "query", "sql": "SELECT COUNT(*) FROM stream"}
+                )
+                assert response["ok"] is False
+                assert response["error_type"] == "RuntimeError"
+                assert "closed" in response["error"]
+            finally:
+                await client.close()
+                await server.close()
+
+        run_async(scenario())

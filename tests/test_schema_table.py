@@ -135,6 +135,16 @@ class TestTableOperations:
         with pytest.raises(ValueError):
             table.concat(other)
 
+    def test_concat_all(self, table):
+        tripled = Table.concat_all([table, table, table])
+        assert tripled.num_rows == 15
+        assert tripled.column_names == table.column_names
+        assert Table.concat_all([table]) is table
+        with pytest.raises(ValueError):
+            Table.concat_all([])
+        with pytest.raises(ValueError):
+            Table.concat_all([table, Table.from_dict({"y": [1.0]})])
+
     def test_to_rows(self, table):
         rows = table.to_rows()
         assert len(rows) == 5
