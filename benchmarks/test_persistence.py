@@ -1,0 +1,118 @@
+"""Persistence benchmark: warm restart vs rebuilding from raw rows.
+
+A service restarted on its data directory loads the GD-compressed
+partitions, the per-partition PWHP synopses and the exact (``PWHX``)
+merged synopsis from the latest snapshot, then replays only the WAL tail
+— skipping the pre-processor fit, the GreedyGD bit-selection search and
+every sealed partition's synopsis build.  Two restart flavours are
+measured against cold re-ingestion from raw rows
+(:func:`repro.bench.harness.run_persistence_benchmark`):
+
+* **warm-clean** — the server checkpointed on shutdown (what
+  ``QueryServer`` does on SIGTERM), so recovery is a pure snapshot load;
+  the acceptance bar is >=5x over the cold rebuild.
+* **warm-crash** — one ingest was never checkpointed, so recovery
+  additionally replays its WAL record and rebuilds the touched tail
+  partition's synopsis; bar >=2x (typically ~4.5x).
+
+All three paths must answer every probe query identically.  Results land
+in ``benchmarks/results/persistence.txt``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from bench_utils import bench_scale, record
+
+from repro import load_dataset
+from repro.bench.harness import fmt, format_table, run_persistence_benchmark
+from repro.core.params import PairwiseHistParams
+
+ROWS = 60_000
+PARTITION_SIZE = 4_000
+INGEST_BATCHES = 3
+INGEST_ROWS = 2_000
+REQUIRED_CLEAN_SPEEDUP = 5.0
+REQUIRED_CRASH_SPEEDUP = 2.0
+
+QUERIES = [
+    "SELECT AVG(global_active_power) FROM power WHERE voltage > 240",
+    "SELECT COUNT(*) FROM power WHERE global_intensity > 10",
+    "SELECT SUM(sub_metering_3) FROM power WHERE voltage < 245",
+]
+
+
+def test_warm_restart_beats_cold_reingest(tmp_path):
+    scale = bench_scale()
+    table = load_dataset("power", rows=ROWS, seed=scale.seed)
+    base = table.select_rows(np.arange(ROWS - INGEST_BATCHES * INGEST_ROWS))
+    batches = [
+        table.select_rows(
+            np.arange(
+                ROWS - (INGEST_BATCHES - i) * INGEST_ROWS,
+                ROWS - (INGEST_BATCHES - 1 - i) * INGEST_ROWS,
+            )
+        )
+        for i in range(INGEST_BATCHES)
+    ]
+
+    measurements = run_persistence_benchmark(
+        base,
+        batches,
+        QUERIES,
+        tmp_path,
+        params=PairwiseHistParams.with_defaults(sample_size=20_000),
+        partition_size=PARTITION_SIZE,
+    )
+    by_mode = {m.mode: m for m in measurements}
+    cold = by_mode["cold"]
+    clean = by_mode["warm-clean"]
+    crash = by_mode["warm-crash"]
+
+    # Every path answers every probe identically.
+    assert clean.answers == cold.answers == crash.answers
+    assert clean.replayed_records == 0
+    assert crash.replayed_records == 1 and crash.rebuilt_partitions >= 1
+
+    clean_speedup = cold.seconds / clean.seconds
+    crash_speedup = cold.seconds / crash.seconds
+    text = format_table(
+        ["path", "seconds", "speedup", "notes"],
+        [
+            [
+                "cold re-ingest",
+                fmt(cold.seconds),
+                "1.0x",
+                f"register {base.num_rows} rows + {INGEST_BATCHES} ingests "
+                f"of {INGEST_ROWS}",
+            ],
+            [
+                "warm, clean shutdown",
+                fmt(clean.seconds, 3),
+                f"{clean_speedup:.1f}x",
+                f"snapshot only (required >= {REQUIRED_CLEAN_SPEEDUP:.0f}x)",
+            ],
+            [
+                "warm, crash",
+                fmt(crash.seconds, 3),
+                f"{crash_speedup:.1f}x",
+                f"snapshot + {crash.replayed_records} WAL record, "
+                f"{crash.rebuilt_partitions} synopsis rebuild(s) "
+                f"(required >= {REQUIRED_CRASH_SPEEDUP:.1f}x)",
+            ],
+        ],
+        title=(
+            f"Warm restart vs cold re-ingest ({ROWS} rows, power, "
+            f"partition size {PARTITION_SIZE})"
+        ),
+    )
+    record("persistence", text)
+
+    assert clean_speedup >= REQUIRED_CLEAN_SPEEDUP, (
+        f"clean warm restart only {clean_speedup:.1f}x faster than cold "
+        f"re-ingest ({clean.seconds:.3f}s vs {cold.seconds:.3f}s)"
+    )
+    assert crash_speedup >= REQUIRED_CRASH_SPEEDUP, (
+        f"crash warm restart only {crash_speedup:.1f}x faster than cold "
+        f"re-ingest ({crash.seconds:.3f}s vs {cold.seconds:.3f}s)"
+    )

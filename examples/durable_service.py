@@ -1,0 +1,96 @@
+"""Durable analytics service: survive a crash, restart warm.
+
+The in-memory engine stack (GD-compressed partitions + per-partition
+PairwiseHist synopses) is exactly the artifact worth persisting: tiny
+relative to the raw stream, and already serializable per partition.  This
+example walks the whole durability lifecycle on one data directory:
+
+1. open a durable database (``Database.open``) — WAL + snapshots live
+   under the directory;
+2. register a table and stream batches in; every committed ingest is
+   write-ahead logged *before* it is acknowledged;
+3. checkpoint (what the server's background checkpointer does every 30s);
+4. ingest more — these records exist only in the WAL;
+5. "crash" (drop the object without any shutdown), reopen, and show that
+   recovery = snapshot load + WAL tail replay reproduces the exact same
+   query answers at a fraction of the cold rebuild cost.
+
+Run with:  python examples/durable_service.py
+"""
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro import Database, PairwiseHistParams, QueryService, load_dataset
+
+QUERY = "SELECT AVG(global_active_power) FROM power WHERE voltage > 240"
+
+
+def main() -> None:
+    data_dir = Path(tempfile.mkdtemp(prefix="aqp-durable-")) / "data"
+    params = PairwiseHistParams.with_defaults(sample_size=20_000)
+    history = load_dataset("power", rows=40_000, seed=2)
+    live = [load_dataset("power", rows=2_000, seed=100 + i) for i in range(3)]
+
+    print(f"data directory: {data_dir}\n")
+
+    # ---- day 0: ingest, checkpoint, keep streaming ---------------------- #
+    build_start = time.perf_counter()
+    db = Database.open(data_dir, default_params=params, partition_size=8_192)
+    db.register(history)
+    db.ingest("power", live[0])
+    checkpoint = db.checkpoint()
+    db.ingest("power", live[1])
+    db.ingest("power", live[2])
+    build_seconds = time.perf_counter() - build_start
+
+    service = QueryService(database=db)
+    before = service.execute_scalar(QUERY)
+    wal_records = db.wal.last_lsn - checkpoint.checkpoint_lsn
+    print("before the crash")
+    print(f"  cold build + ingest : {build_seconds:6.2f}s "
+          f"({db.table('power').num_rows} rows, "
+          f"{db.table('power').num_partitions} partitions)")
+    print(f"  snapshot            : {checkpoint.path.name} "
+          f"(lsn {checkpoint.checkpoint_lsn}, {checkpoint.seconds:.2f}s)")
+    print(f"  WAL tail            : {wal_records} record(s) past the checkpoint")
+    print(f"  {QUERY}")
+    print(f"    -> {before.value:.4f}  [{before.lower:.4f}, {before.upper:.4f}]\n")
+
+    # ---- crash: the process dies, nothing is shut down ------------------ #
+    db.wal.close()  # the OS would do this for us on a real kill -9
+    del db, service
+
+    # ---- restart: snapshot + WAL replay --------------------------------- #
+    restart_start = time.perf_counter()
+    db = Database.open(data_dir, default_params=params, partition_size=8_192)
+    restart_seconds = time.perf_counter() - restart_start
+    info = db.recovery_info
+    after = QueryService(database=db).execute_scalar(QUERY)
+
+    print("after restart")
+    print(f"  warm recovery       : {restart_seconds:6.2f}s "
+          f"({build_seconds / restart_seconds:.1f}x faster than the cold build)")
+    print(f"    snapshot lsn {info.snapshot_lsn}, "
+          f"{info.replayed_records} WAL record(s) replayed "
+          f"({info.replayed_rows} rows), "
+          f"{info.rebuilt_partitions} tail synopsis rebuild(s)")
+    print(f"  {QUERY}")
+    print(f"    -> {after.value:.4f}  [{after.lower:.4f}, {after.upper:.4f}]")
+    identical = (after.value, after.lower, after.upper) == (
+        before.value,
+        before.lower,
+        before.upper,
+    )
+    print(f"  identical to the pre-crash answer: {identical}\n")
+
+    print("The TCP server does all of this for you:")
+    print("  python -m repro.service --data-dir /var/lib/aqp --checkpoint-interval 30")
+    db.wal.close()
+    shutil.rmtree(data_dir.parent, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

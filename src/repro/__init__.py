@@ -65,8 +65,9 @@ from .service import (
 )
 from .sql.parser import parse_query
 from .sql.ast import AggregateFunction, Query
+from .storage import BackgroundCheckpointer, DurableDatabase, WriteAheadLog
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AqpResult",
@@ -106,6 +107,9 @@ __all__ = [
     "QueryServiceSystem",
     "ReadWriteLock",
     "SerializedQueryService",
+    "BackgroundCheckpointer",
+    "DurableDatabase",
+    "WriteAheadLog",
     "parse_query",
     "AggregateFunction",
     "Query",

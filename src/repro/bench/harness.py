@@ -360,6 +360,118 @@ def run_concurrency_benchmark(
     return measurements
 
 
+@dataclass
+class PersistenceMeasurement:
+    """One restart-path timing from :func:`run_persistence_benchmark`."""
+
+    mode: str  # "cold" | "warm-clean" | "warm-crash"
+    seconds: float
+    answers: list[tuple]
+    replayed_records: int = 0
+    rebuilt_partitions: int = 0
+
+
+def run_persistence_benchmark(
+    base: Table,
+    ingest_batches: list[Table],
+    queries: list[str],
+    data_dir,
+    params: PairwiseHistParams | None = None,
+    partition_size: int = 4_000,
+) -> list[PersistenceMeasurement]:
+    """Cold rebuild-from-raw-rows vs warm restart from the data directory.
+
+    Three measurements over identical committed operations (register the
+    base table, then ingest every batch):
+
+    * ``cold`` — a fresh in-memory database re-ingesting the raw rows;
+    * ``warm-clean`` — reopening a data directory whose last act was a
+      checkpoint (the server's SIGTERM behaviour): pure snapshot load;
+    * ``warm-crash`` — reopening a directory where the final ingest was
+      never checkpointed: snapshot load + WAL tail replay + tail synopsis
+      rebuild.
+
+    Each measurement carries the answers to ``queries`` so callers can
+    assert all three paths agree exactly.
+    """
+    from pathlib import Path
+
+    from ..service.database import Database
+    from ..storage import DurableDatabase
+
+    params = params or PairwiseHistParams.with_defaults(sample_size=20_000)
+    data_dir = Path(data_dir)
+
+    def answers(db) -> list[tuple]:
+        service = QueryService(database=db)
+        return [
+            (r.value, r.lower, r.upper)
+            for r in (service.execute_scalar(q) for q in queries)
+        ]
+
+    def populate(path, checkpoint_before_last: bool) -> list[tuple]:
+        db = DurableDatabase.open(
+            path, default_params=params, partition_size=partition_size
+        )
+        db.register(base)
+        for batch in ingest_batches[:-1]:
+            db.ingest(base.name, batch)
+        if checkpoint_before_last:
+            db.checkpoint()  # the last batch stays WAL-only
+            db.ingest(base.name, ingest_batches[-1])
+        else:
+            db.ingest(base.name, ingest_batches[-1])
+            db.checkpoint()  # clean shutdown: everything snapshotted
+        expected = answers(db)
+        db.close()
+        return expected
+
+    expected = populate(data_dir / "clean", checkpoint_before_last=False)
+    if populate(data_dir / "crash", checkpoint_before_last=True) != expected:
+        raise AssertionError(
+            "the two populated data directories answered the probe queries "
+            "differently before any restart"
+        )
+
+    measurements: list[PersistenceMeasurement] = []
+    start = time.perf_counter()
+    cold = Database(default_params=params, partition_size=partition_size)
+    cold.register(base)
+    for batch in ingest_batches:
+        cold.ingest(base.name, batch)
+    measurements.append(
+        PersistenceMeasurement(
+            mode="cold", seconds=time.perf_counter() - start, answers=answers(cold)
+        )
+    )
+
+    for mode, sub_dir in (("warm-clean", "clean"), ("warm-crash", "crash")):
+        start = time.perf_counter()
+        db = DurableDatabase.open(
+            data_dir / sub_dir, default_params=params, partition_size=partition_size
+        )
+        elapsed = time.perf_counter() - start
+        info = db.recovery_info
+        measurements.append(
+            PersistenceMeasurement(
+                mode=mode,
+                seconds=elapsed,
+                answers=answers(db),
+                replayed_records=info.replayed_records,
+                rebuilt_partitions=info.rebuilt_partitions,
+            )
+        )
+        db.close()
+    for measurement in measurements:
+        if measurement.answers != expected:
+            raise AssertionError(
+                f"{measurement.mode} path answered the probe queries "
+                "differently from the database that produced the data "
+                "directories"
+            )
+    return measurements
+
+
 def format_table(headers: list[str], rows: list[list[str]], title: str | None = None) -> str:
     """Fixed-width table formatting for benchmark output."""
     widths = [len(h) for h in headers]

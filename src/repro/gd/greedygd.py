@@ -32,6 +32,13 @@ class GreedyGDConfig:
     max_deviation_bits: int = 62
     #: Stop as soon as an iteration fails to improve the estimated size.
     early_stop: bool = True
+    #: Seed the bit-selection search for fresh tail partitions from the
+    #: previous tail partition's deviation bits (append path only).  Rows
+    #: arriving on one stream share a distribution, so the warm start is
+    #: usually already at (or one move from) the greedy optimum — the
+    #: search converges in a couple of iterations instead of walking up
+    #: from zero deviation bits.
+    warm_start_appends: bool = True
 
 
 @dataclass
@@ -93,7 +100,10 @@ def _estimate_bits(
 
 
 def select_deviation_bits(
-    codes: np.ndarray, total_bits: np.ndarray, config: GreedyGDConfig | None = None
+    codes: np.ndarray,
+    total_bits: np.ndarray,
+    config: GreedyGDConfig | None = None,
+    warm_start: np.ndarray | None = None,
 ) -> np.ndarray:
     """Greedy search for the per-column deviation bit counts.
 
@@ -103,6 +113,12 @@ def select_deviation_bits(
         Integer-encoded rows, shape ``(rows, columns)``.
     total_bits:
         Bits needed per column (from the pre-processor).
+    warm_start:
+        Optional starting assignment (e.g. the previous tail partition's
+        deviation bits on the append path).  A cold start only ever *adds*
+        bits — starting from all-in-the-base, removal never helps.  A warm
+        start may overshoot what the new rows want, so the warm search is
+        bidirectional: each iteration takes the single best +1 / -1 move.
     """
     config = config or GreedyGDConfig()
     num_rows, num_cols = codes.shape
@@ -111,21 +127,29 @@ def select_deviation_bits(
         sample = codes[::step]
     else:
         sample = codes
-    deviation_bits = np.zeros(num_cols, dtype=np.int64)
+    limits = np.minimum(total_bits, config.max_deviation_bits)
+    if warm_start is not None:
+        deviation_bits = np.clip(np.asarray(warm_start, dtype=np.int64), 0, limits)
+        moves = (1, -1)
+    else:
+        deviation_bits = np.zeros(num_cols, dtype=np.int64)
+        moves = (1,)
     best_size, _ = _estimate_bits(sample, deviation_bits, total_bits)
     improved = True
     while improved:
         improved = False
         best_candidate = None
         for col in range(num_cols):
-            if deviation_bits[col] >= min(total_bits[col], config.max_deviation_bits):
-                continue
-            candidate = deviation_bits.copy()
-            candidate[col] += 1
-            size, _ = _estimate_bits(sample, candidate, total_bits)
-            if size < best_size:
-                best_size = size
-                best_candidate = candidate
+            for move in moves:
+                next_bits = deviation_bits[col] + move
+                if next_bits < 0 or next_bits > limits[col]:
+                    continue
+                candidate = deviation_bits.copy()
+                candidate[col] = next_bits
+                size, _ = _estimate_bits(sample, candidate, total_bits)
+                if size < best_size:
+                    best_size = size
+                    best_candidate = candidate
         if best_candidate is not None:
             deviation_bits = best_candidate
             improved = True
@@ -140,13 +164,23 @@ class GreedyGD:
 
     config: GreedyGDConfig = field(default_factory=GreedyGDConfig)
 
-    def compress(self, codes: np.ndarray, total_bits: np.ndarray) -> GDSplit:
-        """Split rows into deduplicated bases and verbatim deviations."""
+    def compress(
+        self,
+        codes: np.ndarray,
+        total_bits: np.ndarray,
+        warm_start: np.ndarray | None = None,
+    ) -> GDSplit:
+        """Split rows into deduplicated bases and verbatim deviations.
+
+        ``warm_start`` seeds the bit-selection search (see
+        :func:`select_deviation_bits`); the split itself is exact for
+        whatever assignment the search lands on.
+        """
         codes = np.asarray(codes, dtype=np.int64)
         total_bits = np.asarray(total_bits, dtype=np.int64)
         if codes.ndim != 2:
             raise ValueError("codes must be a 2-d array of shape (rows, columns)")
-        deviation_bits = select_deviation_bits(codes, total_bits, self.config)
+        deviation_bits = select_deviation_bits(codes, total_bits, self.config, warm_start)
         shifted = codes >> deviation_bits
         masks = (np.int64(1) << deviation_bits) - 1
         deviations = codes & masks

@@ -15,13 +15,14 @@ collections) use to bound update cost and unlock parallel processing.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..data.schema import TableSchema
 from ..data.table import Table
-from .greedygd import GreedyGD, GreedyGDConfig
+from .greedygd import GDSplit, GreedyGD, GreedyGDConfig
 from .preprocessor import Preprocessor
 from .store import CompressedStore
 
@@ -72,8 +73,14 @@ class PartitionedStore:
             raise ValueError("cannot build a partitioned store from an empty table")
         return store
 
-    def _compress_partition(self, chunk: Table) -> CompressedStore:
-        """Compress one chunk with the shared pre-processor."""
+    def _compress_partition(
+        self, chunk: Table, warm_start: np.ndarray | None = None
+    ) -> CompressedStore:
+        """Compress one chunk with the shared pre-processor.
+
+        ``warm_start`` seeds the GreedyGD bit-selection search (the append
+        path passes the previous tail partition's deviation bits).
+        """
         codes, nulls = self.preprocessor.transform_table(chunk)
         matrix = (
             np.column_stack([codes[name] for name in self._column_order])
@@ -82,7 +89,7 @@ class PartitionedStore:
         )
         bits = self.preprocessor.bits_per_column()
         total_bits = np.array([bits[name] for name in self._column_order], dtype=np.int64)
-        split = GreedyGD(self._config).compress(matrix, total_bits)
+        split = GreedyGD(self._config).compress(matrix, total_bits, warm_start)
         return CompressedStore(
             table_name=self.table_name,
             schema=self.schema,
@@ -193,8 +200,120 @@ class PartitionedStore:
         while consumed < table.num_rows:
             take = min(self.partition_size, table.num_rows - consumed)
             chunk = table.select_rows(np.arange(consumed, consumed + take))
-            partitions.append(self._compress_partition(chunk))
+            warm_start = (
+                partitions[-1].split.deviation_bits
+                if self._config.warm_start_appends
+                else None
+            )
+            partitions.append(self._compress_partition(chunk, warm_start))
             affected.append(len(partitions) - 1)
             consumed += take
         self.partitions = partitions
         return affected
+
+
+# --------------------------------------------------------------------------- #
+# Partition-level binary persistence
+
+_PARTITION_MAGIC = b"GDP1"
+
+
+def _pack_ndarray(arr: np.ndarray) -> bytes:
+    arr = np.ascontiguousarray(arr)
+    header = struct.pack("<8sB", arr.dtype.str.encode("ascii"), arr.ndim)
+    shape = struct.pack(f"<{arr.ndim}Q", *arr.shape)
+    raw = arr.tobytes()
+    return header + shape + struct.pack("<Q", len(raw)) + raw
+
+
+def _unpack_ndarray(buffer: memoryview, offset: int) -> tuple[np.ndarray, int]:
+    dtype_raw, ndim = struct.unpack_from("<8sB", buffer, offset)
+    offset += struct.calcsize("<8sB")
+    shape = struct.unpack_from(f"<{ndim}Q", buffer, offset)
+    offset += 8 * ndim
+    (length,) = struct.unpack_from("<Q", buffer, offset)
+    offset += 8
+    dtype = np.dtype(dtype_raw.rstrip(b"\x00").decode("ascii"))
+    arr = np.frombuffer(buffer[offset : offset + length], dtype=dtype).reshape(shape).copy()
+    return arr, offset + length
+
+
+def dump_partition(partition: CompressedStore) -> bytes:
+    """Binary blob of one sealed partition: GD split arrays + null bitmaps.
+
+    The blob is self-contained *given* the table-level context (schema,
+    shared pre-processor, column order) that the snapshot catalog stores
+    once per table — persisting it per partition would duplicate it
+    hundreds of times for no benefit.
+    """
+    split = partition.split
+    parts = [_PARTITION_MAGIC]
+    for arr in (
+        split.bases,
+        split.base_ids,
+        split.deviations,
+        split.deviation_bits,
+        split.total_bits,
+    ):
+        parts.append(_pack_ndarray(arr))
+    parts.append(struct.pack("<I", len(partition._column_order)))
+    for name in partition._column_order:
+        raw = name.encode("utf-8")
+        parts.append(struct.pack("<H", len(raw)) + raw)
+        mask = np.asarray(partition.null_masks[name], dtype=bool)
+        parts.append(struct.pack("<Q", len(mask)) + np.packbits(mask).tobytes())
+    return b"".join(parts)
+
+
+def load_partition(
+    payload: bytes,
+    table_name: str,
+    schema: TableSchema,
+    preprocessor: Preprocessor,
+) -> CompressedStore:
+    """Inverse of :func:`dump_partition` (table-level context supplied)."""
+    buffer = memoryview(payload)
+    if bytes(buffer[:4]) != _PARTITION_MAGIC:
+        raise ValueError("not a GD partition payload (bad magic)")
+    offset = 4
+    arrays = []
+    for _ in range(5):
+        arr, offset = _unpack_ndarray(buffer, offset)
+        arrays.append(arr)
+    bases, base_ids, deviations, deviation_bits, total_bits = arrays
+    (num_columns,) = struct.unpack_from("<I", buffer, offset)
+    offset += 4
+    column_order: list[str] = []
+    null_masks: dict[str, np.ndarray] = {}
+    for _ in range(num_columns):
+        (length,) = struct.unpack_from("<H", buffer, offset)
+        offset += 2
+        name = bytes(buffer[offset : offset + length]).decode("utf-8")
+        offset += length
+        (rows,) = struct.unpack_from("<Q", buffer, offset)
+        offset += 8
+        nbytes = (rows + 7) // 8
+        packed = np.frombuffer(buffer[offset : offset + nbytes], dtype=np.uint8)
+        offset += nbytes
+        mask = (
+            np.unpackbits(packed, count=rows).astype(bool)
+            if rows
+            else np.zeros(0, dtype=bool)
+        )
+        column_order.append(name)
+        null_masks[name] = mask
+    split = GDSplit(
+        bases=bases,
+        base_ids=base_ids,
+        deviations=deviations,
+        deviation_bits=deviation_bits,
+        total_bits=total_bits,
+    )
+    return CompressedStore(
+        table_name=table_name,
+        schema=schema,
+        preprocessor=preprocessor,
+        split=split,
+        null_masks=null_masks,
+        _column_order=column_order,
+    )

@@ -145,6 +145,14 @@ class ConcurrentQueryService(QueryService):
       (:meth:`Database.commit_ingest`).
     * ``register_table`` / ``drop_table`` take the write lock so a table
       never appears or vanishes mid-query.
+    * ``checkpoint`` (durable databases) takes *no* table lock at all: the
+      durable database serializes its capture against every commit /
+      register / drop on its own internal mutex and captures copy-on-write
+      references only, so queries are never blocked by a snapshot and
+      writers pause for microseconds.  Because the commit phase runs under
+      the table's write lock *and then* that mutex, the lock ordering is
+      ``write lock -> durable mutex`` everywhere — a checkpoint can never
+      deadlock with an ingest.
 
     Catalog-level state (the lock registry itself) is guarded by a plain
     mutex held only for dictionary lookups.

@@ -66,6 +66,12 @@ class StagedIngest:
     merged: PairwiseHist | None
     total_partitions: int
     started: float
+    #: The raw appended rows — a durable database logs them to its WAL at
+    #: commit time, so recovery can replay exactly the committed batches.
+    rows: Table | None = None
+    #: The store's partition list as assembled by this append.  Committing
+    #: publishes it as the table's durable (checkpointable) partition set.
+    partitions: list | None = None
 
 
 @dataclass
@@ -81,6 +87,13 @@ class ManagedTable:
     #: incremental-maintenance cost metric (grows by the number of affected
     #: partitions per ingest, not by the partition count).
     synopsis_builds: int = 0
+    #: The partition list as of the last *committed* ingest.  The store's
+    #: own list advances during :meth:`Database.stage_ingest` (off-lock,
+    #: before the commit publishes synopses and the WAL record), so a
+    #: checkpoint capturing mid-ingest state must snapshot this list, not
+    #: ``store.partitions`` — otherwise it would persist rows whose WAL
+    #: record does not exist yet and recovery would apply them twice.
+    committed_partitions: list | None = None
 
     @property
     def num_rows(self) -> int:
@@ -166,6 +179,22 @@ class Database:
         partition_size: int | None = None,
     ) -> ManagedTable:
         """Shard, compress and summarise a table, making it queryable."""
+        managed = self._build_managed(table, params, partition_size)
+        self._publish_registration(managed, table)
+        return managed
+
+    def _build_managed(
+        self,
+        table: Table,
+        params: PairwiseHistParams | None = None,
+        partition_size: int | None = None,
+    ) -> ManagedTable:
+        """The expensive half of registration: compress + summarise.
+
+        Produces a fully-built :class:`ManagedTable` without touching the
+        catalog, so a durable subclass can make the catalog insert atomic
+        with its WAL append.
+        """
         if table.name in self._tables:
             raise ValueError(f"table {table.name!r} is already registered")
         start = time.perf_counter()
@@ -182,24 +211,40 @@ class Database:
             store=None,
             construction_seconds=time.perf_counter() - start,
         )
-        managed = ManagedTable(
+        return ManagedTable(
             name=table.name,
             store=store,
             params=params,
             partition_synopses=synopses,
             engine=engine,
             synopsis_builds=len(synopses),
+            committed_partitions=store.partitions,
         )
-        self._tables[table.name] = managed
-        return managed
+
+    def _publish_registration(self, managed: ManagedTable, source: Table) -> None:
+        """The cheap half of registration: the catalog insert.
+
+        The durable subclass overrides this to WAL-log the source rows
+        atomically with the insert; ``source`` is the raw registered table.
+        """
+        if managed.name in self._tables:
+            raise ValueError(f"table {managed.name!r} is already registered")
+        self._tables[managed.name] = managed
 
     def _build_synopses(
         self,
         store: PartitionedStore,
         params: PairwiseHistParams,
         partitions,
+        total_rows: int | None = None,
     ) -> list[PairwiseHist]:
-        """Build synopses for the given partitions of a store, in parallel."""
+        """Build synopses for the given partitions of a store, in parallel.
+
+        ``total_rows`` overrides the row count the per-partition bin budget
+        is scaled against — WAL replay passes the table size as of the
+        ingest that last touched a partition, reproducing exactly the
+        synopsis an uninterrupted run would have built.
+        """
         inputs = [snapshot_partition_input(store, partition) for partition in partitions]
         return build_partition_synopses(
             inputs,
@@ -209,7 +254,7 @@ class Database:
             executor=self.executor,
             # Scale each partition's bin budget against the whole table even
             # when rebuilding only the tail after an append.
-            total_rows=store.num_rows,
+            total_rows=store.num_rows if total_rows is None else total_rows,
         )
 
     # ------------------------------------------------------------------ #
@@ -283,6 +328,8 @@ class Database:
             merged=merged,
             total_partitions=managed.store.num_partitions,
             started=start,
+            rows=rows,
+            partitions=managed.store.partitions,
         )
 
     def commit_ingest(self, staged: StagedIngest) -> IngestResult:
@@ -296,6 +343,7 @@ class Database:
         managed = self.table(staged.table_name)
         if staged.synopses is not None:
             managed.partition_synopses = staged.synopses
+            managed.committed_partitions = staged.partitions
             managed.synopsis_builds += len(staged.affected)
             managed.engine.refresh_synopsis(staged.merged)
         return IngestResult(
@@ -314,6 +362,24 @@ class Database:
         phases with the table's write lock.
         """
         return self.commit_ingest(self.stage_ingest(table_name, rows))
+
+    # ------------------------------------------------------------------ #
+    # Durability
+
+    @classmethod
+    def open(cls, path, **kwargs) -> "Database":
+        """Open (or create) a durable database rooted at ``path``.
+
+        Returns a :class:`~repro.storage.durable.DurableDatabase`: the
+        latest valid snapshot is loaded, WAL segments past its checkpoint
+        LSN are replayed (rebuilding only the partition synopses the
+        replay touched) and every subsequent mutation is write-ahead
+        logged under ``path``.  Keyword arguments are forwarded to the
+        durable database's constructor.
+        """
+        from ..storage.durable import DurableDatabase
+
+        return DurableDatabase.open(path, **kwargs)
 
 
 class QueryService:
@@ -356,6 +422,29 @@ class QueryService:
     def ingest(self, table_name: str, rows: Table) -> IngestResult:
         """Stream new rows into a registered table (incremental refresh)."""
         return self.database.ingest(table_name, rows)
+
+    # ------------------------------------------------------------------ #
+    # Durability passthrough
+
+    def checkpoint(self):
+        """Write a snapshot checkpoint (durable databases only)."""
+        checkpoint = getattr(self.database, "checkpoint", None)
+        if checkpoint is None:
+            raise ValueError(
+                "this service has no durable storage attached; "
+                "open the database with Database.open(path) to enable checkpoints"
+            )
+        return checkpoint()
+
+    def persist(self) -> int:
+        """Force the WAL to stable storage; returns the last durable LSN."""
+        persist = getattr(self.database, "persist", None)
+        if persist is None:
+            raise ValueError(
+                "this service has no durable storage attached; "
+                "open the database with Database.open(path) to enable persistence"
+            )
+        return persist()
 
     # ------------------------------------------------------------------ #
     # Query execution

@@ -18,9 +18,14 @@ tables at once:
     ← {"ok": true, "result": {"results": [{"value": ..., ...}]}}
 
 Supported ops: ``query``, ``ingest``, ``register``, ``drop``, ``tables``,
-``ping``.
+``ping``, ``checkpoint``, ``persist``.
 Errors come back as ``{"ok": false, "error": ..., "error_type": ...}`` —
 never as a dropped connection or a stack trace.
+
+Run it as a process with ``python -m repro.service --data-dir
+/var/lib/aqp``: the data directory makes the whole catalog durable (WAL +
+background snapshot checkpoints via :mod:`repro.storage`), so a killed
+server restarted on the same directory recovers every table.
 """
 
 from __future__ import annotations
@@ -36,11 +41,17 @@ from ..core.params import PairwiseHistParams
 from ..data.table import Table
 from ..sql.ast import Query
 from ..sql.parser import ParseError
+from ..storage.checkpointer import BackgroundCheckpointer
 from .concurrency import ConcurrentQueryService
-from .database import IngestResult, ManagedTable
+from .database import Database, IngestResult, ManagedTable
 
 #: Coalesce at most this many rows into one batched tail recompression.
 DEFAULT_MAX_BATCH_ROWS = 65_536
+
+#: How long the ingest coalescer keeps a batch open after the first append
+#: arrives (seconds).  0 keeps the legacy behaviour: batch only what is
+#: already queued.
+DEFAULT_MAX_BATCH_DELAY = 0.0
 
 #: Per-line buffer limit for the TCP protocol (asyncio's default is 64 KiB,
 #: far smaller than a realistic ingest frame).
@@ -61,12 +72,14 @@ class AsyncQueryService:
         service: ConcurrentQueryService | None = None,
         max_workers: int = 4,
         max_batch_rows: int = DEFAULT_MAX_BATCH_ROWS,
+        max_batch_delay: float = DEFAULT_MAX_BATCH_DELAY,
         **service_kwargs,
     ) -> None:
         if service is not None and service_kwargs:
             raise ValueError("pass either a service or its constructor arguments")
         self.service = service or ConcurrentQueryService(**service_kwargs)
         self.max_batch_rows = max_batch_rows
+        self.max_batch_delay = max_batch_delay
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="aqp-worker"
         )
@@ -203,6 +216,21 @@ class AsyncQueryService:
         return self.service.table_names
 
     # ------------------------------------------------------------------ #
+    # Durability
+
+    async def checkpoint(self):
+        """Snapshot the catalog to the database's data directory.
+
+        Raises :class:`ValueError` when the underlying database was not
+        opened durably (no data directory).
+        """
+        return await self._dispatch(self.service.checkpoint)
+
+    async def persist(self) -> int:
+        """fsync the WAL; returns the last durable LSN."""
+        return await self._dispatch(self.service.persist)
+
+    # ------------------------------------------------------------------ #
     # Ingest coalescing
 
     def _queue_for(self, table_name: str) -> asyncio.Queue:
@@ -214,8 +242,16 @@ class AsyncQueryService:
         return self._ingest_queues[table_name]
 
     async def _drain(self, table_name: str) -> None:
-        """Per-table drain loop: batch whatever is pending, ingest once."""
+        """Per-table drain loop: batch whatever is pending, ingest once.
+
+        With ``max_batch_delay > 0`` the batch stays open that long after
+        its first append arrives, so writers landing within the window
+        share one tail recompression even when they don't overlap a
+        rebuild; the timer bounds how long a lone small append can wait.
+        ``max_batch_rows`` caps the batch regardless of the timer.
+        """
         queue = self._ingest_queues[table_name]
+        loop = asyncio.get_running_loop()
         carried: tuple | None = None  # dequeued but over-budget for the last batch
         while True:
             rows, future = carried if carried is not None else await queue.get()
@@ -223,16 +259,34 @@ class AsyncQueryService:
             parts = [rows]
             batch_rows = rows.num_rows
             futures = [future]
-            while not queue.empty():
-                more_rows, more_future = queue.get_nowait()
-                if batch_rows + more_rows.num_rows > self.max_batch_rows:
-                    carried = (more_rows, more_future)
-                    break
-                parts.append(more_rows)
-                batch_rows += more_rows.num_rows
-                futures.append(more_future)
-            rows = Table.concat_all(parts)
             try:
+                if self.max_batch_delay > 0:
+                    deadline = loop.time() + self.max_batch_delay
+                    while batch_rows < self.max_batch_rows and carried is None:
+                        remaining = deadline - loop.time()
+                        if remaining <= 0:
+                            break
+                        try:
+                            more_rows, more_future = await asyncio.wait_for(
+                                queue.get(), timeout=remaining
+                            )
+                        except asyncio.TimeoutError:
+                            break
+                        if batch_rows + more_rows.num_rows > self.max_batch_rows:
+                            carried = (more_rows, more_future)
+                        else:
+                            parts.append(more_rows)
+                            batch_rows += more_rows.num_rows
+                            futures.append(more_future)
+                while carried is None and not queue.empty():
+                    more_rows, more_future = queue.get_nowait()
+                    if batch_rows + more_rows.num_rows > self.max_batch_rows:
+                        carried = (more_rows, more_future)
+                        break
+                    parts.append(more_rows)
+                    batch_rows += more_rows.num_rows
+                    futures.append(more_future)
+                rows = Table.concat_all(parts)
                 result = await self._dispatch(self.service.ingest, table_name, rows)
             except asyncio.CancelledError:
                 if carried is not None and not carried[1].done():
@@ -442,6 +496,17 @@ class QueryServer:
                 raise ValueError("drop requests need a 'table' name")
             await self.service.drop_table(table_name)
             return {"table": table_name, "dropped": True}
+        if op == "checkpoint":
+            result = await self.service.checkpoint()
+            return {
+                "checkpoint_lsn": result.checkpoint_lsn,
+                "snapshot": result.path.name if result.path is not None else None,
+                "tables": result.tables,
+                "seconds": result.seconds,
+                "skipped": result.skipped,
+            }
+        if op == "persist":
+            return {"last_lsn": await self.service.persist()}
         raise ValueError(f"unknown op {op!r}")
 
     def _rows_from_request(
@@ -525,3 +590,110 @@ class AsyncQueryClient:
         if not response["ok"]:
             raise RuntimeError(f"{response['error_type']}: {response['error']}")
         return response["result"]
+
+
+# --------------------------------------------------------------------------- #
+# Process entry point
+
+
+def _build_arg_parser():
+    import argparse
+
+    from ..gd.partitioned import DEFAULT_PARTITION_SIZE
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve the approximate query engine over newline-delimited JSON/TCP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    parser.add_argument(
+        "--data-dir",
+        default=None,
+        help="durable data directory (WAL + snapshots); omit for a purely "
+        "in-memory server",
+    )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=30.0,
+        help="seconds between background snapshot checkpoints (with --data-dir)",
+    )
+    parser.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync every WAL append (with --data-dir); slower, survives "
+        "power loss rather than just process death",
+    )
+    parser.add_argument(
+        "--partition-size", type=int, default=DEFAULT_PARTITION_SIZE
+    )
+    parser.add_argument(
+        "--coalesce-delay",
+        type=float,
+        default=DEFAULT_MAX_BATCH_DELAY,
+        help="max seconds the ingest coalescer keeps a batch open waiting "
+        "for more writers",
+    )
+    parser.add_argument("--workers", type=int, default=4)
+    return parser
+
+
+async def serve(args) -> None:
+    """Run a server until SIGINT/SIGTERM; durable when --data-dir is set."""
+    import signal
+
+    if args.data_dir:
+        database = Database.open(
+            args.data_dir, fsync=args.fsync, partition_size=args.partition_size
+        )
+        info = database.recovery_info
+        print(
+            f"recovered {len(database.table_names)} table(s) from {args.data_dir} "
+            f"(snapshot lsn {info.snapshot_lsn}, {info.replayed_records} WAL "
+            f"record(s) replayed, {info.rebuilt_partitions} partition "
+            f"synopsis(es) rebuilt in {info.seconds:.2f}s)",
+            flush=True,
+        )
+    else:
+        database = Database(partition_size=args.partition_size)
+    service = ConcurrentQueryService(database=database)
+    checkpointer = (
+        BackgroundCheckpointer(service, interval_seconds=args.checkpoint_interval)
+        if args.data_dir
+        else None
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # non-unix event loops
+            pass
+    async with AsyncQueryService(
+        service=service,
+        max_workers=args.workers,
+        max_batch_delay=args.coalesce_delay,
+    ) as async_service:
+        async with QueryServer(async_service, host=args.host, port=args.port) as server:
+            if checkpointer is not None:
+                checkpointer.start()
+            print(f"listening on {server.host}:{server.port}", flush=True)
+            try:
+                await stop.wait()
+            finally:
+                if checkpointer is not None:
+                    # Final checkpoint so the next start recovers from a
+                    # snapshot instead of replaying the whole WAL.
+                    await loop.run_in_executor(None, checkpointer.stop)
+    if args.data_dir:
+        database.close()
+
+
+def main(argv=None) -> None:
+    args = _build_arg_parser().parse_args(argv)
+    asyncio.run(serve(args))
+
+
+if __name__ == "__main__":
+    main()

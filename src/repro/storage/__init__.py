@@ -1,0 +1,47 @@
+"""Durable storage: write-ahead log, snapshot checkpoints, crash recovery.
+
+The subsystem that makes the whole query service restartable:
+
+* :mod:`repro.storage.wal` — length-prefixed, checksummed, segment-rotated
+  redo log of every committed mutation;
+* :mod:`repro.storage.snapshot` — atomic (temp dir + rename) checkpoint
+  images of the catalog, GD-compressed partitions and PWHP synopses;
+* :mod:`repro.storage.durable` — :class:`DurableDatabase`, the WAL-logged
+  database with ``checkpoint()`` and the ``open()`` recovery path
+  (also reachable as ``Database.open(path)``);
+* :mod:`repro.storage.checkpointer` — background snapshot thread;
+* :mod:`repro.storage.faults` — crash-injection points for recovery tests.
+"""
+
+from .checkpointer import BackgroundCheckpointer
+from .durable import (
+    WAL_DROP,
+    WAL_INGEST,
+    WAL_REGISTER,
+    CheckpointResult,
+    DurableDatabase,
+    RecoveryInfo,
+)
+from .faults import SimulatedCrash, maybe_crash, set_crash_hook
+from .snapshot import LoadedSnapshot, SnapshotState, load_latest_snapshot, write_snapshot
+from .wal import WalRecord, WalScanReport, WriteAheadLog
+
+__all__ = [
+    "BackgroundCheckpointer",
+    "CheckpointResult",
+    "DurableDatabase",
+    "LoadedSnapshot",
+    "RecoveryInfo",
+    "SimulatedCrash",
+    "SnapshotState",
+    "WAL_DROP",
+    "WAL_INGEST",
+    "WAL_REGISTER",
+    "WalRecord",
+    "WalScanReport",
+    "WriteAheadLog",
+    "load_latest_snapshot",
+    "maybe_crash",
+    "set_crash_hook",
+    "write_snapshot",
+]

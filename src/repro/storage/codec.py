@@ -1,0 +1,290 @@
+"""Binary codecs for the durable-storage subsystem.
+
+Everything the recovery path needs that is not already covered by the
+synopsis serialization (:mod:`repro.core.serialization`) is encoded here:
+table schemas, fitted pre-processors, raw row batches (the WAL payloads),
+GreedyGD configuration and the per-table catalog entries a snapshot
+writes.  All framing is explicit little-endian ``struct`` packing —
+no pickle, so payloads are stable across Python versions and safe to read
+from untrusted data directories.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..core.params import PairwiseHistParams
+from ..core.serialization import deserialize_params, serialize_params
+from ..data.schema import ColumnSchema, ColumnType, TableSchema
+from ..data.table import Table
+from ..gd.greedygd import GreedyGDConfig
+from ..gd.preprocessor import ColumnTransform, Preprocessor
+
+_NULL_STRING = 0xFFFFFFFF
+
+
+# --------------------------------------------------------------------------- #
+# Primitives
+
+
+def pack_string(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    return struct.pack("<I", len(raw)) + raw
+
+
+def unpack_string(buffer: memoryview, offset: int) -> tuple[str, int]:
+    (length,) = struct.unpack_from("<I", buffer, offset)
+    offset += 4
+    return bytes(buffer[offset : offset + length]).decode("utf-8"), offset + length
+
+
+def pack_optional_string(text: str | None) -> bytes:
+    if text is None:
+        return struct.pack("<I", _NULL_STRING)
+    return pack_string(text)
+
+
+def unpack_optional_string(buffer: memoryview, offset: int) -> tuple[str | None, int]:
+    (length,) = struct.unpack_from("<I", buffer, offset)
+    if length == _NULL_STRING:
+        return None, offset + 4
+    offset += 4
+    return bytes(buffer[offset : offset + length]).decode("utf-8"), offset + length
+
+
+def pack_bytes(payload: bytes) -> bytes:
+    return struct.pack("<Q", len(payload)) + payload
+
+
+def unpack_bytes(buffer: memoryview, offset: int) -> tuple[bytes, int]:
+    (length,) = struct.unpack_from("<Q", buffer, offset)
+    offset += 8
+    return bytes(buffer[offset : offset + length]), offset + length
+
+
+def pack_array(arr: np.ndarray) -> bytes:
+    """Frame a numpy array: dtype string, shape, then raw C-order bytes."""
+    arr = np.ascontiguousarray(arr)
+    parts = [pack_string(arr.dtype.str), struct.pack("<B", arr.ndim)]
+    parts.append(struct.pack(f"<{arr.ndim}Q", *arr.shape))
+    parts.append(pack_bytes(arr.tobytes()))
+    return b"".join(parts)
+
+
+def unpack_array(buffer: memoryview, offset: int) -> tuple[np.ndarray, int]:
+    dtype_str, offset = unpack_string(buffer, offset)
+    (ndim,) = struct.unpack_from("<B", buffer, offset)
+    offset += 1
+    shape = struct.unpack_from(f"<{ndim}Q", buffer, offset)
+    offset += 8 * ndim
+    raw, offset = unpack_bytes(buffer, offset)
+    arr = np.frombuffer(raw, dtype=np.dtype(dtype_str)).reshape(shape).copy()
+    return arr, offset
+
+
+def pack_bool_array(mask: np.ndarray) -> bytes:
+    """Bit-packed boolean array (null bitmaps)."""
+    mask = np.asarray(mask, dtype=bool)
+    return struct.pack("<Q", len(mask)) + np.packbits(mask).tobytes()
+
+
+def unpack_bool_array(buffer: memoryview, offset: int) -> tuple[np.ndarray, int]:
+    (length,) = struct.unpack_from("<Q", buffer, offset)
+    offset += 8
+    nbytes = (length + 7) // 8
+    packed = np.frombuffer(buffer[offset : offset + nbytes], dtype=np.uint8)
+    mask = np.unpackbits(packed, count=length).astype(bool) if length else np.zeros(0, dtype=bool)
+    return mask, offset + nbytes
+
+
+# --------------------------------------------------------------------------- #
+# Schema
+
+
+def encode_schema(schema: TableSchema) -> bytes:
+    parts = [struct.pack("<I", len(schema))]
+    for column in schema:
+        parts.append(pack_string(column.name))
+        parts.append(pack_string(column.ctype.value))
+        parts.append(struct.pack("<iB", column.decimals, bool(column.nullable)))
+        if column.categories is None:
+            parts.append(struct.pack("<I", _NULL_STRING))
+        else:
+            parts.append(struct.pack("<I", len(column.categories)))
+            for label in column.categories:
+                parts.append(pack_string(label))
+    return b"".join(parts)
+
+
+def decode_schema(buffer: memoryview, offset: int = 0) -> tuple[TableSchema, int]:
+    (count,) = struct.unpack_from("<I", buffer, offset)
+    offset += 4
+    columns: list[ColumnSchema] = []
+    for _ in range(count):
+        name, offset = unpack_string(buffer, offset)
+        ctype, offset = unpack_string(buffer, offset)
+        decimals, nullable = struct.unpack_from("<iB", buffer, offset)
+        offset += 5
+        (num_categories,) = struct.unpack_from("<I", buffer, offset)
+        offset += 4
+        categories: list[str] | None = None
+        if num_categories != _NULL_STRING:
+            categories = []
+            for _ in range(num_categories):
+                label, offset = unpack_string(buffer, offset)
+                categories.append(label)
+        columns.append(
+            ColumnSchema(
+                name=name,
+                ctype=ColumnType(ctype),
+                decimals=decimals,
+                categories=categories,
+                nullable=bool(nullable),
+            )
+        )
+    return TableSchema(columns), offset
+
+
+# --------------------------------------------------------------------------- #
+# Preprocessor
+
+
+def encode_preprocessor(preprocessor: Preprocessor) -> bytes:
+    parts = [struct.pack("<I", len(preprocessor.transforms))]
+    for name, t in preprocessor.transforms.items():
+        parts.append(pack_string(name))
+        parts.append(struct.pack("<Bddqq", t.is_categorical, t.scale, t.offset, t.missing_code, t.max_code))
+        parts.append(struct.pack("<I", len(t.categories)))
+        for label in t.categories:
+            parts.append(pack_string(label))
+    return b"".join(parts)
+
+
+def decode_preprocessor(buffer: memoryview, offset: int = 0) -> tuple[Preprocessor, int]:
+    (count,) = struct.unpack_from("<I", buffer, offset)
+    offset += 4
+    transforms: dict[str, ColumnTransform] = {}
+    for _ in range(count):
+        name, offset = unpack_string(buffer, offset)
+        is_cat, scale, value_offset, missing, max_code = struct.unpack_from("<Bddqq", buffer, offset)
+        offset += struct.calcsize("<Bddqq")
+        (num_categories,) = struct.unpack_from("<I", buffer, offset)
+        offset += 4
+        categories: list[str] = []
+        for _ in range(num_categories):
+            label, offset = unpack_string(buffer, offset)
+            categories.append(label)
+        transforms[name] = ColumnTransform(
+            name=name,
+            is_categorical=bool(is_cat),
+            scale=scale,
+            offset=value_offset,
+            categories=categories,
+            missing_code=int(missing),
+            max_code=int(max_code),
+        )
+    return Preprocessor(transforms), offset
+
+
+# --------------------------------------------------------------------------- #
+# Tables (raw row batches — the WAL ingest payload)
+
+
+def encode_table(table: Table) -> bytes:
+    """Losslessly frame a columnar table (float64 / nullable strings)."""
+    parts = [pack_string(table.name), encode_schema(table.schema)]
+    for column in table.schema:
+        values = table.column(column.name)
+        if column.is_categorical:
+            parts.append(struct.pack("<Q", len(values)))
+            parts.append(b"".join(pack_optional_string(v) for v in values))
+        else:
+            parts.append(pack_array(np.asarray(values, dtype=np.float64)))
+    return b"".join(parts)
+
+
+def decode_table(buffer: memoryview, offset: int = 0) -> tuple[Table, int]:
+    name, offset = unpack_string(buffer, offset)
+    schema, offset = decode_schema(buffer, offset)
+    columns: dict[str, np.ndarray] = {}
+    for column in schema:
+        if column.is_categorical:
+            (count,) = struct.unpack_from("<Q", buffer, offset)
+            offset += 8
+            values = np.empty(count, dtype=object)
+            for i in range(count):
+                values[i], offset = unpack_optional_string(buffer, offset)
+            columns[column.name] = values
+        else:
+            columns[column.name], offset = unpack_array(buffer, offset)
+    return Table(name=name, schema=schema, columns=columns), offset
+
+
+# --------------------------------------------------------------------------- #
+# GreedyGD configuration
+
+
+def encode_gd_config(config: GreedyGDConfig) -> bytes:
+    return struct.pack(
+        "<qqBB",
+        config.search_rows,
+        config.max_deviation_bits,
+        bool(config.early_stop),
+        bool(getattr(config, "warm_start_appends", True)),
+    )
+
+
+def decode_gd_config(buffer: memoryview, offset: int = 0) -> tuple[GreedyGDConfig, int]:
+    search_rows, max_dev, early, warm = struct.unpack_from("<qqBB", buffer, offset)
+    offset += struct.calcsize("<qqBB")
+    return (
+        GreedyGDConfig(
+            search_rows=int(search_rows),
+            max_deviation_bits=int(max_dev),
+            early_stop=bool(early),
+            warm_start_appends=bool(warm),
+        ),
+        offset,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# WAL payloads
+
+
+def encode_register_payload(
+    table: Table, params: PairwiseHistParams, partition_size: int
+) -> bytes:
+    return b"".join(
+        [struct.pack("<q", partition_size), serialize_params(params), encode_table(table)]
+    )
+
+
+def decode_register_payload(payload: bytes) -> tuple[Table, PairwiseHistParams, int]:
+    buffer = memoryview(payload)
+    (partition_size,) = struct.unpack_from("<q", buffer, 0)
+    params, offset = deserialize_params(buffer, 8)
+    table, _ = decode_table(buffer, offset)
+    return table, params, int(partition_size)
+
+
+def encode_ingest_payload(table_name: str, rows: Table) -> bytes:
+    return pack_string(table_name) + encode_table(rows)
+
+
+def decode_ingest_payload(payload: bytes) -> tuple[str, Table]:
+    buffer = memoryview(payload)
+    table_name, offset = unpack_string(buffer, 0)
+    rows, _ = decode_table(buffer, offset)
+    return table_name, rows
+
+
+def encode_drop_payload(table_name: str) -> bytes:
+    return pack_string(table_name)
+
+
+def decode_drop_payload(payload: bytes) -> str:
+    name, _ = unpack_string(memoryview(payload), 0)
+    return name

@@ -1,0 +1,56 @@
+"""Crash-injection points for durability testing.
+
+The WAL, snapshot writer and checkpointer call :func:`maybe_crash` at the
+moments where a real crash would be most damaging (half-written record,
+unpublished snapshot, pre-truncation).  Two mechanisms arm a point:
+
+* ``REPRO_CRASH_POINT=<point>`` in the environment makes the *process*
+  die with ``os._exit`` — used by the subprocess server tests to simulate
+  ``kill -9`` at a precise byte offset,
+* :func:`set_crash_hook` installs an in-process callable — unit tests make
+  it raise :class:`SimulatedCrash` and then "restart" by re-opening the
+  data directory.
+
+In production both are inert: one env lookup per call.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+#: Exit status used by the env-armed crash, distinguishable from clean exits.
+CRASH_EXIT_STATUS = 137
+
+_hook: Callable[[str], None] | None = None
+
+
+class SimulatedCrash(BaseException):
+    """Raised by test hooks to model the process dying at a crash point.
+
+    Derives from :class:`BaseException` so ``except Exception`` recovery
+    code cannot accidentally swallow a simulated crash.
+    """
+
+
+def set_crash_hook(hook: Callable[[str], None] | None) -> None:
+    """Install (or with ``None`` remove) the in-process crash hook."""
+    global _hook
+    _hook = hook
+
+
+def maybe_crash(point: str) -> None:
+    """Die here if this crash point is armed; no-op otherwise."""
+    if _hook is not None:
+        _hook(point)
+    if os.environ.get("REPRO_CRASH_POINT") == point:
+        os._exit(CRASH_EXIT_STATUS)
+
+
+def crash_points_armed() -> bool:
+    """Whether any crash injection is active at all.
+
+    Lets hot paths skip work that exists only to make an injected crash
+    realistic (e.g. the WAL's split-and-flush torn-record write).
+    """
+    return _hook is not None or "REPRO_CRASH_POINT" in os.environ

@@ -1,0 +1,362 @@
+"""Snapshot checkpoints: atomic on-disk images of the whole catalog.
+
+A snapshot directory holds, per registered table, the catalog entry
+(schema, fitted pre-processor, construction params, GreedyGD config), the
+GD-compressed partitions (one framed blob per partition, so a future
+incremental checkpoint can rewrite only the tail) and the per-partition
+PWHP synopses.  A ``MANIFEST`` listing every file with its size and CRC32
+is written *last*, and the whole directory is assembled under a temporary
+name and published with a single ``os.replace`` — so a snapshot either
+exists completely and checksum-clean, or does not exist at all.  The
+recovery path scans snapshot directories newest-first and loads the first
+one whose manifest validates, so a crash mid-checkpoint (partial temp
+dir, missing manifest, torn file) silently falls back to the previous
+checkpoint plus WAL replay.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.params import PairwiseHistParams
+from ..core.serialization import (
+    deserialize,
+    deserialize_catalog,
+    deserialize_manifest,
+    deserialize_params,
+    deserialize_partitioned,
+    serialize,
+    serialize_catalog,
+    serialize_manifest,
+    serialize_params,
+    serialize_partitioned,
+)
+from ..core.synopsis import PairwiseHist
+from ..data.schema import TableSchema
+from ..gd.greedygd import GreedyGDConfig
+from ..gd.partitioned import PartitionedStore, dump_partition, load_partition
+from ..gd.preprocessor import Preprocessor
+from ..gd.store import CompressedStore
+from . import codec
+from .faults import maybe_crash
+
+SNAPSHOT_PREFIX = "snap-"
+_TMP_PREFIX = "tmp-"
+_MANIFEST_NAME = "MANIFEST"
+_CATALOG_NAME = "CATALOG"
+_CURRENT_NAME = "CURRENT"
+
+
+# --------------------------------------------------------------------------- #
+# Captured state (copy-on-write references, serialized off-lock)
+
+
+@dataclass
+class TableSnapshotState:
+    """One table's state at the checkpoint cut — references, not copies.
+
+    Partitions and partition-synopsis lists are published atomically by
+    the ingest protocol and their elements are immutable once published,
+    so holding the references keeps the cut consistent while the actual
+    serialization runs without any lock.
+    """
+
+    name: str
+    schema: TableSchema
+    preprocessor: Preprocessor
+    partition_size: int
+    params: PairwiseHistParams
+    gd_config: GreedyGDConfig
+    partitions: list[CompressedStore]
+    partition_synopses: list[PairwiseHist]
+    synopsis_builds: int
+    #: The live merged (queryable) synopsis at the cut.  Persisted in the
+    #: exact (``PWHX``) encoding so a warm restart loads it directly
+    #: instead of re-merging every partition's synopsis.
+    merged: PairwiseHist | None = None
+
+
+@dataclass
+class SnapshotState:
+    """Everything one checkpoint persists: the cut LSN plus every table."""
+
+    checkpoint_lsn: int
+    tables: list[TableSnapshotState]
+
+
+@dataclass
+class LoadedTable:
+    """One table decoded from a snapshot, ready to become a ManagedTable."""
+
+    name: str
+    schema: TableSchema
+    preprocessor: Preprocessor
+    partition_size: int
+    params: PairwiseHistParams
+    gd_config: GreedyGDConfig
+    partitions: list[CompressedStore]
+    partition_synopses: list[PairwiseHist]
+    synopsis_builds: int
+    merged: PairwiseHist | None = None
+
+    def to_store(self) -> PartitionedStore:
+        return PartitionedStore(
+            table_name=self.name,
+            schema=self.schema,
+            preprocessor=self.preprocessor,
+            partition_size=self.partition_size,
+            partitions=self.partitions,
+            _column_order=self.schema.names,
+            _config=self.gd_config,
+        )
+
+
+@dataclass
+class LoadedSnapshot:
+    checkpoint_lsn: int
+    path: Path
+    tables: list[LoadedTable]
+
+
+# --------------------------------------------------------------------------- #
+# Per-table framing
+
+
+def _encode_table_meta(state: TableSnapshotState) -> bytes:
+    parts = [
+        codec.pack_string(state.name),
+        struct.pack("<qq", state.partition_size, state.synopsis_builds),
+        serialize_params(state.params),
+        codec.encode_gd_config(state.gd_config),
+        codec.encode_schema(state.schema),
+        codec.encode_preprocessor(state.preprocessor),
+    ]
+    return b"".join(parts)
+
+
+def _decode_table_meta(payload: bytes):
+    buffer = memoryview(payload)
+    name, offset = codec.unpack_string(buffer, 0)
+    partition_size, synopsis_builds = struct.unpack_from("<qq", buffer, offset)
+    offset += struct.calcsize("<qq")
+    params, offset = deserialize_params(buffer, offset)
+    gd_config, offset = codec.decode_gd_config(buffer, offset)
+    schema, offset = codec.decode_schema(buffer, offset)
+    preprocessor, offset = codec.decode_preprocessor(buffer, offset)
+    return name, int(partition_size), int(synopsis_builds), params, gd_config, schema, preprocessor
+
+
+def _frame_blobs(blobs: list[bytes]) -> bytes:
+    framed = [struct.pack("<I", len(blobs))]
+    for blob in blobs:
+        framed.append(struct.pack("<Q", len(blob)))
+        framed.append(blob)
+    return b"".join(framed)
+
+
+def _unframe_blobs(payload: bytes) -> list[bytes]:
+    buffer = memoryview(payload)
+    (count,) = struct.unpack_from("<I", buffer, 0)
+    offset = 4
+    blobs: list[bytes] = []
+    for _ in range(count):
+        (length,) = struct.unpack_from("<Q", buffer, offset)
+        offset += 8
+        blobs.append(bytes(buffer[offset : offset + length]))
+        offset += length
+    return blobs
+
+
+# --------------------------------------------------------------------------- #
+# Writing
+
+
+def snapshot_dir_name(checkpoint_lsn: int) -> str:
+    return f"{SNAPSHOT_PREFIX}{checkpoint_lsn:020d}"
+
+
+def write_snapshot(
+    snapshots_dir: str | os.PathLike,
+    state: SnapshotState,
+    keep: int = 2,
+    fsync: bool = False,
+) -> Path:
+    """Write one snapshot atomically; returns the published directory.
+
+    Everything lands in a temp directory first; the manifest is the last
+    file written inside it, then one ``os.replace`` publishes the whole
+    directory under its final LSN-derived name.  Snapshots beyond the
+    ``keep`` most recent are garbage-collected afterwards.
+
+    ``fsync=True`` additionally fsyncs every snapshot file and the
+    enclosing directories before returning.  The caller truncates WAL
+    segments the snapshot covers immediately afterwards, so without the
+    fsync a power cut could persist the truncation but not the snapshot
+    data; process-death-only durability (the default) does not need it.
+    """
+    snapshots_dir = Path(snapshots_dir)
+    snapshots_dir.mkdir(parents=True, exist_ok=True)
+    final_path = snapshots_dir / snapshot_dir_name(state.checkpoint_lsn)
+    tmp_path = snapshots_dir / f"{_TMP_PREFIX}{state.checkpoint_lsn:020d}-{os.getpid()}"
+    if tmp_path.exists():
+        shutil.rmtree(tmp_path)
+    tmp_path.mkdir(parents=True)
+    files: list[tuple[str, int, int]] = []
+
+    def _write(name: str, payload: bytes) -> None:
+        path = tmp_path / name
+        path.write_bytes(payload)
+        if fsync:
+            _fsync_path(path)
+        files.append((name, len(payload), zlib.crc32(payload)))
+
+    _write(_CATALOG_NAME, serialize_catalog([_encode_table_meta(t) for t in state.tables]))
+    for index, table in enumerate(state.tables):
+        _write(
+            f"table-{index:05d}.partitions",
+            _frame_blobs([dump_partition(p) for p in table.partitions]),
+        )
+        maybe_crash("snapshot.mid_write")
+        _write(
+            f"table-{index:05d}.synopses",
+            serialize_partitioned(table.partition_synopses),
+        )
+        if table.merged is not None:
+            _write(f"table-{index:05d}.merged", serialize(table.merged, exact=True))
+    manifest_path = tmp_path / _MANIFEST_NAME
+    manifest_path.write_bytes(serialize_manifest(state.checkpoint_lsn, files))
+    if fsync:
+        _fsync_path(manifest_path)
+        _fsync_path(tmp_path)
+    maybe_crash("snapshot.before_publish")
+    if final_path.exists():
+        # A snapshot at this LSN already exists (nothing new was logged
+        # since); the fresh temp copy is redundant.
+        shutil.rmtree(tmp_path)
+    else:
+        os.replace(tmp_path, final_path)
+    if fsync:
+        _fsync_path(snapshots_dir)
+    _update_current(snapshots_dir, final_path.name)
+    _collect_garbage(snapshots_dir, keep)
+    return final_path
+
+
+def _fsync_path(path: Path) -> None:
+    """fsync one file or directory."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _update_current(snapshots_dir: Path, name: str) -> None:
+    """Advisory pointer to the live snapshot (ops convenience; the loader
+    trusts manifests, not this file)."""
+    tmp = snapshots_dir / f"{_CURRENT_NAME}.tmp"
+    tmp.write_text(name + "\n")
+    os.replace(tmp, snapshots_dir / _CURRENT_NAME)
+
+
+def _snapshot_paths(snapshots_dir: Path) -> list[Path]:
+    """Published snapshot directories, newest (highest LSN) first."""
+    if not snapshots_dir.is_dir():
+        return []
+    return sorted(
+        (p for p in snapshots_dir.iterdir() if p.is_dir() and p.name.startswith(SNAPSHOT_PREFIX)),
+        key=lambda p: p.name,
+        reverse=True,
+    )
+
+
+def _collect_garbage(snapshots_dir: Path, keep: int) -> None:
+    for stale in _snapshot_paths(snapshots_dir)[keep:]:
+        shutil.rmtree(stale, ignore_errors=True)
+    for orphan in snapshots_dir.glob(f"{_TMP_PREFIX}*"):
+        shutil.rmtree(orphan, ignore_errors=True)
+
+
+# --------------------------------------------------------------------------- #
+# Loading
+
+
+def _validate(path: Path) -> tuple[int, dict[str, bytes]] | None:
+    """Checkpoint LSN and verified payloads if the manifest checks out.
+
+    Returning the payloads lets :func:`_load` decode from memory instead
+    of reading every file from disk a second time.
+    """
+    manifest_path = path / _MANIFEST_NAME
+    if not manifest_path.is_file():
+        return None
+    try:
+        checkpoint_lsn, files = deserialize_manifest(manifest_path.read_bytes())
+    except (ValueError, struct.error):
+        return None
+    payloads: dict[str, bytes] = {}
+    for name, size, crc in files:
+        member = path / name
+        if not member.is_file():
+            return None
+        payload = member.read_bytes()
+        if len(payload) != size or zlib.crc32(payload) != crc:
+            return None
+        payloads[name] = payload
+    return checkpoint_lsn, payloads
+
+
+def _load(
+    path: Path, checkpoint_lsn: int, payloads: dict[str, bytes]
+) -> LoadedSnapshot:
+    entries = deserialize_catalog(payloads[_CATALOG_NAME])
+    tables: list[LoadedTable] = []
+    for index, entry in enumerate(entries):
+        name, partition_size, builds, params, gd_config, schema, preprocessor = (
+            _decode_table_meta(entry)
+        )
+        blobs = _unframe_blobs(payloads[f"table-{index:05d}.partitions"])
+        partitions = [load_partition(b, name, schema, preprocessor) for b in blobs]
+        synopses = deserialize_partitioned(payloads[f"table-{index:05d}.synopses"])
+        merged_payload = payloads.get(f"table-{index:05d}.merged")
+        merged = deserialize(merged_payload) if merged_payload is not None else None
+        tables.append(
+            LoadedTable(
+                name=name,
+                schema=schema,
+                preprocessor=preprocessor,
+                partition_size=partition_size,
+                params=params,
+                gd_config=gd_config,
+                partitions=partitions,
+                partition_synopses=synopses,
+                synopsis_builds=builds,
+                merged=merged,
+            )
+        )
+    return LoadedSnapshot(checkpoint_lsn=checkpoint_lsn, path=path, tables=tables)
+
+
+def load_latest_snapshot(snapshots_dir: str | os.PathLike) -> LoadedSnapshot | None:
+    """Load the newest snapshot that validates, or ``None`` if there is none.
+
+    Invalid candidates (partial directory from a crashed checkpoint,
+    corrupted file) are skipped, falling back to the next older snapshot —
+    never raising for data that the atomic-publish protocol says to
+    distrust.
+    """
+    for path in _snapshot_paths(Path(snapshots_dir)):
+        validated = _validate(path)
+        if validated is None:
+            continue
+        checkpoint_lsn, payloads = validated
+        try:
+            return _load(path, checkpoint_lsn, payloads)
+        except (ValueError, struct.error, KeyError):
+            continue
+    return None

@@ -1,0 +1,303 @@
+"""Write-ahead ingest log: length-prefixed, checksummed, segment-rotated.
+
+Every committed mutation (register / ingest / drop) is appended as one
+record *before* the commit returns, so a crash loses at most the batch
+that never acknowledged.  The on-disk format is a sequence of segment
+files, each a run of records:
+
+    <lsn:u64><type:u8><length:u32><crc32:u32><payload:length bytes>
+
+The CRC covers the header fields and the payload, so a flipped bit
+anywhere in a record is detected.  LSNs are assigned sequentially across
+segments; segment files are named by the first LSN they contain, so the
+set of files is itself an index.  A record is never split across
+segments; a segment rotates once it exceeds ``segment_max_bytes``.
+
+Recovery semantics: the log is the prefix of records that are fully
+written and checksum-clean.  A torn tail (crash mid-write) or a corrupted
+record ends the log at the last valid record — :class:`WriteAheadLog`
+truncates the torn bytes when reopened for append, and read-side
+:meth:`read_records` simply stops there, reporting what it saw in
+:attr:`last_scan`.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from .faults import crash_points_armed, maybe_crash
+
+_HEADER = struct.Struct("<QBII")  # lsn, record type, payload length, crc32
+_SEGMENT_SUFFIX = ".wal"
+
+#: Default segment rotation threshold.
+DEFAULT_SEGMENT_BYTES = 16 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durable log record."""
+
+    lsn: int
+    rtype: int
+    payload: bytes
+
+
+@dataclass
+class WalScanReport:
+    """What a full scan of the log saw (recovery observability)."""
+
+    last_lsn: int = 0
+    valid_records: int = 0
+    #: Bytes discarded from a torn tail (crash mid-append).
+    torn_bytes: int = 0
+    #: Segment in which a checksum / framing error ended the log, if any.
+    corrupt_segment: str | None = None
+    segments: list[str] = field(default_factory=list)
+
+
+def _segment_name(first_lsn: int) -> str:
+    return f"{first_lsn:020d}{_SEGMENT_SUFFIX}"
+
+
+def _frame(lsn: int, rtype: int, payload: bytes) -> bytes:
+    crc = zlib.crc32(struct.pack("<QBI", lsn, rtype, len(payload)) + payload)
+    return _HEADER.pack(lsn, rtype, len(payload), crc) + payload
+
+
+def _read_segment(path: Path, expect_lsn: int | None):
+    """Yield ``(record, end_offset)`` for every valid record of one segment.
+
+    Stops (without raising) at the first incomplete or checksum-failing
+    record; the caller decides whether that ends the whole log.  Returns
+    via StopIteration, so callers use the generator protocol.
+    """
+    data = path.read_bytes()
+    offset = 0
+    while offset + _HEADER.size <= len(data):
+        lsn, rtype, length, crc = _HEADER.unpack_from(data, offset)
+        end = offset + _HEADER.size + length
+        if end > len(data):
+            break  # torn tail: payload never finished
+        payload = data[offset + _HEADER.size : end]
+        if zlib.crc32(struct.pack("<QBI", lsn, rtype, length) + payload) != crc:
+            break  # corrupted record
+        if expect_lsn is not None and lsn != expect_lsn:
+            break  # framing desynchronised; treat like corruption
+        yield WalRecord(lsn=lsn, rtype=rtype, payload=payload), end
+        offset = end
+        if expect_lsn is not None:
+            expect_lsn += 1
+
+
+class WriteAheadLog:
+    """Append-only, checksummed, segment-rotated log under one directory.
+
+    Thread-safe: appends, syncs, rotation and truncation serialize on an
+    internal mutex (the durable database additionally orders appends
+    against its own commits).
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        segment_max_bytes: int = DEFAULT_SEGMENT_BYTES,
+        fsync: bool = False,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.segment_max_bytes = segment_max_bytes
+        self.fsync = fsync
+        self._mutex = threading.Lock()
+        self._file = None
+        self._segment_path: Path | None = None
+        self.last_scan = self._open_for_append()
+
+    # ------------------------------------------------------------------ #
+    # Opening / scanning
+
+    def segment_paths(self) -> list[Path]:
+        """Segment files in LSN order."""
+        return sorted(self.directory.glob(f"*{_SEGMENT_SUFFIX}"))
+
+    def _open_for_append(self) -> WalScanReport:
+        """Scan every segment, drop invalid tails, open the last for append.
+
+        The first torn or corrupt record ends the log: the bytes from it
+        onward are truncated from its segment and any *later* segments are
+        removed (they are unreachable once the LSN chain is broken).
+        """
+        report = WalScanReport()
+        segments = self.segment_paths()
+        expect = None
+        broken_at: int | None = None
+        for index, path in enumerate(segments):
+            report.segments.append(path.name)
+            size = path.stat().st_size
+            valid_end = 0
+            for record, end in _read_segment(path, expect):
+                report.last_lsn = record.lsn
+                report.valid_records += 1
+                expect = record.lsn + 1
+                valid_end = end
+            if valid_end < size:
+                report.torn_bytes += size - valid_end
+                report.corrupt_segment = path.name
+                with path.open("r+b") as fh:
+                    fh.truncate(valid_end)
+                broken_at = index
+                break
+        if broken_at is not None:
+            for stale in segments[broken_at + 1 :]:
+                report.torn_bytes += stale.stat().st_size
+                stale.unlink()
+        self._last_lsn = report.last_lsn
+        live = self.segment_paths()
+        if report.valid_records == 0 and live:
+            # Only empty segments (e.g. freshly rotated after a checkpoint
+            # truncated everything): the next LSN is encoded in the segment
+            # name, so numbering continues instead of restarting at 1.
+            self._last_lsn = int(live[0].name[: -len(_SEGMENT_SUFFIX)]) - 1
+            report.last_lsn = self._last_lsn
+        if live:
+            self._segment_path = live[-1]
+        else:
+            self._segment_path = self.directory / _segment_name(self._last_lsn + 1)
+            self._segment_path.touch()
+        self._file = self._segment_path.open("ab")
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Writing
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the most recent durable record (0 for an empty log)."""
+        with self._mutex:
+            return self._last_lsn
+
+    def append(self, rtype: int, payload: bytes) -> int:
+        """Durably append one record, returning its LSN."""
+        with self._mutex:
+            if self._file.tell() >= self.segment_max_bytes:
+                self._rotate_locked()
+            lsn = self._last_lsn + 1
+            frame = _frame(lsn, rtype, payload)
+            if crash_points_armed():
+                maybe_crash("wal.append.before_write")
+                # Two flushed writes so an armed mid-write crash point
+                # leaves a genuinely torn record on disk, exactly like a
+                # real crash.
+                half = len(frame) // 2
+                self._file.write(frame[:half])
+                self._file.flush()
+                maybe_crash("wal.append.mid_write")
+                self._file.write(frame[half:])
+            else:
+                self._file.write(frame)
+            self._file.flush()
+            if self.fsync:
+                os.fsync(self._file.fileno())
+            self._last_lsn = lsn
+            return lsn
+
+    def sync(self) -> int:
+        """Flush and fsync whatever has been appended; returns the last LSN."""
+        with self._mutex:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            return self._last_lsn
+
+    def _rotate_locked(self) -> None:
+        self._file.close()
+        self._segment_path = self.directory / _segment_name(self._last_lsn + 1)
+        self._segment_path.touch()
+        self._file = self._segment_path.open("ab")
+
+    # ------------------------------------------------------------------ #
+    # Reading
+
+    def read_records(self, after_lsn: int = 0) -> Iterator[WalRecord]:
+        """Iterate valid records with ``lsn > after_lsn`` across all segments.
+
+        Stops silently at the first torn or corrupt record — by
+        construction everything after it was never acknowledged.
+        """
+        with self._mutex:
+            self._file.flush()
+            segments = self.segment_paths()
+        expect = None
+        for path in segments:
+            for record, _ in _read_segment(path, expect):
+                expect = record.lsn + 1
+                if record.lsn > after_lsn:
+                    yield record
+
+    # ------------------------------------------------------------------ #
+    # Truncation
+
+    def truncate_through(self, lsn: int) -> list[str]:
+        """Drop segments made obsolete by a checkpoint at ``lsn``.
+
+        A segment may be deleted once every record in it has LSN ``<= lsn``.
+        If the *active* segment is itself fully covered, it is rotated
+        first so its file can go too; the new empty segment is named by
+        the next LSN, keeping the chain contiguous.
+        """
+        with self._mutex:
+            if self._last_lsn <= lsn and self._file.tell() > 0:
+                self._rotate_locked()
+            segments = self.segment_paths()
+            removed: list[str] = []
+            for path, successor in zip(segments, segments[1:]):
+                first_of_next = int(successor.name[: -len(_SEGMENT_SUFFIX)])
+                if first_of_next <= lsn + 1:
+                    path.unlink()
+                    removed.append(path.name)
+            return removed
+
+    def reset_to(self, lsn: int) -> None:
+        """Restart the log just past ``lsn``, discarding every segment.
+
+        Only legal when every surviving record is at or below ``lsn`` —
+        the recovery path calls this when a snapshot's checkpoint LSN is
+        *above* the last scannable record (corruption ate part of a log
+        the crashed checkpoint never got to truncate).  Appending at the
+        old, lower LSNs instead would make the next checkpoint sort below
+        the stale snapshot and silently lose the new mutations on the
+        following restart.
+        """
+        with self._mutex:
+            if lsn < self._last_lsn:
+                raise ValueError(
+                    f"cannot reset the WAL to lsn {lsn}: records up to "
+                    f"{self._last_lsn} exist"
+                )
+            self._file.close()
+            for path in self.segment_paths():
+                path.unlink()
+            self._last_lsn = lsn
+            self._segment_path = self.directory / _segment_name(lsn + 1)
+            self._segment_path.touch()
+            self._file = self._segment_path.open("ab")
+
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        with self._mutex:
+            if self._file is not None:
+                self._file.flush()
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

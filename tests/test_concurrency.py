@@ -484,6 +484,70 @@ class TestAsyncQueryService:
 
         run_async(scenario())
 
+    def test_max_delay_flush_batches_staggered_small_appends(self):
+        """With a flush window, small appends arriving *after* the drain
+        task wakes — not just ones already queued — coalesce into one tail
+        recompression; the window also bounds how long a lone append waits."""
+
+        async def scenario():
+            async with AsyncQueryService(
+                partition_size=600, max_workers=2, max_batch_delay=0.25
+            ) as svc:
+                await svc.register_table(
+                    make_simple_table(rows=1200, seed=50, name="stream"),
+                    params=exact_params(),
+                )
+                async def staggered(i):
+                    await asyncio.sleep(0.01 * i)
+                    return await svc.ingest(
+                        "stream", make_simple_table(rows=30, seed=200 + i, name="stream")
+                    )
+
+                results = await asyncio.gather(*[staggered(i) for i in range(5)])
+                # One shared rebuild for all five staggered writers.
+                assert len({id(r) for r in results}) == 1
+                assert results[0].appended_rows == 150
+                after = await svc.query_scalar("SELECT COUNT(*) FROM stream")
+                assert after.value == pytest.approx(1350, rel=1e-9)
+
+                # A lone append is not stuck waiting for a writer that never
+                # comes: it completes within a couple of windows.
+                start = time.perf_counter()
+                await svc.ingest(
+                    "stream", make_simple_table(rows=20, seed=300, name="stream")
+                )
+                assert time.perf_counter() - start < 5.0
+
+        run_async(scenario())
+
+    def test_max_delay_flush_respects_row_budget(self):
+        async def scenario():
+            async with AsyncQueryService(
+                partition_size=600,
+                max_workers=1,
+                max_batch_rows=100,
+                max_batch_delay=0.2,
+            ) as svc:
+                await svc.register_table(
+                    make_simple_table(rows=1200, seed=50, name="stream"),
+                    params=exact_params(),
+                )
+                batches = [
+                    make_simple_table(rows=60, seed=400 + i, name="stream")
+                    for i in range(4)
+                ]
+                results = await asyncio.gather(
+                    *[svc.ingest("stream", b) for b in batches]
+                )
+                # 60-row appends against a 100-row budget: no drained batch
+                # may exceed the budget, so at least two rebuilds happened.
+                assert all(r.appended_rows <= 100 for r in results)
+                assert len({id(r) for r in results}) >= 2
+                after = await svc.query_scalar("SELECT COUNT(*) FROM stream")
+                assert after.value == pytest.approx(1440, rel=1e-9)
+
+        run_async(scenario())
+
     def test_validation_errors_raise_in_caller(self):
         async def scenario():
             async with AsyncQueryService(partition_size=600) as svc:

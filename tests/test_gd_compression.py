@@ -36,6 +36,32 @@ class TestDeviationBitSelection:
         deviation_bits = select_deviation_bits(codes, total_bits)
         assert deviation_bits[0] == 0
 
+    def test_warm_start_matches_cold_result(self):
+        codes, total_bits = _codes_with_shared_high_bits()
+        cold = select_deviation_bits(codes, total_bits)
+        warm = select_deviation_bits(codes, total_bits, warm_start=cold)
+        np.testing.assert_array_equal(warm, cold)
+
+    def test_warm_start_recovers_from_overshoot(self):
+        """The bidirectional warm search removes bits a stale warm start
+        over-assigned, so a distribution shift cannot lock in a bad split."""
+        codes, total_bits = _codes_with_shared_high_bits()
+        cold = select_deviation_bits(codes, total_bits)
+        overshoot = np.minimum(cold + 3, total_bits)
+        warm = select_deviation_bits(codes, total_bits, warm_start=overshoot)
+        from repro.gd.greedygd import _estimate_bits
+
+        warm_size, _ = _estimate_bits(codes, warm, total_bits)
+        overshoot_size, _ = _estimate_bits(codes, overshoot, total_bits)
+        assert warm_size <= overshoot_size
+        assert (warm <= total_bits).all() and (warm >= 0).all()
+
+    def test_warm_start_clipped_to_column_limits(self):
+        codes, total_bits = _codes_with_shared_high_bits()
+        silly = total_bits + 40
+        warm = select_deviation_bits(codes, total_bits, warm_start=silly)
+        assert (warm <= total_bits).all()
+
 
 class TestGreedyGDCompress:
     def test_reconstruction_is_lossless(self):

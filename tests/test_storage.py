@@ -1,0 +1,397 @@
+"""Unit tests for the durable-storage building blocks.
+
+WAL framing (checksums, rotation, torn tails, truncation), the binary
+codecs (tables, schemas, preprocessors, params), partition-level GD
+dump/load and atomic snapshot write/load.  End-to-end crash recovery
+lives in ``test_recovery.py``.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+from conftest import make_simple_table
+
+from repro.core.params import PairwiseHistParams
+from repro.core.serialization import (
+    deserialize_catalog,
+    deserialize_manifest,
+    deserialize_params,
+    serialize_catalog,
+    serialize_manifest,
+    serialize_params,
+)
+from repro.gd.greedygd import GreedyGDConfig
+from repro.gd.partitioned import PartitionedStore, dump_partition, load_partition
+from repro.gd.preprocessor import Preprocessor
+from repro.storage import (
+    SimulatedCrash,
+    WriteAheadLog,
+    load_latest_snapshot,
+    set_crash_hook,
+    write_snapshot,
+)
+from repro.storage import codec
+from repro.storage.snapshot import SnapshotState, TableSnapshotState
+
+
+@pytest.fixture(autouse=True)
+def _clear_crash_hook():
+    yield
+    set_crash_hook(None)
+
+
+# --------------------------------------------------------------------------- #
+# Write-ahead log
+
+
+class TestWriteAheadLog:
+    def test_append_read_round_trip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        payloads = [bytes([i]) * (i + 1) for i in range(5)]
+        lsns = [wal.append(1, p) for p in payloads]
+        assert lsns == [1, 2, 3, 4, 5]
+        records = list(wal.read_records())
+        assert [r.lsn for r in records] == lsns
+        assert [r.payload for r in records] == payloads
+        assert wal.last_lsn == 5
+        wal.close()
+
+    def test_read_after_lsn_filters(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        for i in range(6):
+            wal.append(2, b"x%d" % i)
+        assert [r.lsn for r in wal.read_records(after_lsn=4)] == [5, 6]
+        wal.close()
+
+    def test_reopen_continues_lsn_sequence(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append(1, b"one")
+        wal.close()
+        wal = WriteAheadLog(tmp_path / "wal")
+        assert wal.last_lsn == 1
+        assert wal.append(1, b"two") == 2
+        assert [r.payload for r in wal.read_records()] == [b"one", b"two"]
+        wal.close()
+
+    def test_segment_rotation(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", segment_max_bytes=64)
+        for i in range(10):
+            wal.append(1, b"p" * 32)
+        assert len(wal.segment_paths()) > 1
+        assert [r.lsn for r in wal.read_records()] == list(range(1, 11))
+        wal.close()
+
+    def test_torn_tail_is_truncated_on_reopen(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append(1, b"good")
+        wal.append(1, b"also-good")
+        wal.close()
+        # Simulate a crash mid-append: chop bytes off the last record.
+        segment = wal.segment_paths()[-1]
+        data = segment.read_bytes()
+        segment.write_bytes(data[:-3])
+        wal = WriteAheadLog(tmp_path / "wal")
+        assert wal.last_scan.torn_bytes > 0
+        assert [r.payload for r in wal.read_records()] == [b"good"]
+        # Appending after truncation re-uses the freed LSN cleanly.
+        assert wal.append(1, b"replacement") == 2
+        assert [r.payload for r in wal.read_records()] == [b"good", b"replacement"]
+        wal.close()
+
+    def test_corrupted_record_ends_the_log(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        for i in range(3):
+            wal.append(1, b"payload-%d" % i)
+        wal.close()
+        segment = wal.segment_paths()[-1]
+        data = bytearray(segment.read_bytes())
+        # Flip a bit inside the second record's payload.
+        first_len = 17 + len(b"payload-0")
+        data[first_len + 17 + 2] ^= 0xFF
+        segment.write_bytes(bytes(data))
+        wal = WriteAheadLog(tmp_path / "wal")
+        assert [r.payload for r in wal.read_records()] == [b"payload-0"]
+        assert wal.last_lsn == 1
+        wal.close()
+
+    def test_corruption_in_middle_segment_drops_later_segments(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", segment_max_bytes=48)
+        for i in range(8):
+            wal.append(1, b"x" * 40)
+        segments = wal.segment_paths()
+        assert len(segments) >= 3
+        wal.close()
+        data = bytearray(segments[1].read_bytes())
+        data[-1] ^= 0xFF
+        segments[1].write_bytes(bytes(data))
+        wal = WriteAheadLog(tmp_path / "wal")
+        records = list(wal.read_records())
+        # Only the prefix before the corruption survives; later segments
+        # were unlinked because the LSN chain is broken.
+        assert records == sorted(records, key=lambda r: r.lsn)
+        assert wal.last_lsn == records[-1].lsn < 8
+        assert len(wal.segment_paths()) <= 2
+        wal.close()
+
+    def test_truncate_through_drops_covered_segments(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", segment_max_bytes=48)
+        for i in range(9):
+            wal.append(1, b"y" * 40)
+        before = len(wal.segment_paths())
+        wal.truncate_through(6)
+        after = len(wal.segment_paths())
+        assert after < before
+        assert [r.lsn for r in wal.read_records(after_lsn=6)] == [7, 8, 9]
+        wal.close()
+
+    def test_truncate_everything_then_reopen_continues_numbering(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        for i in range(4):
+            wal.append(1, b"z")
+        wal.truncate_through(4)
+        assert list(wal.read_records()) == []
+        assert wal.append(1, b"after") == 5
+        wal.close()
+        wal = WriteAheadLog(tmp_path / "wal")
+        assert wal.last_lsn == 5
+        wal.close()
+
+    def test_truncate_everything_close_reopen(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        for i in range(4):
+            wal.append(1, b"z")
+        wal.truncate_through(4)
+        wal.close()
+        wal = WriteAheadLog(tmp_path / "wal")
+        assert wal.last_lsn == 4
+        assert wal.append(1, b"next") == 5
+        wal.close()
+
+    def test_crash_mid_write_leaves_recoverable_torn_record(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append(1, b"committed")
+
+        def crash(point):
+            if point == "wal.append.mid_write":
+                raise SimulatedCrash(point)
+
+        set_crash_hook(crash)
+        with pytest.raises(SimulatedCrash):
+            wal.append(1, b"torn-away")
+        set_crash_hook(None)
+        wal.close()
+        reopened = WriteAheadLog(tmp_path / "wal")
+        assert reopened.last_scan.torn_bytes > 0
+        assert [r.payload for r in reopened.read_records()] == [b"committed"]
+        reopened.close()
+
+
+# --------------------------------------------------------------------------- #
+# Codecs
+
+
+class TestCodecs:
+    def test_table_round_trip_exact(self):
+        table = make_simple_table(rows=257, seed=3, name="round")
+        payload = codec.encode_table(table)
+        decoded, _ = codec.decode_table(memoryview(payload))
+        assert decoded.name == table.name
+        assert decoded.schema.names == table.schema.names
+        for name in table.column_names:
+            original = table.column(name)
+            restored = decoded.column(name)
+            if table.schema[name].is_categorical:
+                assert list(original) == list(restored)
+            else:
+                # Bit-exact floats, NaNs aligned.
+                assert np.array_equal(original, restored, equal_nan=True)
+
+    def test_empty_and_null_categoricals(self):
+        from repro.data.table import Table
+
+        table = Table.from_dict(
+            {"c": ["", None, "x", ""], "v": [1.0, float("nan"), 3.0, 4.0]},
+            name="edge",
+        )
+        decoded, _ = codec.decode_table(memoryview(codec.encode_table(table)))
+        assert list(decoded.column("c")) == ["", None, "x", ""]
+        assert np.array_equal(decoded.column("v"), table.column("v"), equal_nan=True)
+
+    def test_preprocessor_round_trip(self):
+        table = make_simple_table(rows=500, seed=5)
+        pre = Preprocessor.fit(table)
+        decoded, _ = codec.decode_preprocessor(
+            memoryview(codec.encode_preprocessor(pre))
+        )
+        assert decoded.column_names == pre.column_names
+        for name in pre.column_names:
+            a, b = pre[name], decoded[name]
+            assert (a.is_categorical, a.scale, a.offset, a.categories) == (
+                b.is_categorical,
+                b.scale,
+                b.offset,
+                b.categories,
+            )
+            assert (a.missing_code, a.max_code) == (b.missing_code, b.max_code)
+
+    def test_params_round_trip_all_fields(self):
+        params = PairwiseHistParams(
+            sample_size=None,
+            min_points=77,
+            alpha=0.025,
+            min_spacing=0.5,
+            max_initial_bins=99,
+            max_refine_depth=7,
+            seed=13,
+            max_merged_cells=4096,
+        )
+        decoded, _ = deserialize_params(serialize_params(params))
+        assert decoded == params
+
+    def test_gd_config_round_trip(self):
+        config = GreedyGDConfig(
+            search_rows=123, max_deviation_bits=7, early_stop=False,
+            warm_start_appends=False,
+        )
+        decoded, _ = codec.decode_gd_config(memoryview(codec.encode_gd_config(config)))
+        assert decoded == config
+
+    def test_catalog_and_manifest_framing(self):
+        entries = [b"alpha", b"", b"gamma" * 100]
+        assert deserialize_catalog(serialize_catalog(entries)) == entries
+        files = [("CATALOG", 12, zlib.crc32(b"x")), ("t-0.partitions", 0, 0)]
+        lsn, decoded = deserialize_manifest(serialize_manifest(42, files))
+        assert lsn == 42 and decoded == files
+        with pytest.raises(ValueError):
+            deserialize_catalog(b"XXXX....")
+        with pytest.raises(ValueError):
+            deserialize_manifest(b"YYYY....")
+
+
+# --------------------------------------------------------------------------- #
+# Partition dump / load
+
+
+class TestPartitionDumpLoad:
+    def test_round_trip_reconstructs_rows(self):
+        table = make_simple_table(rows=900, seed=9, name="dump")
+        store = PartitionedStore.compress(table, partition_size=300)
+        for partition in store.partitions:
+            blob = dump_partition(partition)
+            loaded = load_partition(
+                blob, store.table_name, store.schema, store.preprocessor
+            )
+            original = partition.reconstruct_rows()
+            restored = loaded.reconstruct_rows()
+            for name in table.column_names:
+                a, b = original.column(name), restored.column(name)
+                if table.schema[name].is_categorical:
+                    assert list(a) == list(b)
+                else:
+                    assert np.array_equal(a, b, equal_nan=True)
+            assert loaded.num_rows == partition.num_rows
+            assert loaded.compressed_bytes() == partition.compressed_bytes()
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            load_partition(b"NOPE", "t", None, None)
+
+
+# --------------------------------------------------------------------------- #
+# Snapshots
+
+
+def _make_state(checkpoint_lsn: int, seed: int = 0) -> SnapshotState:
+    from repro.core.builder import build_partition_synopses, snapshot_partition_input
+
+    table = make_simple_table(rows=600, seed=seed, name="snap")
+    store = PartitionedStore.compress(table, partition_size=200)
+    params = PairwiseHistParams.with_defaults(sample_size=600)
+    synopses = build_partition_synopses(
+        [snapshot_partition_input(store, p) for p in store.partitions],
+        params,
+        columns=store.column_order,
+        executor="serial",
+    )
+    return SnapshotState(
+        checkpoint_lsn=checkpoint_lsn,
+        tables=[
+            TableSnapshotState(
+                name="snap",
+                schema=store.schema,
+                preprocessor=store.preprocessor,
+                partition_size=store.partition_size,
+                params=params,
+                gd_config=GreedyGDConfig(),
+                partitions=store.partitions,
+                partition_synopses=synopses,
+                synopsis_builds=len(synopses),
+            )
+        ],
+    )
+
+
+class TestSnapshots:
+    def test_write_and_load(self, tmp_path):
+        state = _make_state(checkpoint_lsn=7)
+        path = write_snapshot(tmp_path, state)
+        assert path.name == "snap-00000000000000000007"
+        loaded = load_latest_snapshot(tmp_path)
+        assert loaded is not None
+        assert loaded.checkpoint_lsn == 7
+        (table,) = loaded.tables
+        assert table.name == "snap"
+        assert len(table.partitions) == 3
+        assert len(table.partition_synopses) == 3
+        assert table.to_store().num_rows == 600
+
+    def test_latest_valid_snapshot_wins(self, tmp_path):
+        write_snapshot(tmp_path, _make_state(checkpoint_lsn=3), keep=5)
+        write_snapshot(tmp_path, _make_state(checkpoint_lsn=9, seed=1), keep=5)
+        assert load_latest_snapshot(tmp_path).checkpoint_lsn == 9
+
+    def test_corrupted_snapshot_falls_back_to_previous(self, tmp_path):
+        write_snapshot(tmp_path, _make_state(checkpoint_lsn=3), keep=5)
+        newest = write_snapshot(tmp_path, _make_state(checkpoint_lsn=9, seed=1), keep=5)
+        victim = newest / "table-00000.partitions"
+        data = bytearray(victim.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        victim.write_bytes(bytes(data))
+        assert load_latest_snapshot(tmp_path).checkpoint_lsn == 3
+
+    def test_crash_before_publish_leaves_no_snapshot(self, tmp_path):
+        def crash(point):
+            if point == "snapshot.before_publish":
+                raise SimulatedCrash(point)
+
+        set_crash_hook(crash)
+        with pytest.raises(SimulatedCrash):
+            write_snapshot(tmp_path, _make_state(checkpoint_lsn=5))
+        set_crash_hook(None)
+        assert load_latest_snapshot(tmp_path) is None
+        # The orphaned temp directory is cleaned up by the next checkpoint.
+        write_snapshot(tmp_path, _make_state(checkpoint_lsn=6))
+        assert load_latest_snapshot(tmp_path).checkpoint_lsn == 6
+        assert not list(tmp_path.glob("tmp-*"))
+
+    def test_crash_mid_write_leaves_no_snapshot(self, tmp_path):
+        def crash(point):
+            if point == "snapshot.mid_write":
+                raise SimulatedCrash(point)
+
+        set_crash_hook(crash)
+        with pytest.raises(SimulatedCrash):
+            write_snapshot(tmp_path, _make_state(checkpoint_lsn=5))
+        set_crash_hook(None)
+        assert load_latest_snapshot(tmp_path) is None
+
+    def test_old_snapshots_are_garbage_collected(self, tmp_path):
+        for lsn in (1, 2, 3, 4):
+            write_snapshot(tmp_path, _make_state(checkpoint_lsn=lsn), keep=2)
+        names = sorted(p.name for p in tmp_path.iterdir() if p.name.startswith("snap-"))
+        assert len(names) == 2
+        assert names[-1].endswith("4")

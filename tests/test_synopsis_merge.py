@@ -147,6 +147,66 @@ class TestHistogram2DMerge:
         assert merged.row.parent.max() < parent_a.num_bins
         assert merged.col.parent.max() < parent_b.num_bins
 
+    def _merged(self, partition_synopses, params, max_cells=None):
+        key = ("a", "b")
+        parent_a = Histogram1D.merge(
+            [s.hist1d["a"] for s in partition_synopses], params.min_points, params.alpha
+        )
+        parent_b = Histogram1D.merge(
+            [s.hist1d["b"] for s in partition_synopses], params.min_points, params.alpha
+        )
+        return Histogram2D.merge(
+            [s.hist2d[key] for s in partition_synopses],
+            parent_a,
+            parent_b,
+            max_cells=max_cells,
+        )
+
+    def test_cell_budget_bounds_the_merged_grid(self, partition_synopses, params):
+        free = self._merged(partition_synopses, params)
+        budget = max(4, free.counts.size // 4)
+        capped = self._merged(partition_synopses, params, max_cells=budget)
+        assert capped.counts.size <= budget
+        assert capped.counts.size < free.counts.size
+
+    def test_coarsening_conserves_counts_and_metadata(self, partition_synopses, params):
+        free = self._merged(partition_synopses, params)
+        budget = max(4, free.counts.size // 4)
+        capped = self._merged(partition_synopses, params, max_cells=budget)
+        assert capped.total_count == pytest.approx(free.total_count)
+        np.testing.assert_allclose(
+            capped.row.marginal_counts, capped.counts.sum(axis=1)
+        )
+        np.testing.assert_allclose(
+            capped.col.marginal_counts, capped.counts.sum(axis=0)
+        )
+        # Coarse edges are a subset of the union edges; the value range and
+        # occupied supports survive re-binning.
+        assert np.isin(capped.row.edges, free.row.edges).all()
+        assert np.isin(capped.col.edges, free.col.edges).all()
+        assert capped.row.edges[0] == free.row.edges[0]
+        assert capped.row.edges[-1] == free.row.edges[-1]
+        occupied = capped.row.marginal_counts > 0
+        assert (capped.row.v_minus[occupied] <= capped.row.v_plus[occupied]).all()
+
+    def test_cell_budget_holds_on_skewed_grids(self):
+        from repro.core.histogram2d import _coarse_grid_targets
+
+        cases = [(2, 800, 16), (800, 2, 16), (10_000, 1, 100), (1, 1, 1), (3, 3, 4)]
+        for k_row, k_col, budget in cases:
+            target_row, target_col = _coarse_grid_targets(k_row, k_col, budget)
+            assert 1 <= target_row <= k_row
+            assert 1 <= target_col <= k_col
+            assert target_row * target_col <= budget, (k_row, k_col, budget)
+
+    def test_budget_above_grid_size_is_a_no_op(self, partition_synopses, params):
+        free = self._merged(partition_synopses, params)
+        capped = self._merged(
+            partition_synopses, params, max_cells=free.counts.size + 1
+        )
+        np.testing.assert_array_equal(capped.counts, free.counts)
+        np.testing.assert_array_equal(capped.row.edges, free.row.edges)
+
 
 class TestPairwiseHistMerge:
     def test_merge_sums_bookkeeping(self, partition_synopses, params):
@@ -159,6 +219,17 @@ class TestPairwiseHistMerge:
 
     def test_merge_single_is_identity(self, partition_synopses):
         assert PairwiseHist.merge([partition_synopses[0]]) is partition_synopses[0]
+
+    def test_max_merged_cells_param_bounds_2d_grids(self, partition_synopses, params):
+        import dataclasses
+
+        budget = 16
+        capped_params = dataclasses.replace(params, max_merged_cells=budget)
+        capped = PairwiseHist.merge(list(partition_synopses), params=capped_params)
+        free = PairwiseHist.merge(list(partition_synopses), params=params)
+        for key, hist in capped.hist2d.items():
+            assert hist.counts.size <= budget
+            assert hist.counts.sum() == pytest.approx(free.hist2d[key].counts.sum())
 
     def test_merge_rejects_mismatched_columns(self, partition_synopses, params):
         other = build_pairwise_hist({"z": np.arange(100)}, params)
