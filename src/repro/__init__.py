@@ -63,11 +63,13 @@ from .service import (
     ReadWriteLock,
     SerializedQueryService,
 )
+from .service import ClusterClient
+from .cluster import ClusterQueryService, ShardRouter, ShardSupervisor
 from .sql.parser import parse_query
 from .sql.ast import AggregateFunction, Query
 from .storage import BackgroundCheckpointer, DurableDatabase, WriteAheadLog
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AqpResult",
@@ -107,6 +109,10 @@ __all__ = [
     "QueryServiceSystem",
     "ReadWriteLock",
     "SerializedQueryService",
+    "ClusterClient",
+    "ClusterQueryService",
+    "ShardRouter",
+    "ShardSupervisor",
     "BackgroundCheckpointer",
     "DurableDatabase",
     "WriteAheadLog",

@@ -369,6 +369,23 @@ class PersistenceMeasurement:
     answers: list[tuple]
     replayed_records: int = 0
     rebuilt_partitions: int = 0
+    #: Tables whose per-partition synopses were still lazy (never decoded)
+    #: after the probe queries ran — a query-only restart should leave every
+    #: table unhydrated, which is where the warm-restart latency win comes
+    #: from.  Always 0 for the cold path (it builds, not loads).
+    unhydrated_tables: int = 0
+
+
+def count_unhydrated_tables(db) -> int:
+    """Tables whose snapshot-loaded partition synopses were never decoded."""
+    from ..core.serialization import LazyPartitionSynopses
+
+    return sum(
+        1
+        for name in db.table_names
+        if isinstance(db.table(name).partition_synopses, LazyPartitionSynopses)
+        and not db.table(name).partition_synopses.hydrated
+    )
 
 
 def run_persistence_benchmark(
@@ -459,6 +476,7 @@ def run_persistence_benchmark(
                 answers=answers(db),
                 replayed_records=info.replayed_records,
                 rebuilt_partitions=info.rebuilt_partitions,
+                unhydrated_tables=count_unhydrated_tables(db),
             )
         )
         db.close()
@@ -469,6 +487,222 @@ def run_persistence_benchmark(
                 "differently from the database that produced the data "
                 "directories"
             )
+    return measurements
+
+
+# --------------------------------------------------------------------------- #
+# Sharded-cluster benchmark: multi-process scaling past the one-GIL ceiling
+
+
+@dataclass
+class ShardedThroughputMeasurement:
+    """One closed-loop window against a deployment (single server or cluster)."""
+
+    mode: str  # "single-process" | "N-shard-cluster"
+    num_clients: int
+    queries: int
+    ingests: int
+    ingested_rows: int
+    wall_seconds: float
+
+    @property
+    def queries_per_second(self) -> float:
+        return self.queries / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def ingests_per_second(self) -> float:
+        return self.ingests / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def ingested_rows_per_second(self) -> float:
+        return self.ingested_rows / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def combined_ops_per_second(self) -> float:
+        """Queries answered plus rows ingested, per second — the headline.
+
+        Query throughput is naturally queries/s and ingest throughput
+        rows/s; the combined number adds them so a deployment cannot win
+        by starving one side of the workload.  Both components are also
+        reported separately.
+        """
+        if self.wall_seconds <= 0:
+            return 0.0
+        return (self.queries + self.ingested_rows) / self.wall_seconds
+
+
+def _drive_closed_loop(
+    execute_query,
+    do_ingest,
+    sql_queries: list[str],
+    ingest_batches: list[Table],
+    num_clients: int,
+    duration_seconds: float,
+    ingest_interval_seconds: float,
+    mode: str,
+) -> ShardedThroughputMeasurement:
+    """Shared traffic driver: N closed-loop query clients + one paced writer.
+
+    ``execute_query`` / ``do_ingest`` abstract the deployment (wire client
+    per thread for the single server, scatter-gather front end for the
+    cluster), so both sides see the identical offered load.
+    """
+    stop = threading.Event()
+    completed = [0] * num_clients
+    ingests = [0]
+    ingested_rows = [0]
+    failures: list[BaseException] = []
+    deadline = [0.0]
+
+    def writer() -> None:
+        index = 0
+        try:
+            while not stop.is_set():
+                began = time.perf_counter()
+                batch = ingest_batches[index % len(ingest_batches)]
+                do_ingest(batch)
+                ingests[0] += 1
+                ingested_rows[0] += batch.num_rows
+                index += 1
+                remaining = ingest_interval_seconds - (time.perf_counter() - began)
+                if remaining > 0:
+                    stop.wait(remaining)
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            failures.append(exc)
+
+    def client(worker: int) -> None:
+        step = 0
+        try:
+            while time.perf_counter() < deadline[0]:
+                sql = sql_queries[(worker + step * num_clients) % len(sql_queries)]
+                execute_query(worker, sql)
+                completed[worker] += 1
+                step += 1
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            failures.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(w,), daemon=True)
+        for w in range(num_clients)
+    ]
+    ingester = threading.Thread(target=writer, daemon=True)
+    start = time.perf_counter()
+    deadline[0] = start + duration_seconds
+    ingester.start()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_seconds = time.perf_counter() - start
+    stop.set()
+    ingester.join()
+    if failures:
+        raise failures[0]
+    return ShardedThroughputMeasurement(
+        mode=mode,
+        num_clients=num_clients,
+        queries=sum(completed),
+        ingests=ingests[0],
+        ingested_rows=ingested_rows[0],
+        wall_seconds=wall_seconds,
+    )
+
+
+def run_sharded_benchmark(
+    table: Table,
+    sql_queries: list[str],
+    ingest_batches: list[Table],
+    data_dir,
+    num_shards: int = 2,
+    params: PairwiseHistParams | None = None,
+    partition_size: int = 2_000,
+    num_clients: int = 4,
+    duration_seconds: float = 8.0,
+    ingest_interval_seconds: float = 0.25,
+) -> list[ShardedThroughputMeasurement]:
+    """Single-process server vs an ``num_shards``-worker subprocess cluster.
+
+    Both deployments are durable (data directories under ``data_dir``),
+    serve the same registered table and sustain the same offered load: N
+    closed-loop dashboard clients plus a paced background ingest stream.
+    The single server is driven over its JSON-lines TCP protocol (one
+    connection per client); the cluster through the scatter-gather front
+    end over the same protocol to each worker — so every operation pays
+    its deployment's real wire cost.
+    """
+    from pathlib import Path
+
+    from ..cluster.service import ClusterQueryService
+    from ..cluster.supervisor import ShardSupervisor
+    from ..service.wire import ClusterClient
+
+    data_dir = Path(data_dir)
+    params = params or PairwiseHistParams.with_defaults(sample_size=None)
+    measurements: list[ShardedThroughputMeasurement] = []
+
+    # ---- single-process baseline ---------------------------------------- #
+    supervisor = ShardSupervisor(
+        data_dirs=[data_dir / "single"],
+        partition_size=partition_size,
+        checkpoint_interval=3600.0,
+        workers_per_shard=num_clients,
+    )
+    try:
+        handle = supervisor.spawn(0)
+        with ClusterClient(supervisor.host, handle.port) as admin:
+            admin.register(table, params=params, partition_size=partition_size)
+        clients = [
+            ClusterClient(supervisor.host, handle.port).connect()
+            for _ in range(num_clients)
+        ]
+        writer_client = ClusterClient(supervisor.host, handle.port).connect()
+        try:
+            measurements.append(
+                _drive_closed_loop(
+                    execute_query=lambda w, sql: clients[w].query(sql),
+                    do_ingest=lambda batch: writer_client.ingest(table.name, batch),
+                    sql_queries=sql_queries,
+                    ingest_batches=ingest_batches,
+                    num_clients=num_clients,
+                    duration_seconds=duration_seconds,
+                    ingest_interval_seconds=ingest_interval_seconds,
+                    mode="single-process",
+                )
+            )
+        finally:
+            for client in clients:
+                client.close()
+            writer_client.close()
+    finally:
+        supervisor.stop(graceful=True)
+
+    # ---- sharded cluster ------------------------------------------------- #
+    cluster = ClusterQueryService(
+        num_shards=num_shards,
+        path=data_dir / "cluster",
+        mode="process",
+        partition_size=partition_size,
+        worker_options={
+            "checkpoint_interval": 3600.0,
+            "workers_per_shard": num_clients,
+        },
+    )
+    try:
+        cluster.register_table(table, params=params)
+        measurements.append(
+            _drive_closed_loop(
+                execute_query=lambda w, sql: cluster.execute(sql),
+                do_ingest=lambda batch: cluster.ingest(table.name, batch),
+                sql_queries=sql_queries,
+                ingest_batches=ingest_batches,
+                num_clients=num_clients,
+                duration_seconds=duration_seconds,
+                ingest_interval_seconds=ingest_interval_seconds,
+                mode=f"{num_shards}-shard-cluster",
+            )
+        )
+    finally:
+        cluster.close()
     return measurements
 
 

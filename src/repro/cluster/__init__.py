@@ -1,0 +1,48 @@
+"""Sharded multi-process cluster: shard router, scatter-gather, supervision.
+
+The horizontal-scaling layer above the durable single-node service:
+
+* :mod:`repro.cluster.router` — deterministic row-hash placement of every
+  row onto one of N worker shards;
+* :mod:`repro.cluster.shard` — worker backends: in-process
+  (:class:`LocalShard`) or supervised ``QueryServer`` subprocesses
+  (:class:`ProcessShard`) speaking the JSON-lines protocol;
+* :mod:`repro.cluster.supervisor` — :class:`ShardSupervisor`: spawn,
+  health-check, restart-with-recovery of the worker fleet;
+* :mod:`repro.cluster.gather` — recombination of per-shard synopsis
+  answers (COUNT/SUM add, AVG via weighted sums, GROUP BY unions,
+  conservative bounds);
+* :mod:`repro.cluster.service` — :class:`ClusterQueryService`, the
+  scatter-gather front end (plus :class:`AsyncClusterService`, its
+  asyncio face for ``python -m repro.service --shards N``).
+"""
+
+from .gather import GatherPlan, ShardAnswer, gather_groups, gather_scalar, plan_query
+from .router import ShardRouter
+from .service import (
+    AsyncClusterService,
+    ClusterCheckpointResult,
+    ClusterIngestResult,
+    ClusterQueryService,
+    ClusterTable,
+)
+from .shard import LocalShard, ProcessShard
+from .supervisor import ShardSupervisor, WorkerHandle
+
+__all__ = [
+    "AsyncClusterService",
+    "ClusterCheckpointResult",
+    "ClusterIngestResult",
+    "ClusterQueryService",
+    "ClusterTable",
+    "GatherPlan",
+    "LocalShard",
+    "ProcessShard",
+    "ShardAnswer",
+    "ShardRouter",
+    "ShardSupervisor",
+    "WorkerHandle",
+    "gather_groups",
+    "gather_scalar",
+    "plan_query",
+]

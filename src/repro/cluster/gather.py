@@ -1,0 +1,364 @@
+"""Scatter-gather result recombination for the sharded cluster.
+
+Each shard answers a query from its *own* merged synopsis over the rows it
+owns.  Because the router hash-partitions rows, the shards are disjoint
+and their union is the whole table, so per-shard answers recombine just
+like the per-partition synopses recombine inside one node:
+
+* ``COUNT`` / ``SUM`` add — values and both bounds;
+* ``AVG`` recombines via weighted sums: the gather plan appends a
+  ``COUNT`` over the same column and predicate to the scattered query (one
+  extra aggregation in the same round trip, not a second query), and the
+  cluster value is ``sum(count_i * avg_i) / sum(count_i)``;
+* ``VAR`` uses the exact decomposition
+  ``var = sum(w_i * (var_i + (m_i - m)^2)) / W`` with a companion ``AVG``;
+* ``MEDIAN`` combines count-weighted (hash routing makes every shard an
+  unbiased sample of the same distribution, so shard medians estimate the
+  global median);
+* ``MIN`` / ``MAX`` take the min / max of values and of both bounds;
+* bounds combine conservatively: additive aggregates add them, convex
+  combinations (``AVG``) take the envelope ``[min lower, max upper]``;
+* ``GROUP BY`` unions the per-shard group dictionaries, recombining each
+  group's aggregates over the shards where the group appears.
+
+A single contributing shard short-circuits to its answer unchanged, so a
+one-shard cluster is *bit-identical* to a single node (pinned by the
+cluster tests).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..core.aggregation import AqpEstimate
+from ..core.engine import AqpResult
+from ..sql.ast import (
+    AggregateFunction,
+    Aggregation,
+    Condition,
+    ComparisonOp,
+    LogicalOp,
+    PredicateNode,
+    Query,
+)
+
+#: Aggregations recombined as count-weighted convex combinations.
+_WEIGHTED = (
+    AggregateFunction.AVG,
+    AggregateFunction.MEDIAN,
+    AggregateFunction.VAR,
+)
+
+
+@dataclass(frozen=True)
+class ShardAnswer:
+    """One aggregation's answer from one shard (or gathered)."""
+
+    value: float
+    lower: float
+    upper: float
+
+    @classmethod
+    def from_result(cls, result: AqpResult) -> "ShardAnswer":
+        return cls(value=result.value, lower=result.lower, upper=result.upper)
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "ShardAnswer":
+        def _float(key: str) -> float:
+            value = payload.get(key)
+            return float("nan") if value is None else float(value)
+
+        return cls(value=_float("value"), lower=_float("lower"), upper=_float("upper"))
+
+
+@dataclass(frozen=True)
+class GatherPlan:
+    """How to scatter one query and recombine its per-shard answers.
+
+    ``scattered`` is the query actually sent to every shard: the caller's
+    aggregations plus any companion ``COUNT`` / ``AVG`` aggregations the
+    weighted recombinations need.  ``count_index`` / ``mean_index`` map
+    each original aggregation position to its companions' positions in the
+    scattered SELECT list (or ``None``).
+    """
+
+    original: Query
+    scattered: Query
+    count_index: tuple
+    mean_index: tuple
+
+    @property
+    def aggregations(self) -> list[Aggregation]:
+        return self.original.aggregations
+
+
+def plan_query(query: Query) -> GatherPlan:
+    """Build the scattered query + companion maps for one parsed query."""
+    scattered = list(query.aggregations)
+
+    def _ensure(aggregation: Aggregation) -> int:
+        for index, existing in enumerate(scattered):
+            if existing == aggregation:
+                return index
+        scattered.append(aggregation)
+        return len(scattered) - 1
+
+    count_index: list[int | None] = []
+    mean_index: list[int | None] = []
+    for aggregation in query.aggregations:
+        if aggregation.func in _WEIGHTED:
+            count_index.append(
+                _ensure(Aggregation(AggregateFunction.COUNT, aggregation.column))
+            )
+        else:
+            count_index.append(None)
+        if aggregation.func is AggregateFunction.VAR:
+            mean_index.append(
+                _ensure(Aggregation(AggregateFunction.AVG, aggregation.column))
+            )
+        else:
+            mean_index.append(None)
+    return GatherPlan(
+        original=query,
+        scattered=replace(query, aggregations=scattered),
+        count_index=tuple(count_index),
+        mean_index=tuple(mean_index),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Predicate-range clamps
+
+#: Aggregations whose gathered value must lie inside the predicate's own
+#: range on the aggregated column (location statistics, not sums).
+_CLAMPABLE = (
+    AggregateFunction.MIN,
+    AggregateFunction.MAX,
+    AggregateFunction.AVG,
+    AggregateFunction.MEDIAN,
+)
+
+
+def _conjunctive_conditions(predicate) -> list[Condition] | None:
+    """All conditions of a pure AND tree, or ``None`` if any OR appears.
+
+    Under a disjunction a single branch's range says nothing about the
+    matching rows as a whole, so clamping would be unsound there.
+    """
+    if predicate is None:
+        return []
+    if isinstance(predicate, Condition):
+        return [predicate]
+    if isinstance(predicate, PredicateNode):
+        if predicate.op is not LogicalOp.AND:
+            return None
+        out: list[Condition] = []
+        for child in predicate.children:
+            got = _conjunctive_conditions(child)
+            if got is None:
+                return None
+            out.extend(got)
+        return out
+    return None  # pragma: no cover - unknown predicate node
+
+
+def predicate_range(query: Query, column: str | None) -> tuple[float, float]:
+    """The (lo, hi) interval the predicate pins ``column`` into.
+
+    ``MIN(x) WHERE x > 30`` can only answer in ``[30, inf)``: every
+    matching row satisfies the range, so any location aggregate of the
+    matching rows does too.  Gathering across shards takes mins/maxes of
+    *estimates*, which can stray just outside the range when a shard's
+    boundary bin straddles the literal — the clamp pulls them back to
+    what the query itself guarantees.
+    """
+    lo, hi = -math.inf, math.inf
+    if column is None:
+        return lo, hi
+    conditions = _conjunctive_conditions(query.predicate)
+    if not conditions:
+        return lo, hi
+    for condition in conditions:
+        if condition.column != column:
+            continue
+        literal = condition.literal
+        if not isinstance(literal, (int, float)):
+            continue
+        if condition.op in (ComparisonOp.GT, ComparisonOp.GE):
+            lo = max(lo, float(literal))
+        elif condition.op in (ComparisonOp.LT, ComparisonOp.LE):
+            hi = min(hi, float(literal))
+        elif condition.op is ComparisonOp.EQ:
+            lo = max(lo, float(literal))
+            hi = min(hi, float(literal))
+    return lo, hi
+
+
+def _clamp(answer: ShardAnswer, lo: float, hi: float) -> ShardAnswer:
+    if lo == -math.inf and hi == math.inf:
+        return answer
+
+    def _c(v: float) -> float:
+        return min(max(v, lo), hi) if math.isfinite(v) else v
+
+    return ShardAnswer(value=_c(answer.value), lower=_c(answer.lower), upper=_c(answer.upper))
+
+
+# --------------------------------------------------------------------------- #
+# Recombination
+
+
+def _weights(counts: list[ShardAnswer | None]) -> list[float]:
+    out = []
+    for count in counts:
+        weight = 0.0 if count is None else count.value
+        out.append(weight if math.isfinite(weight) and weight > 0 else 0.0)
+    return out
+
+
+def _combine(
+    func: AggregateFunction,
+    answers: list[ShardAnswer],
+    counts: list[ShardAnswer | None],
+    means: list[ShardAnswer | None],
+) -> ShardAnswer:
+    """Recombine one aggregation's per-shard answers (see module docstring)."""
+    if len(answers) == 1:
+        return answers[0]  # single contributor: bit-identical passthrough
+    if func in (AggregateFunction.COUNT, AggregateFunction.SUM):
+        return ShardAnswer(
+            value=sum(a.value for a in answers),
+            lower=sum(a.lower for a in answers),
+            upper=sum(a.upper for a in answers),
+        )
+    if func is AggregateFunction.MIN:
+        return ShardAnswer(
+            value=min(a.value for a in answers),
+            lower=min(a.lower for a in answers),
+            upper=min(a.upper for a in answers),
+        )
+    if func is AggregateFunction.MAX:
+        return ShardAnswer(
+            value=max(a.value for a in answers),
+            lower=max(a.lower for a in answers),
+            upper=max(a.upper for a in answers),
+        )
+    weights = _weights(counts)
+    total = sum(weights)
+    if total <= 0:
+        # No usable counts: fall back to an unweighted mean with the
+        # conservative envelope (still correct for equal-size shards).
+        return ShardAnswer(
+            value=sum(a.value for a in answers) / len(answers),
+            lower=min(a.lower for a in answers),
+            upper=max(a.upper for a in answers),
+        )
+    if func in (AggregateFunction.AVG, AggregateFunction.MEDIAN):
+        value = sum(w * a.value for w, a in zip(weights, answers)) / total
+        contributing = [a for w, a in zip(weights, answers) if w > 0]
+        return ShardAnswer(
+            value=value,
+            lower=min(a.lower for a in contributing),
+            upper=max(a.upper for a in contributing),
+        )
+    if func is AggregateFunction.VAR:
+        shard_means = [
+            0.0 if m is None or not math.isfinite(m.value) else m.value for m in means
+        ]
+        grand_mean = (
+            sum(w * m for w, m in zip(weights, shard_means)) / total
+        )
+        between = (
+            sum(w * (m - grand_mean) ** 2 for w, m in zip(weights, shard_means))
+            / total
+        )
+        value = (
+            sum(w * a.value for w, a in zip(weights, answers)) / total + between
+        )
+        contributing = [a for w, a in zip(weights, answers) if w > 0]
+        return ShardAnswer(
+            value=value,
+            lower=min(a.lower for a in contributing),
+            # The between-shard term raises the point estimate above the
+            # per-shard variances, so it widens the upper bound too.
+            upper=max(a.upper for a in contributing) + between,
+        )
+    raise ValueError(f"unsupported aggregation function {func}")  # pragma: no cover
+
+
+def _gather_row(
+    plan: GatherPlan, shard_rows: list[list[ShardAnswer] | None]
+) -> list[ShardAnswer] | None:
+    """Recombine one result row (scalar query, or one GROUP BY group).
+
+    ``shard_rows`` holds, per shard, the scattered-aggregation answers —
+    or ``None`` for shards without the row (empty shard / absent group).
+    Returns the recombined answers in the *original* aggregation order, or
+    ``None`` when no shard contributed.
+    """
+    present = [row for row in shard_rows if row is not None]
+    if not present:
+        return None
+    gathered: list[ShardAnswer] = []
+    for position, aggregation in enumerate(plan.aggregations):
+        answers = [row[position] for row in present]
+        count_at = plan.count_index[position]
+        mean_at = plan.mean_index[position]
+        counts = [None if count_at is None else row[count_at] for row in present]
+        means = [None if mean_at is None else row[mean_at] for row in present]
+        combined = _combine(aggregation.func, answers, counts, means)
+        if len(present) > 1 and aggregation.func in _CLAMPABLE:
+            # Multi-shard gathers clamp location aggregates into the
+            # predicate's own range; a single contributor stays exactly
+            # the single-node answer.
+            lo, hi = predicate_range(plan.original, aggregation.column)
+            combined = _clamp(combined, lo, hi)
+        gathered.append(combined)
+    return gathered
+
+
+def gather_scalar(
+    plan: GatherPlan, shard_rows: list[list[ShardAnswer] | None]
+) -> list[AqpResult]:
+    """Gather a non-GROUP BY query's per-shard answers into final results."""
+    gathered = _gather_row(plan, shard_rows)
+    if gathered is None:
+        raise ValueError(
+            f"no shard could answer the query over {plan.original.table!r}"
+        )
+    return [
+        AqpResult(
+            aggregation=aggregation,
+            estimate=AqpEstimate(value=a.value, lower=a.lower, upper=a.upper),
+        )
+        for aggregation, a in zip(plan.aggregations, gathered)
+    ]
+
+
+def gather_groups(
+    plan: GatherPlan, shard_groups: list[dict | None]
+) -> dict[str, list[AqpResult]]:
+    """Gather a GROUP BY query: union the per-shard group dictionaries."""
+    labels: list[str] = []
+    for groups in shard_groups:
+        for label in groups or ():
+            if label not in labels:
+                labels.append(label)
+    results: dict[str, list[AqpResult]] = {}
+    for label in labels:
+        rows = [
+            None if groups is None else groups.get(label) for groups in shard_groups
+        ]
+        gathered = _gather_row(plan, rows)
+        if gathered is None:  # pragma: no cover - labels come from present rows
+            continue
+        results[label] = [
+            AqpResult(
+                aggregation=aggregation,
+                estimate=AqpEstimate(value=a.value, lower=a.lower, upper=a.upper),
+                group=label,
+            )
+            for aggregation, a in zip(plan.aggregations, gathered)
+        ]
+    return results

@@ -1,0 +1,98 @@
+"""Deterministic row-hash routing of table rows onto worker shards.
+
+The router decides which shard owns each row.  Placement must be a pure
+function of the row's *content* (not arrival order, process, or Python
+hash seed): ingest fan-out, crash recovery and a cluster restart all have
+to route the same row to the same shard, or per-shard WALs would replay
+rows into the wrong partitions.  So the hash is built from the raw column
+values with fixed integer arithmetic:
+
+* numeric columns contribute their float64 bit patterns (NaN and ``-0.0``
+  canonicalised so equal values hash equally),
+* categorical columns contribute an 8-byte BLAKE2b digest of the label
+  (memoised — machine-data categories are low-cardinality),
+* per-row column hashes fold together FNV-1a style in schema order.
+
+Hash-routing makes every shard an unbiased random sample of the table,
+which is what lets the scatter-gather layer recombine per-shard synopsis
+answers (the paper's mergeable-summaries property, applied across
+processes instead of across partitions).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..data.table import Table
+
+_FNV_OFFSET = np.uint64(0xCBF29CE484222325)
+_FNV_PRIME = np.uint64(0x100000001B3)
+_NULL_HASH = np.uint64(0x9E3779B97F4A7C15)
+_NAN_BITS = np.uint64(0x7FF8000000000000)
+
+
+def _categorical_hashes(values: np.ndarray, cache: dict) -> np.ndarray:
+    out = np.empty(len(values), dtype=np.uint64)
+    for i, value in enumerate(values):
+        if value is None:
+            out[i] = _NULL_HASH
+            continue
+        cached = cache.get(value)
+        if cached is None:
+            digest = hashlib.blake2b(str(value).encode("utf-8"), digest_size=8)
+            cached = np.uint64(int.from_bytes(digest.digest(), "little"))
+            cache[value] = cached
+        out[i] = cached
+    return out
+
+
+def _numeric_hashes(values: np.ndarray) -> np.ndarray:
+    floats = np.ascontiguousarray(np.asarray(values, dtype=np.float64))
+    bits = floats.view(np.uint64).copy()
+    bits[np.isnan(floats)] = _NAN_BITS  # every NaN payload hashes equally
+    bits[floats == 0.0] = np.uint64(0)  # -0.0 == 0.0 must co-locate
+    return bits
+
+
+class ShardRouter:
+    """Hash-partitions rows of any table across ``num_shards`` workers."""
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError("a cluster needs at least one shard")
+        self.num_shards = num_shards
+        self._label_cache: dict = {}
+
+    def row_hashes(self, table: Table) -> np.ndarray:
+        """One deterministic uint64 per row, independent of row order."""
+        hashes = np.full(table.num_rows, _FNV_OFFSET, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            for column in table.schema:
+                values = table.column(column.name)
+                if column.is_categorical:
+                    column_hashes = _categorical_hashes(values, self._label_cache)
+                else:
+                    column_hashes = _numeric_hashes(values)
+                hashes = (hashes ^ column_hashes) * _FNV_PRIME
+        return hashes
+
+    def shard_of_rows(self, table: Table) -> np.ndarray:
+        """The owning shard index for every row of ``table``."""
+        return (self.row_hashes(table) % np.uint64(self.num_shards)).astype(np.int64)
+
+    def split(self, table: Table) -> list[Table | None]:
+        """Partition a table into per-shard row subsets.
+
+        Returns one entry per shard: the sub-table of rows the shard owns,
+        or ``None`` when no row routed there (callers skip those shards).
+        """
+        if self.num_shards == 1:
+            return [table if table.num_rows else None]
+        owners = self.shard_of_rows(table)
+        out: list[Table | None] = []
+        for shard in range(self.num_shards):
+            indices = np.flatnonzero(owners == shard)
+            out.append(table.select_rows(indices) if indices.size else None)
+        return out

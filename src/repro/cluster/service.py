@@ -1,0 +1,697 @@
+"""The cluster front end: routing catalog, scatter-gather, supervision.
+
+:class:`ClusterQueryService` presents the same query/ingest surface as the
+single-node :class:`~repro.service.database.QueryService`, but behind it
+every table's rows are hash-partitioned across N worker shards — each a
+full durable engine with its own data directory, WAL and checkpointer —
+running either in-process (``mode="local"``, tests) or as supervised
+``QueryServer`` subprocesses (``mode="process"``, deployment).
+
+* **Ingest** fans out by row hash; a shard that has never seen a table is
+  registered lazily on the first batch that routes rows to it.
+* **Queries** scatter to every registered shard concurrently and gather
+  by merging per-shard synopsis answers (:mod:`repro.cluster.gather`):
+  COUNT/SUM add, AVG recombines via weighted sums, GROUP BY unions group
+  dictionaries, bounds combine conservatively.
+* **Durability**: with a cluster ``path``, each shard owns a standard
+  data directory under it and the ``CLUSTER`` manifest records the shard
+  count + table catalog, so :meth:`ClusterQueryService.open` recovers the
+  whole fleet — each worker replays its own snapshot + WAL.
+* **Failure**: a worker crash surfaces as a connection error; the front
+  end restarts it through the :class:`ShardSupervisor` (recovery happens
+  inside the worker before it listens) and retries the call once.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from ..core.engine import AqpResult
+from ..core.params import PairwiseHistParams
+from ..data.schema import TableSchema
+from ..data.table import Table
+from ..sql.ast import Query
+from ..sql.parser import parse_query
+from ..service.wire import UnsentRequestError
+from ..storage.cluster import ClusterLayout, ClusterManifest, ClusterTableMeta
+from .gather import gather_groups, gather_scalar, plan_query
+from .router import ShardRouter
+from .shard import LocalShard, ProcessShard
+from .supervisor import ShardSupervisor
+
+#: Connection-level failures that trigger a worker restart.
+_SHARD_FAILURES = (ConnectionError, BrokenPipeError, EOFError, OSError)
+
+
+def shard_params(
+    params: PairwiseHistParams | None, num_shards: int
+) -> PairwiseHistParams | None:
+    """Scale construction parameters down to one shard's share of the rows.
+
+    The same proportionality rule as
+    :func:`repro.core.builder.partition_params`, applied one level up:
+    each shard owns ``~1/num_shards`` of every table, so its sample budget
+    (``Ns``) and split threshold (``M``) shrink with it.  The per-shard
+    bin budget ``Ns / M`` is therefore preserved — per-shard synopses keep
+    single-node granularity over their smaller row sets, and the union of
+    shard answers recombines at full resolution instead of
+    ``num_shards``-fold coarser.
+    """
+    if params is None or num_shards <= 1:
+        return params
+    sample = params.sample_size
+    if sample is not None:
+        sample = max(1, math.ceil(sample / num_shards))
+    return replace(
+        params,
+        sample_size=sample,
+        min_points=max(1, math.ceil(params.min_points / num_shards)),
+    )
+
+
+@dataclass
+class ClusterTable:
+    """Front-end catalog entry for one logical table."""
+
+    name: str
+    schema: TableSchema
+    params: PairwiseHistParams | None
+    partition_size: int | None
+    #: Shards that have the table registered (lazily grows as ingest
+    #: routes rows to previously-empty shards).
+    registered: set[int] = field(default_factory=set)
+    rows: int = 0
+    #: Durable rows per shard as last acknowledged — the reference the
+    #: crash-ambiguity check compares a revived worker's actual count to.
+    shard_rows: dict[int, int] = field(default_factory=dict)
+    #: Last-reported partition count per shard (observability).
+    shard_partitions: dict[int, int] = field(default_factory=dict)
+    #: Serializes lazy shard registrations and bookkeeping for this table
+    #: across concurrent ingests.
+    mutex: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    @property
+    def num_rows(self) -> int:
+        return self.rows
+
+    @property
+    def num_partitions(self) -> int:
+        return sum(self.shard_partitions.values())
+
+    def record(self, index: int, appended_rows: int, partitions: int) -> None:
+        """Apply one shard's acknowledged report (caller holds ``mutex``)."""
+        self.registered.add(index)
+        self.rows += appended_rows
+        self.shard_rows[index] = self.shard_rows.get(index, 0) + appended_rows
+        self.shard_partitions[index] = partitions
+
+
+@dataclass
+class ClusterIngestResult:
+    """Outcome of one fanned-out ingest."""
+
+    table_name: str
+    appended_rows: int
+    #: rows routed to each shard index (only shards that received rows).
+    shard_rows: dict[int, int]
+    seconds: float
+
+
+@dataclass
+class ClusterCheckpointResult:
+    """Aggregate of one checkpoint fan-out (shape matches the wire op)."""
+
+    checkpoint_lsn: int
+    tables: int
+    seconds: float
+    skipped: bool
+    path: Path | None = None
+    per_shard: list[dict] = field(default_factory=list)
+
+
+class ClusterQueryService:
+    """Scatter-gather SQL front end over N hash-routed worker shards."""
+
+    def __init__(
+        self,
+        num_shards: int = 2,
+        path: str | Path | None = None,
+        mode: str = "local",
+        default_params: PairwiseHistParams | None = None,
+        partition_size: int | None = None,
+        worker_options: dict | None = None,
+        _opening: bool = False,
+        **database_kwargs,
+    ) -> None:
+        if mode not in ("local", "process"):
+            raise ValueError(f"unknown cluster mode {mode!r}")
+        self.num_shards = num_shards
+        self.mode = mode
+        self.default_params = default_params
+        self.partition_size = partition_size
+        self.router = ShardRouter(num_shards)
+        self.layout = ClusterLayout(path) if path is not None else None
+        self._catalog: dict[str, ClusterTable] = {}
+        #: Guards catalog dict mutations + manifest writes (register/drop).
+        self._catalog_mutex = threading.Lock()
+        self._closed = False
+        if self.layout is not None:
+            existing = self.layout.read_manifest()
+            if existing is not None and not _opening:
+                raise ValueError(
+                    f"cluster directory {str(self.layout.root)!r} already "
+                    "contains state; use ClusterQueryService.open(path) to "
+                    "recover it"
+                )
+            self.layout.ensure(num_shards)
+        shard_dirs: list[Path | None] = (
+            self.layout.shard_paths(num_shards)
+            if self.layout is not None
+            else [None] * num_shards
+        )
+        self.supervisor: ShardSupervisor | None = None
+        if mode == "process":
+            self.supervisor = ShardSupervisor(
+                data_dirs=shard_dirs,
+                partition_size=partition_size,
+                **(worker_options or {}),
+            )
+            handles = self.supervisor.start()
+            self.shards = [
+                ProcessShard(h.index, self.supervisor.host, h.port) for h in handles
+            ]
+        else:
+            if worker_options:
+                raise ValueError("worker_options only apply to mode='process'")
+            kwargs = dict(database_kwargs)
+            if default_params is not None:
+                kwargs["default_params"] = default_params
+            if partition_size is not None:
+                kwargs["partition_size"] = partition_size
+            self.shards = [
+                LocalShard(index, data_dir=shard_dirs[index], **kwargs)
+                for index in range(num_shards)
+            ]
+        # Scatter pool sized for many *concurrent* fan-outs: every in-flight
+        # query or ingest needs one slot per shard, and a paced ingest must
+        # never head-of-line block the query scatters behind it.
+        self._pool = ThreadPoolExecutor(
+            max_workers=8 * num_shards, thread_name_prefix="cluster-scatter"
+        )
+        if self.layout is not None and not _opening:
+            self._write_manifest()
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+
+    @classmethod
+    def open(
+        cls,
+        path: str | Path,
+        mode: str = "local",
+        expected_shards: int | None = None,
+        **kwargs,
+    ) -> "ClusterQueryService":
+        """Recover a cluster from its root directory.
+
+        The manifest fixes the shard count (routing is ``hash %
+        num_shards`` — reopening with a different count would misroute
+        every subsequent row); each worker recovers its own tables from
+        its shard directory, and the front-end catalog is rebuilt from the
+        manifest plus each shard's recovered table list.
+        """
+        layout = ClusterLayout(path)
+        manifest = layout.read_manifest()
+        if manifest is None:
+            raise ValueError(
+                f"{str(layout.root)!r} holds no cluster manifest; start a "
+                "fresh cluster with ClusterQueryService(path=...) instead"
+            )
+        if expected_shards is not None and expected_shards != manifest.num_shards:
+            raise ValueError(
+                f"cluster at {str(layout.root)!r} has {manifest.num_shards} "
+                f"shard(s); refusing to reopen with {expected_shards} — the "
+                "shard count is part of the routing function"
+            )
+        service = cls(
+            num_shards=manifest.num_shards,
+            path=path,
+            mode=mode,
+            _opening=True,
+            **kwargs,
+        )
+        for meta in manifest.tables:
+            service._catalog[meta.name] = ClusterTable(
+                name=meta.name,
+                schema=meta.schema,
+                params=meta.params,
+                partition_size=meta.partition_size,
+            )
+        # Which shards recovered which tables — and how many rows survived
+        # (shard_rows seeds the crash-ambiguity checks on future ingests).
+        for index, shard in enumerate(service.shards):
+            for name in service._shard_call(index, lambda s=shard: s.table_names()):
+                table = service._catalog.get(name)
+                if table is not None:
+                    stat = service._shard_call(
+                        index, lambda s=shard, n=name: s.stat(n)
+                    )
+                    table.record(index, stat["rows"], stat["partitions"])
+        return service
+
+    def _write_manifest(self) -> None:
+        if self.layout is None:
+            return
+        self.layout.write_manifest(
+            ClusterManifest(
+                num_shards=self.num_shards,
+                tables=[
+                    ClusterTableMeta(
+                        name=t.name,
+                        schema=t.schema,
+                        params=t.params
+                        or self.default_params
+                        or PairwiseHistParams.with_defaults(sample_size=100_000),
+                        partition_size=t.partition_size or self.partition_size,
+                    )
+                    for t in self._catalog.values()
+                ],
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Shard calls (with restart-on-crash)
+
+    def _shard_call(self, index: int, fn, retry_after_revival: bool = True):
+        """Run one shard operation, reviving a crashed worker once.
+
+        Only *connection-level* failures trigger a revival — error frames
+        (KeyError and friends) surface unchanged.  The restarted worker
+        recovers from its own data directory before listening, so the
+        retried call sees the shard's durable state.
+
+        A failure *before* the request reached the socket
+        (:class:`UnsentRequestError`) is always retried — the worker never
+        saw it.  A failure after the send is retried only when
+        ``retry_after_revival`` (queries and other idempotent ops); a
+        non-idempotent caller (ingest) passes ``False`` and resolves the
+        ambiguity itself.
+        """
+        try:
+            return fn()
+        except UnsentRequestError:
+            self._revive(index)
+            return fn()
+        except _SHARD_FAILURES:
+            self._revive(index)
+            if not retry_after_revival:
+                raise
+            return fn()
+
+    def _revive(self, index: int) -> None:
+        if self.supervisor is None:
+            raise  # local shards share our process; a crash here is ours
+        handle = self.supervisor.restart(index)
+        self.shards[index].reconnect(handle.port)
+        if self.layout is None:
+            # Memory-only workers lose their tables with the process; drop
+            # them from the routing sets so the next ingest re-registers.
+            for table in self._catalog.values():
+                with table.mutex:
+                    table.registered.discard(index)
+                    table.shard_rows.pop(index, None)
+                    table.shard_partitions.pop(index, None)
+
+    def _scatter(self, indices: list[int], fn):
+        """Run ``fn(index, shard)`` on many shards concurrently (with the
+        default revive-and-retry crash handling — idempotent ops only)."""
+        futures = [
+            self._pool.submit(self._shard_call, i, lambda i=i: fn(i, self.shards[i]))
+            for i in indices
+        ]
+        return [future.result() for future in futures]
+
+    def _scatter_raw(self, indices: list[int], fn):
+        """Run ``fn(index, shard)`` concurrently with *no* crash handling —
+        for callers (ingest) that implement their own retry semantics."""
+        futures = [
+            self._pool.submit(lambda i=i: fn(i, self.shards[i])) for i in indices
+        ]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------ #
+    # Catalog
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._catalog
+
+    @property
+    def table_names(self) -> list[str]:
+        return list(self._catalog)
+
+    def table(self, name: str) -> ClusterTable:
+        if name not in self._catalog:
+            raise KeyError(
+                f"no table named {name!r} is registered (have: {self.table_names})"
+            )
+        return self._catalog[name]
+
+    def schema_for(self, name: str) -> TableSchema:
+        return self.table(name).schema
+
+    # ------------------------------------------------------------------ #
+    # Registration / ingest (fan out by row hash)
+
+    def register_table(
+        self,
+        table: Table,
+        params: PairwiseHistParams | None = None,
+        partition_size: int | None = None,
+    ) -> ClusterTable:
+        if table.name in self._catalog:
+            raise ValueError(f"table {table.name!r} is already registered")
+        # Catalog entries hold the per-shard (scaled) params so lazy shard
+        # registrations — including after a cluster restart — use exactly
+        # what the initial shards were built with.
+        params = shard_params(params or self.default_params, self.num_shards)
+        partition_size = partition_size or self.partition_size
+        entry = ClusterTable(
+            name=table.name,
+            schema=table.schema,
+            params=params,
+            partition_size=partition_size,
+        )
+        parts = self.router.split(table)
+        targets = [i for i, part in enumerate(parts) if part is not None]
+        if not targets:
+            raise ValueError("cannot register an empty table")
+
+        def _register(index: int, shard) -> dict:
+            return shard.register(
+                parts[index], params=params, partition_size=partition_size
+            )
+
+        reports = self._scatter(targets, _register)
+        with entry.mutex:
+            for index, report in zip(targets, reports):
+                entry.record(index, report["rows"], report["partitions"])
+        with self._catalog_mutex:
+            self._catalog[table.name] = entry
+            self._write_manifest()
+        return entry
+
+    def validate_ingest(self, table_name: str, rows: Table) -> ClusterTable:
+        entry = self.table(table_name)
+        if not isinstance(rows, Table):
+            raise TypeError(
+                f"ingest into {table_name!r} needs a Table of rows, "
+                f"got {type(rows).__name__}"
+            )
+        if rows.schema.names != entry.schema.names:
+            raise ValueError(
+                f"rows for table {table_name!r} do not match its schema: "
+                f"expected columns {entry.schema.names}, "
+                f"got {rows.schema.names}"
+            )
+        return entry
+
+    def ingest(self, table_name: str, rows: Table) -> ClusterIngestResult:
+        """Route rows to their owning shards and append in parallel.
+
+        A shard receiving its first rows for this table registers it (with
+        the catalog's params) instead of appending — the lazy half of
+        hash-routed registration; first-touch registrations serialize on
+        the table's mutex so concurrent ingests cannot double-register.
+
+        Ingest is not idempotent, so a worker that dies *after* the
+        request was sent is never blindly retried: the revived worker
+        (recovered from its own WAL) is asked for its actual row count —
+        if the batch committed before the crash the acknowledgement is
+        synthesized, if it never landed the batch is re-sent, and only a
+        count matching neither (a concurrent writer's rows interleaved)
+        surfaces as a :class:`ConnectionError` for the caller to resolve.
+        """
+        start = time.perf_counter()
+        entry = self.validate_ingest(table_name, rows)
+        parts = self.router.split(rows)
+        targets = [i for i, part in enumerate(parts) if part is not None]
+
+        def _apply(index: int, shard, part: Table) -> dict:
+            """One shard's slice: lazy-register on first touch, else append."""
+            with entry.mutex:
+                first_touch = index not in entry.registered
+                if first_touch:
+                    # Registration is slow; holding the mutex serializes
+                    # racing first-touch writers instead of letting the
+                    # loser fail with "already registered".
+                    report = shard.register(
+                        part,
+                        params=entry.params,
+                        partition_size=entry.partition_size,
+                    )
+                    applied = {
+                        "appended_rows": report["rows"],
+                        "total_partitions": report["partitions"],
+                    }
+                    entry.record(index, part.num_rows, report["partitions"])
+                    return applied
+            report = shard.ingest(table_name, part)
+            with entry.mutex:
+                entry.record(index, part.num_rows, report["total_partitions"])
+            return report
+
+        def _ingest(index: int, shard) -> dict:
+            part = parts[index]
+            try:
+                return _apply(index, shard, part)
+            except UnsentRequestError:
+                self._revive(index)
+                return _apply(index, shard, part)
+            except _SHARD_FAILURES as failure:
+                with entry.mutex:
+                    expected_before = entry.shard_rows.get(index, 0)
+                self._revive(index)
+                try:
+                    stat = shard.stat(table_name)
+                except KeyError:
+                    stat = None  # table absent: the register never landed
+                if stat is None or stat["rows"] == expected_before:
+                    return _apply(index, shard, part)  # batch never committed
+                if stat["rows"] == expected_before + part.num_rows:
+                    # The worker WAL-committed the batch before dying; the
+                    # recovered state already holds it — acknowledge, don't
+                    # re-send (re-sending would double-apply).
+                    with entry.mutex:
+                        entry.record(index, part.num_rows, stat["partitions"])
+                    return {
+                        "appended_rows": part.num_rows,
+                        "total_partitions": stat["partitions"],
+                    }
+                raise ConnectionError(
+                    f"shard {index} crashed mid-ingest and its recovered row "
+                    f"count ({stat['rows']}) matches neither the batch being "
+                    f"applied nor skipped (expected {expected_before} or "
+                    f"{expected_before + part.num_rows}); a concurrent writer "
+                    "interleaved — resolve manually before re-sending"
+                ) from failure
+
+        reports = self._scatter_raw(targets, _ingest)
+        shard_rows = {
+            index: report["appended_rows"]
+            for index, report in zip(targets, reports)
+        }
+        return ClusterIngestResult(
+            table_name=table_name,
+            appended_rows=rows.num_rows,
+            shard_rows=shard_rows,
+            seconds=time.perf_counter() - start,
+        )
+
+    def drop_table(self, table_name: str) -> None:
+        entry = self.table(table_name)
+        self._scatter(
+            sorted(entry.registered), lambda i, shard: shard.drop(table_name)
+        )
+        with self._catalog_mutex:
+            del self._catalog[table_name]
+            self._write_manifest()
+
+    # ------------------------------------------------------------------ #
+    # Scatter-gather queries
+
+    def execute(self, query: Query | str):
+        """Scatter one query to every registered shard; gather the answers."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        entry = self.table(query.table)
+        plan = plan_query(query)
+        sql = str(plan.scattered)
+        indices = sorted(entry.registered)
+        raw = self._scatter(indices, lambda i, shard: shard.execute(sql))
+        if query.group_by is None:
+            return gather_scalar(plan, [answers for _, answers in raw])
+        return gather_groups(plan, [groups for _, groups in raw])
+
+    def execute_scalar(self, query: Query | str) -> AqpResult:
+        results = self.execute(query)
+        if isinstance(results, dict):
+            raise ValueError("execute_scalar does not support GROUP BY queries")
+        return results[0]
+
+    def query(self, query: Query | str):
+        return self.execute(query)
+
+    def query_scalar(self, query: Query | str) -> AqpResult:
+        return self.execute_scalar(query)
+
+    # ------------------------------------------------------------------ #
+    # Durability fan-out
+
+    def checkpoint(self) -> ClusterCheckpointResult:
+        """Checkpoint every shard (each writes its own snapshot)."""
+        start = time.perf_counter()
+        reports = self._scatter(
+            list(range(self.num_shards)), lambda i, shard: shard.checkpoint()
+        )
+        return ClusterCheckpointResult(
+            checkpoint_lsn=max(r["checkpoint_lsn"] for r in reports),
+            tables=max(r["tables"] for r in reports),
+            seconds=time.perf_counter() - start,
+            skipped=all(r["skipped"] for r in reports),
+            per_shard=list(reports),
+        )
+
+    def persist(self) -> list[int]:
+        """fsync every shard's WAL; returns the per-shard durable LSNs."""
+        return self._scatter(
+            list(range(self.num_shards)), lambda i, shard: shard.persist()
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+
+    def close(self, graceful: bool = True) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=True)
+        for shard in self.shards:
+            try:
+                shard.close()
+            except OSError:  # pragma: no cover - a dying worker's socket
+                pass
+        if self.supervisor is not None:
+            self.supervisor.stop(graceful=graceful)
+
+    def __enter__(self) -> "ClusterQueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncClusterService:
+    """Coroutine face of a :class:`ClusterQueryService`.
+
+    The same adapter shape as
+    :class:`~repro.service.server.AsyncQueryService`, so a
+    :class:`~repro.service.server.QueryServer` can serve a whole cluster
+    over the standard JSON-lines protocol (the ``python -m repro.service
+    --shards N`` path).  Scatter concurrency lives inside the cluster
+    front end; this layer only keeps the event loop unblocked.
+    """
+
+    def __init__(self, cluster: ClusterQueryService, max_workers: int = 4) -> None:
+        self.cluster = cluster
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="cluster-front"
+        )
+        self._closed = False
+
+    async def __aenter__(self) -> "AsyncClusterService":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        import asyncio
+        from functools import partial
+
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None, partial(self._executor.shutdown, wait=True)
+        )
+
+    async def _dispatch(self, fn, *args, **kwargs):
+        if self._closed:
+            raise RuntimeError("the cluster front end is closed")
+        import asyncio
+        from functools import partial
+
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, partial(fn, *args, **kwargs)
+        )
+
+    async def query(self, query):
+        return await self._dispatch(self.cluster.execute, query)
+
+    async def query_scalar(self, query):
+        return await self._dispatch(self.cluster.execute_scalar, query)
+
+    async def register_table(self, table, params=None, partition_size=None):
+        return await self._dispatch(
+            self.cluster.register_table,
+            table,
+            params=params,
+            partition_size=partition_size,
+        )
+
+    async def ingest(self, table_name, rows, coalesce: bool = True):
+        # Coalescing happens inside each worker's own ingest queue; the
+        # front end always forwards immediately.
+        del coalesce
+        result = await self._dispatch(self.cluster.ingest, table_name, rows)
+        entry = self.cluster.table(table_name)
+        from ..service.database import IngestResult
+
+        return IngestResult(
+            table_name=result.table_name,
+            appended_rows=result.appended_rows,
+            rebuilt_partitions=sorted(result.shard_rows),
+            total_partitions=entry.num_partitions,
+            seconds=result.seconds,
+        )
+
+    async def drop_table(self, table_name: str) -> None:
+        await self._dispatch(self.cluster.drop_table, table_name)
+
+    async def checkpoint(self) -> ClusterCheckpointResult:
+        return await self._dispatch(self.cluster.checkpoint)
+
+    async def persist(self) -> int:
+        return max(await self._dispatch(self.cluster.persist))
+
+    @property
+    def table_names(self) -> list[str]:
+        return self.cluster.table_names
+
+    def schema_for(self, table_name: str):
+        return self.cluster.schema_for(table_name)
+
+    async def stat(self, table_name: str) -> dict:
+        entry = self.cluster.table(table_name)
+        return {
+            "table": table_name,
+            "rows": entry.num_rows,
+            "partitions": entry.num_partitions,
+        }

@@ -1,0 +1,247 @@
+"""Worker-shard backends: in-process for tests, subprocess for deployment.
+
+A shard is one full durable engine owning a disjoint, hash-routed subset
+of every table's rows.  The cluster front end talks to shards through one
+small interface so the same scatter-gather code drives both flavours:
+
+* :class:`LocalShard` — a :class:`~repro.service.concurrency.ConcurrentQueryService`
+  (optionally over a :class:`~repro.storage.durable.DurableDatabase` data
+  directory) living in the front end's process.  No serialization, no
+  sockets: the configuration unit tests use to pin cluster semantics.
+* :class:`ProcessShard` — a :class:`~repro.service.server.QueryServer`
+  subprocess managed by a
+  :class:`~repro.cluster.supervisor.ShardSupervisor`, spoken to over the
+  existing JSON-lines protocol via
+  :class:`~repro.service.wire.ClusterClient`.  This is the
+  multi-process deployment the GIL cannot bound.
+
+``execute`` returns shard answers normalised to
+(:data:`"scalar"`, ``[ShardAnswer, ...]``) or (:data:`"groups"`,
+``{label: [ShardAnswer, ...]}``) so the gather layer never cares which
+flavour produced them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..core.params import PairwiseHistParams
+from ..data.table import Table
+from ..service.concurrency import ConcurrentQueryService
+from ..service.database import Database
+from ..service.wire import ClusterClient, WireError
+from ..sql.ast import UnsupportedQueryError
+from ..sql.parser import ParseError
+from .gather import ShardAnswer
+
+#: Server error frames translated back into the exception the single-node
+#: service would have raised locally, so cluster callers see identical
+#: error semantics.
+_WIRE_ERROR_TYPES = {
+    "KeyError": KeyError,
+    "ValueError": ValueError,
+    "TypeError": TypeError,
+    "ParseError": ParseError,
+    "UnsupportedQueryError": UnsupportedQueryError,
+}
+
+
+def _raise_wire_error(error: WireError):
+    raised = _WIRE_ERROR_TYPES.get(error.error_type)
+    if raised is not None:
+        raise raised(error.message) from error
+    raise error
+
+
+class LocalShard:
+    """An in-process worker shard (thread-safe concurrent service)."""
+
+    def __init__(
+        self,
+        index: int,
+        data_dir: str | Path | None = None,
+        **database_kwargs,
+    ) -> None:
+        self.index = index
+        self.data_dir = Path(data_dir) if data_dir is not None else None
+        if self.data_dir is not None:
+            database = Database.open(self.data_dir, **database_kwargs)
+        else:
+            database = Database(**database_kwargs)
+        self.service = ConcurrentQueryService(database=database)
+
+    # ------------------------------------------------------------------ #
+
+    def register(
+        self,
+        table: Table,
+        params: PairwiseHistParams | None = None,
+        partition_size: int | None = None,
+    ) -> dict:
+        managed = self.service.register_table(
+            table, params=params, partition_size=partition_size
+        )
+        return {"rows": managed.num_rows, "partitions": managed.num_partitions}
+
+    def ingest(self, table_name: str, rows: Table) -> dict:
+        result = self.service.ingest(table_name, rows)
+        return {
+            "appended_rows": result.appended_rows,
+            "total_partitions": result.total_partitions,
+        }
+
+    def execute(self, sql: str):
+        result = self.service.execute(sql)
+        if isinstance(result, dict):
+            return "groups", {
+                label: [ShardAnswer.from_result(r) for r in results]
+                for label, results in result.items()
+            }
+        return "scalar", [ShardAnswer.from_result(r) for r in result]
+
+    def table_names(self) -> list[str]:
+        return self.service.table_names
+
+    def stat(self, table_name: str) -> dict:
+        managed = self.service.table(table_name)
+        return {"rows": managed.num_rows, "partitions": managed.num_partitions}
+
+    def drop(self, table_name: str) -> None:
+        self.service.drop_table(table_name)
+
+    def checkpoint(self) -> dict:
+        result = self.service.checkpoint()
+        return {
+            "checkpoint_lsn": result.checkpoint_lsn,
+            "tables": result.tables,
+            "skipped": result.skipped,
+        }
+
+    def persist(self) -> int:
+        return self.service.persist()
+
+    def reconnect(self) -> None:  # pragma: no cover - interface symmetry
+        pass
+
+    def close(self) -> None:
+        close = getattr(self.service.database, "close", None)
+        if close is not None:
+            close()
+
+
+class ProcessShard:
+    """A worker shard living in a supervised ``QueryServer`` subprocess.
+
+    Wire connections are pooled: each in-flight operation borrows its own
+    connection (opening one on demand), so a slow call — a shard ingest
+    recompressing its tail — never head-of-line blocks the queries
+    scattering to the same worker.  The pool's steady-state size is the
+    front end's concurrency, a handful of sockets.
+    """
+
+    def __init__(
+        self, index: int, host: str, port: int, timeout: float | None = 600.0
+    ) -> None:
+        import threading
+
+        self.index = index
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._mutex = threading.Lock()
+        self._free: list[ClusterClient] = []
+        self._generation = 0
+        # Open (and keep) one connection eagerly so construction fails
+        # fast when the worker is not listening.
+        self._give_back(self._generation, self._connect())
+
+    def _connect(self) -> ClusterClient:
+        return ClusterClient(self.host, self.port, timeout=self.timeout).connect()
+
+    def _borrow(self) -> tuple[int, ClusterClient]:
+        with self._mutex:
+            generation = self._generation
+            if self._free:
+                return generation, self._free.pop()
+        return generation, self._connect()
+
+    def _give_back(self, generation: int, client: ClusterClient) -> None:
+        with self._mutex:
+            if generation == self._generation:
+                self._free.append(client)
+                return
+        client.close()  # stale generation: the worker was restarted
+
+    def _call(self, fn):
+        generation, client = self._borrow()
+        try:
+            result = fn(client)
+        except WireError as error:
+            # The error arrived as a well-formed response frame; the
+            # connection is still in protocol sync and reusable.
+            self._give_back(generation, client)
+            _raise_wire_error(error)
+        except BaseException:
+            client.close()
+            raise
+        self._give_back(generation, client)
+        return result
+
+    def reconnect(self, port: int | None = None) -> None:
+        """Point the pool at a restarted worker; stale sockets are dropped."""
+        with self._mutex:
+            self._generation += 1
+            stale, self._free = self._free, []
+            if port is not None:
+                self.port = port
+        for client in stale:
+            client.close()
+        self._give_back(self._generation, self._connect())
+
+    # ------------------------------------------------------------------ #
+
+    def register(
+        self,
+        table: Table,
+        params: PairwiseHistParams | None = None,
+        partition_size: int | None = None,
+    ) -> dict:
+        return self._call(
+            lambda client: client.register(
+                table, params=params, partition_size=partition_size
+            )
+        )
+
+    def ingest(self, table_name: str, rows: Table) -> dict:
+        return self._call(lambda client: client.ingest(table_name, rows))
+
+    def execute(self, sql: str):
+        payload = self._call(lambda client: client.query(sql))
+        if "groups" in payload:
+            return "groups", {
+                label: [ShardAnswer.from_wire(r) for r in results]
+                for label, results in payload["groups"].items()
+            }
+        return "scalar", [ShardAnswer.from_wire(r) for r in payload["results"]]
+
+    def table_names(self) -> list[str]:
+        return self._call(lambda client: client.tables())
+
+    def stat(self, table_name: str) -> dict:
+        return self._call(lambda client: client.stat(table_name))
+
+    def drop(self, table_name: str) -> None:
+        self._call(lambda client: client.drop(table_name))
+
+    def checkpoint(self) -> dict:
+        return self._call(lambda client: client.checkpoint())
+
+    def persist(self) -> int:
+        return self._call(lambda client: client.persist())
+
+    def close(self) -> None:
+        with self._mutex:
+            self._generation += 1
+            stale, self._free = self._free, []
+        for client in stale:
+            client.close()

@@ -1,0 +1,249 @@
+"""Worker-process lifecycle: spawn, health-check, restart-with-recovery.
+
+Each worker is a ``python -m repro.service`` subprocess — the exact same
+entry point operators run by hand — bound to ``127.0.0.1`` on an
+OS-assigned port and (when the cluster is durable) rooted at its own
+shard data directory.  The supervisor:
+
+* spawns workers and scrapes the ``listening on host:port`` line each one
+  prints, so no port coordination is needed;
+* health-checks by process liveness plus a wire ``ping``;
+* restarts a dead worker on the same data directory, which makes the
+  replacement recover its tables from its own snapshot + WAL before it
+  starts listening — restart *is* recovery;
+* stops the fleet gracefully (SIGTERM, which triggers each worker's final
+  checkpoint) with a kill fallback.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..service.wire import ClusterClient
+
+_LISTENING = re.compile(r"listening on ([\d.]+):(\d+)")
+
+
+def _repro_src_dir() -> str:
+    """The directory that must be on PYTHONPATH for ``-m repro.service``."""
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+@dataclass
+class WorkerHandle:
+    """One live (or dead) worker subprocess."""
+
+    index: int
+    process: subprocess.Popen
+    port: int
+
+    @property
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+
+class ShardSupervisor:
+    """Spawns and supervises the ``QueryServer`` worker fleet."""
+
+    def __init__(
+        self,
+        data_dirs: list[Path | None],
+        host: str = "127.0.0.1",
+        partition_size: int | None = None,
+        checkpoint_interval: float = 30.0,
+        coalesce_delay: float = 0.0,
+        workers_per_shard: int = 2,
+        fsync: bool = False,
+        startup_timeout: float = 120.0,
+        python: str = sys.executable,
+        crash_point: str | None = None,
+    ) -> None:
+        self.data_dirs = [None if d is None else Path(d) for d in data_dirs]
+        self.host = host
+        self.partition_size = partition_size
+        self.checkpoint_interval = checkpoint_interval
+        self.coalesce_delay = coalesce_delay
+        self.workers_per_shard = workers_per_shard
+        self.fsync = fsync
+        self.startup_timeout = startup_timeout
+        self.python = python
+        #: When set, workers spawn with ``REPRO_CRASH_POINT`` armed at this
+        #: fault-injection point (crash drills / tests); clear it before a
+        #: restart or the replacement dies at the same point again.
+        self.crash_point = crash_point
+        self.handles: dict[int, WorkerHandle] = {}
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.data_dirs)
+
+    # ------------------------------------------------------------------ #
+    # Spawning
+
+    def _argv(self, index: int) -> list[str]:
+        argv = [
+            self.python,
+            "-m",
+            "repro.service",
+            "--host",
+            self.host,
+            "--port",
+            "0",
+            "--workers",
+            str(self.workers_per_shard),
+            "--coalesce-delay",
+            str(self.coalesce_delay),
+        ]
+        if self.partition_size is not None:
+            argv += ["--partition-size", str(self.partition_size)]
+        data_dir = self.data_dirs[index]
+        if data_dir is not None:
+            argv += [
+                "--data-dir",
+                str(data_dir),
+                "--checkpoint-interval",
+                str(self.checkpoint_interval),
+            ]
+            if self.fsync:
+                argv.append("--fsync")
+        return argv
+
+    def spawn(self, index: int) -> WorkerHandle:
+        """Start worker ``index``; blocks until it reports its port.
+
+        A worker with a populated data directory recovers before it prints
+        ``listening on``, so a handle returned from here is already serving
+        its recovered tables.
+        """
+        env = dict(os.environ, PYTHONUNBUFFERED="1")
+        src = _repro_src_dir()
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src if not existing else f"{src}{os.pathsep}{existing}"
+        env.pop("REPRO_CRASH_POINT", None)  # never inherit armed crash points
+        if self.crash_point:
+            env["REPRO_CRASH_POINT"] = self.crash_point
+        process = subprocess.Popen(
+            self._argv(index),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        port, banner = self._await_port(process)
+        if port is None:
+            process.kill()
+            process.wait(timeout=30)
+            raise RuntimeError(
+                f"shard worker {index} never reported a port within "
+                f"{self.startup_timeout:.0f}s; output:\n" + "".join(banner)
+            )
+        handle = WorkerHandle(index=index, process=process, port=port)
+        self.handles[index] = handle
+        return handle
+
+    def _await_port(self, process) -> tuple[int | None, list[str]]:
+        """Scrape the ``listening on`` banner, honouring the startup timeout.
+
+        The pipe is read on a daemon thread so a worker that hangs
+        *silently* (wedged before printing anything) cannot block the
+        caller past the deadline — ``readline`` on a live pipe has no
+        timeout of its own.
+        """
+        lines: queue.Queue = queue.Queue()
+
+        def _pump() -> None:
+            for line in process.stdout:
+                lines.put(line)
+            lines.put(None)  # EOF (process died or closed stdout)
+
+        threading.Thread(target=_pump, daemon=True).start()
+        banner: list[str] = []
+        deadline = time.monotonic() + self.startup_timeout
+        while True:
+            try:
+                line = lines.get(timeout=max(0.05, deadline - time.monotonic()))
+            except queue.Empty:
+                return None, banner
+            if line is None:
+                return None, banner
+            banner.append(line)
+            match = _LISTENING.search(line)
+            if match:
+                return int(match.group(2)), banner
+            if time.monotonic() > deadline:
+                return None, banner
+
+    def start(self) -> list[WorkerHandle]:
+        """Spawn every worker; tears the fleet down if any fails to boot."""
+        try:
+            return [self.spawn(index) for index in range(self.num_shards)]
+        except BaseException:
+            self.stop(graceful=False)
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Health / restart
+
+    def is_alive(self, index: int) -> bool:
+        handle = self.handles.get(index)
+        return handle is not None and handle.alive
+
+    def ping(self, index: int, timeout: float = 5.0) -> bool:
+        """Liveness through the wire, not just the process table."""
+        handle = self.handles.get(index)
+        if handle is None or not handle.alive:
+            return False
+        try:
+            with ClusterClient(self.host, handle.port, timeout=timeout) as client:
+                return client.ping()
+        except (OSError, ConnectionError):
+            return False
+
+    def restart(self, index: int) -> WorkerHandle:
+        """Replace worker ``index`` with a fresh process on the same data dir.
+
+        Any remnant process is killed first; the replacement recovers from
+        the shard's snapshot + WAL before accepting traffic.
+        """
+        handle = self.handles.pop(index, None)
+        if handle is not None and handle.alive:
+            handle.process.kill()
+        if handle is not None:
+            handle.process.wait(timeout=30)
+        return self.spawn(index)
+
+    def kill(self, index: int) -> None:
+        """``kill -9`` one worker (fault injection for tests and drills)."""
+        handle = self.handles[index]
+        handle.process.send_signal(signal.SIGKILL)
+        handle.process.wait(timeout=30)
+
+    # ------------------------------------------------------------------ #
+    # Shutdown
+
+    def stop(self, graceful: bool = True, timeout: float = 30.0) -> None:
+        """Stop every worker; graceful SIGTERM triggers final checkpoints."""
+        for handle in self.handles.values():
+            if not handle.alive:
+                continue
+            handle.process.send_signal(
+                signal.SIGTERM if graceful else signal.SIGKILL
+            )
+        for handle in self.handles.values():
+            try:
+                handle.process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck worker
+                handle.process.kill()
+                handle.process.wait(timeout=timeout)
+        self.handles.clear()

@@ -10,6 +10,7 @@ histograms for every pair of columns.
 from __future__ import annotations
 
 import os
+import threading
 from collections.abc import Mapping, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
@@ -245,6 +246,44 @@ def build_pairwise_hist(
 # --------------------------------------------------------------------------- #
 # Partitioned construction
 
+#: Fewest partitions for which a process pool is worth its spawn/pickle
+#: cost when the executor is chosen automatically.
+PROCESS_EXECUTOR_MIN_PARTITIONS = 6
+
+
+def default_executor(num_partitions: int) -> str:
+    """Pick the executor for a partitioned build when none is forced.
+
+    ``"process"`` buys real parallelism (one GIL per worker) but costs a
+    pool spawn plus pickling every partition's decoded codes, so it only
+    pays off when there are multiple cores *and* enough partitions to
+    amortize the overhead.  Forking a process pool out of a multi-threaded
+    service is also a classic deadlock source, so the automatic choice
+    additionally requires a single-threaded process (bulk registration on
+    the main thread — the case where the build is largest); concurrent
+    services rebuilding a tail partition stay on the thread pool, whose
+    numpy kernels release the GIL.  On platforms whose default
+    multiprocessing start method is ``spawn`` (macOS, Windows) the
+    automatic choice also stays on threads: spawn re-imports ``__main__``,
+    which breaks any caller script without a ``__main__`` guard — a
+    library default must not do that silently.  Pass
+    ``executor="process"`` explicitly to override either restriction.
+    """
+    import multiprocessing
+    import sys
+
+    method = multiprocessing.get_start_method(allow_none=True)
+    if method is None:  # not fixed yet: the platform default will apply
+        method = "fork" if sys.platform.startswith("linux") else "spawn"
+    if (
+        (os.cpu_count() or 1) > 1
+        and num_partitions >= PROCESS_EXECUTOR_MIN_PARTITIONS
+        and threading.active_count() == 1
+        and method == "fork"
+    ):
+        return "process"
+    return "thread"
+
 
 @dataclass(frozen=True)
 class PartitionInput:
@@ -330,18 +369,21 @@ def build_partition_synopses(
     columns: list[str] | None = None,
     build_pairs: bool = True,
     max_workers: int | None = None,
-    executor: str = "thread",
+    executor: str | None = None,
     total_rows: int | None = None,
 ) -> list[PairwiseHist]:
     """Build one synopsis per partition, fanning out via ``concurrent.futures``.
 
-    ``executor`` selects ``"thread"`` (default — numpy's histogram and sort
-    kernels release the GIL), ``"process"`` (full parallelism, inputs are
-    pickled to workers) or ``"serial"`` (no pool; also used automatically
-    for a single partition).  ``total_rows`` is the row count the
-    per-partition bin budget is scaled against; pass the whole table's
-    size when rebuilding a subset of its partitions (e.g. the tail after
-    an append) so those partitions don't get the full table's budget.
+    ``executor`` selects ``"thread"`` (numpy's histogram and sort kernels
+    release the GIL), ``"process"`` (full parallelism, inputs are pickled
+    to workers) or ``"serial"`` (no pool; also used automatically for a
+    single partition).  The default (``None``) picks dynamically via
+    :func:`default_executor`: a process pool on multi-core hosts when the
+    partition count amortizes its spawn cost, a thread pool otherwise.
+    ``total_rows`` is the row count the per-partition bin budget is scaled
+    against; pass the whole table's size when rebuilding a subset of its
+    partitions (e.g. the tail after an append) so those partitions don't
+    get the full table's budget.
     """
     if not partitions:
         raise ValueError("cannot build a synopsis from zero partitions")
@@ -350,6 +392,8 @@ def build_partition_synopses(
             p.population_rows if p.population_rows is not None else len(next(iter(p.codes.values())))
             for p in partitions
         )
+    if executor is None:
+        executor = default_executor(len(partitions))
     if executor not in ("thread", "process", "serial"):
         raise ValueError(f"unknown executor kind {executor!r}")
     if executor == "serial" or len(partitions) == 1:
@@ -373,7 +417,7 @@ def build_partitioned_hist(
     columns: list[str] | None = None,
     build_pairs: bool = True,
     max_workers: int | None = None,
-    executor: str = "thread",
+    executor: str | None = None,
 ) -> PairwiseHist:
     """Build per-partition synopses in parallel and merge them into one."""
     synopses = build_partition_synopses(

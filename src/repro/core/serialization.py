@@ -15,6 +15,12 @@ import struct
 
 import numpy as np
 
+from ..storage.codec import (
+    frame_blobs,
+    pack_short_string,
+    unframe_blobs,
+    unpack_short_string,
+)
 from ..util.bitstream import BitReader, BitWriter
 from .centre_bounds import weighted_centre_bounds
 from .golomb import encode_value, rice_parameter
@@ -54,16 +60,10 @@ def _unpack_array(buffer: memoryview, offset: int, fmt: str, dtype) -> tuple[np.
     return values, offset + size
 
 
-def _pack_string(text: str) -> bytes:
-    raw = text.encode("utf-8")
-    return struct.pack("<H", len(raw)) + raw
-
-
-def _unpack_string(buffer: memoryview, offset: int) -> tuple[str, int]:
-    (length,) = struct.unpack_from("<H", buffer, offset)
-    offset += 2
-    raw = bytes(buffer[offset : offset + length])
-    return raw.decode("utf-8"), offset + length
+# 2-byte-length string framing, shared with every other binary format
+# (storage.codec is the single framing source of truth).
+_pack_string = pack_short_string
+_unpack_string = unpack_short_string
 
 
 def _count_bit_width(counts: np.ndarray) -> int:
@@ -440,11 +440,7 @@ _MANIFEST_MAGIC = b"PWHM"
 
 def serialize_catalog(entries: list[bytes]) -> bytes:
     """Frame per-table catalog blobs into one snapshot CATALOG payload."""
-    framed = [_CATALOG_MAGIC, struct.pack("<I", len(entries))]
-    for payload in entries:
-        framed.append(struct.pack("<Q", len(payload)))
-        framed.append(payload)
-    return b"".join(framed)
+    return _CATALOG_MAGIC + frame_blobs(entries)
 
 
 def deserialize_catalog(payload: bytes) -> list[bytes]:
@@ -452,14 +448,7 @@ def deserialize_catalog(payload: bytes) -> list[bytes]:
     buffer = memoryview(payload)
     if bytes(buffer[:4]) != _CATALOG_MAGIC:
         raise ValueError("not a catalog payload (bad magic)")
-    (count,) = struct.unpack_from("<I", buffer, 4)
-    offset = 8
-    entries: list[bytes] = []
-    for _ in range(count):
-        (length,) = struct.unpack_from("<Q", buffer, offset)
-        offset += 8
-        entries.append(bytes(buffer[offset : offset + length]))
-        offset += length
+    entries, _ = unframe_blobs(buffer, 4)
     return entries
 
 
@@ -507,12 +496,12 @@ def serialize_partitioned(synopses: list[PairwiseHist], force_dense: bool = Fals
     re-encoding the others; the merged, queryable synopsis is rebuilt from
     the parts at load time via :meth:`PairwiseHist.merge`.
     """
+    if isinstance(synopses, LazyPartitionSynopses) and not synopses.hydrated:
+        # Never-decoded synopses round-trip as their original payload —
+        # the encode is skipped entirely, byte-identity is trivial.
+        return synopses.payload
     parts = [serialize(synopsis, force_dense) for synopsis in synopses]
-    framed = [_PARTITIONED_MAGIC, struct.pack("<I", len(parts))]
-    for payload in parts:
-        framed.append(struct.pack("<Q", len(payload)))
-        framed.append(payload)
-    return b"".join(framed)
+    return _PARTITIONED_MAGIC + frame_blobs(parts)
 
 
 def deserialize_partitioned(payload: bytes) -> list[PairwiseHist]:
@@ -520,12 +509,51 @@ def deserialize_partitioned(payload: bytes) -> list[PairwiseHist]:
     buffer = memoryview(payload)
     if bytes(buffer[:4]) != _PARTITIONED_MAGIC:
         raise ValueError("not a partitioned PairwiseHist payload (bad magic)")
-    (count,) = struct.unpack_from("<I", buffer, 4)
-    offset = 8
-    synopses: list[PairwiseHist] = []
-    for _ in range(count):
-        (length,) = struct.unpack_from("<Q", buffer, offset)
-        offset += 8
-        synopses.append(deserialize(bytes(buffer[offset : offset + length])))
-        offset += length
-    return synopses
+    blobs, _ = unframe_blobs(buffer, 4)
+    return [deserialize(blob) for blob in blobs]
+
+
+class LazyPartitionSynopses:
+    """A partitioned (``PWHP``) payload that decodes on first real use.
+
+    Snapshot loading hands these to the recovered tables instead of eagerly
+    deserializing every per-partition synopsis: queries only need the
+    *merged* synopsis (persisted separately in the exact ``PWHX`` form), so
+    a query-only restart never pays the per-partition decode.  The first
+    ingest touch — or anything else that iterates / indexes the sequence —
+    hydrates it once, under a lock so concurrent readers see one decode.
+
+    :func:`serialize_partitioned` short-circuits an unhydrated instance to
+    its original payload, so checkpointing a recovered-but-untouched table
+    re-writes the identical bytes without a decode/encode round trip.
+    """
+
+    def __init__(self, payload: bytes) -> None:
+        buffer = memoryview(payload)
+        if bytes(buffer[:4]) != _PARTITIONED_MAGIC:
+            raise ValueError("not a partitioned PairwiseHist payload (bad magic)")
+        self.payload = bytes(payload)
+        (self._count,) = struct.unpack_from("<I", buffer, 4)
+        self._items: list[PairwiseHist] | None = None
+        import threading
+
+        self._lock = threading.Lock()
+
+    @property
+    def hydrated(self) -> bool:
+        return self._items is not None
+
+    def _hydrate(self) -> list[PairwiseHist]:
+        with self._lock:
+            if self._items is None:
+                self._items = deserialize_partitioned(self.payload)
+            return self._items
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self):
+        return iter(self._hydrate())
+
+    def __getitem__(self, index):
+        return self._hydrate()[index]

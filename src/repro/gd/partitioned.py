@@ -22,6 +22,14 @@ import numpy as np
 
 from ..data.schema import TableSchema
 from ..data.table import Table
+from ..storage.codec import (
+    pack_bool_array,
+    pack_ndarray8,
+    pack_short_string,
+    unpack_bool_array,
+    unpack_ndarray8,
+    unpack_short_string,
+)
 from .greedygd import GDSplit, GreedyGD, GreedyGDConfig
 from .preprocessor import Preprocessor
 from .store import CompressedStore
@@ -217,25 +225,9 @@ class PartitionedStore:
 
 _PARTITION_MAGIC = b"GDP1"
 
-
-def _pack_ndarray(arr: np.ndarray) -> bytes:
-    arr = np.ascontiguousarray(arr)
-    header = struct.pack("<8sB", arr.dtype.str.encode("ascii"), arr.ndim)
-    shape = struct.pack(f"<{arr.ndim}Q", *arr.shape)
-    raw = arr.tobytes()
-    return header + shape + struct.pack("<Q", len(raw)) + raw
-
-
-def _unpack_ndarray(buffer: memoryview, offset: int) -> tuple[np.ndarray, int]:
-    dtype_raw, ndim = struct.unpack_from("<8sB", buffer, offset)
-    offset += struct.calcsize("<8sB")
-    shape = struct.unpack_from(f"<{ndim}Q", buffer, offset)
-    offset += 8 * ndim
-    (length,) = struct.unpack_from("<Q", buffer, offset)
-    offset += 8
-    dtype = np.dtype(dtype_raw.rstrip(b"\x00").decode("ascii"))
-    arr = np.frombuffer(buffer[offset : offset + length], dtype=dtype).reshape(shape).copy()
-    return arr, offset + length
+# The on-disk framing is the shared helper set in ``repro.storage.codec``
+# (8-byte-dtype ndarray frames, 2-byte-length strings, bit-packed masks);
+# byte layout is pinned by the framing round-trip tests.
 
 
 def dump_partition(partition: CompressedStore) -> bytes:
@@ -255,13 +247,11 @@ def dump_partition(partition: CompressedStore) -> bytes:
         split.deviation_bits,
         split.total_bits,
     ):
-        parts.append(_pack_ndarray(arr))
+        parts.append(pack_ndarray8(arr))
     parts.append(struct.pack("<I", len(partition._column_order)))
     for name in partition._column_order:
-        raw = name.encode("utf-8")
-        parts.append(struct.pack("<H", len(raw)) + raw)
-        mask = np.asarray(partition.null_masks[name], dtype=bool)
-        parts.append(struct.pack("<Q", len(mask)) + np.packbits(mask).tobytes())
+        parts.append(pack_short_string(name))
+        parts.append(pack_bool_array(partition.null_masks[name]))
     return b"".join(parts)
 
 
@@ -278,7 +268,7 @@ def load_partition(
     offset = 4
     arrays = []
     for _ in range(5):
-        arr, offset = _unpack_ndarray(buffer, offset)
+        arr, offset = unpack_ndarray8(buffer, offset)
         arrays.append(arr)
     bases, base_ids, deviations, deviation_bits, total_bits = arrays
     (num_columns,) = struct.unpack_from("<I", buffer, offset)
@@ -286,20 +276,8 @@ def load_partition(
     column_order: list[str] = []
     null_masks: dict[str, np.ndarray] = {}
     for _ in range(num_columns):
-        (length,) = struct.unpack_from("<H", buffer, offset)
-        offset += 2
-        name = bytes(buffer[offset : offset + length]).decode("utf-8")
-        offset += length
-        (rows,) = struct.unpack_from("<Q", buffer, offset)
-        offset += 8
-        nbytes = (rows + 7) // 8
-        packed = np.frombuffer(buffer[offset : offset + nbytes], dtype=np.uint8)
-        offset += nbytes
-        mask = (
-            np.unpackbits(packed, count=rows).astype(bool)
-            if rows
-            else np.zeros(0, dtype=bool)
-        )
+        name, offset = unpack_short_string(buffer, offset)
+        mask, offset = unpack_bool_array(buffer, offset)
         column_order.append(name)
         null_masks[name] = mask
     split = GDSplit(

@@ -25,10 +25,13 @@ from .database import (
 )
 from .server import AsyncQueryClient, AsyncQueryService, QueryServer
 from .system import QueryServiceSystem
+from .wire import ClusterClient, WireError
 
 __all__ = [
     "AsyncQueryClient",
     "AsyncQueryService",
+    "ClusterClient",
+    "WireError",
     "ConcurrentQueryService",
     "Database",
     "IngestResult",

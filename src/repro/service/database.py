@@ -133,7 +133,7 @@ class Database:
         default_params: PairwiseHistParams | None = None,
         partition_size: int = DEFAULT_PARTITION_SIZE,
         max_workers: int | None = None,
-        executor: str = "thread",
+        executor: str | None = None,
         gd_config: GreedyGDConfig | None = None,
     ) -> None:
         self.default_params = default_params or PairwiseHistParams.with_defaults(

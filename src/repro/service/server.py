@@ -42,6 +42,8 @@ from ..data.table import Table
 from ..sql.ast import Query
 from ..sql.parser import ParseError
 from ..storage.checkpointer import BackgroundCheckpointer
+from ..storage.faults import maybe_crash
+from . import wire
 from .concurrency import ConcurrentQueryService
 from .database import Database, IngestResult, ManagedTable
 
@@ -214,6 +216,24 @@ class AsyncQueryService:
     @property
     def table_names(self) -> list[str]:
         return self.service.table_names
+
+    def schema_for(self, table_name: str):
+        """Registered schema of one table (KeyError naming the catalog)."""
+        return self.service.table(table_name).store.schema
+
+    async def stat(self, table_name: str) -> dict:
+        """Exact row/partition counts of one table (cheap catalog lookup).
+
+        The cluster front end uses this to resolve an ambiguous ingest —
+        a worker that died after the WAL append but before the response —
+        by checking whether the batch's rows are actually there.
+        """
+        managed = await self._dispatch(self.service.table, table_name)
+        return {
+            "table": table_name,
+            "rows": managed.num_rows,
+            "partitions": managed.num_partitions,
+        }
 
     # ------------------------------------------------------------------ #
     # Durability
@@ -470,6 +490,11 @@ class QueryServer:
             return "pong"
         if op == "tables":
             return {"tables": self.service.table_names}
+        if op == "stat":
+            table_name = request.get("table")
+            if not isinstance(table_name, str):
+                raise ValueError("stat requests need a 'table' name")
+            return await self.service.stat(table_name)
         if op == "query":
             if "sql" not in request:
                 raise ValueError("query requests need a 'sql' field")
@@ -479,11 +504,18 @@ class QueryServer:
             result = await self.service.ingest(
                 table_name, rows, coalesce=bool(request.get("coalesce", True))
             )
+            # The nastiest distributed window: the batch is WAL-committed
+            # but the acknowledgement never leaves the process.  Cluster
+            # tests arm this to pin the front end's exactly-once recovery.
+            maybe_crash("server.ingest.before_ack")
             return _encode_ingest(result)
         if op == "register":
             table_name, rows = self._rows_from_request(request, registered=False)
+            params = request.get("params")
             managed = await self.service.register_table(
-                rows, partition_size=request.get("partition_size")
+                rows,
+                params=wire.params_from_payload(params) if params is not None else None,
+                partition_size=request.get("partition_size"),
             )
             return {
                 "table": managed.name,
@@ -522,7 +554,11 @@ class QueryServer:
         if registered:
             # Decode against the registered schema so numeric columns arrive
             # typed the way the store expects (raises KeyError if unknown).
-            schema = self.service.service.table(table_name).store.schema
+            schema = self.service.schema_for(table_name)
+        elif request.get("schema") is not None:
+            # Registrations may carry an explicit schema (the cluster front
+            # end does), skipping column-type inference entirely.
+            schema = wire.schema_from_payload(request["schema"])
         return table_name, Table.from_dict(payload, name=table_name, schema=schema)
 
 
@@ -611,7 +647,16 @@ def _build_arg_parser():
         "--data-dir",
         default=None,
         help="durable data directory (WAL + snapshots); omit for a purely "
-        "in-memory server",
+        "in-memory server.  With --shards N this is the cluster root: one "
+        "shard-NNNNN data directory per worker plus the CLUSTER manifest",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="run a sharded cluster: N worker subprocesses (each a full "
+        "durable engine) behind a scatter-gather front end; 1 (default) "
+        "serves a single-process engine",
     )
     parser.add_argument(
         "--checkpoint-interval",
@@ -639,11 +684,89 @@ def _build_arg_parser():
     return parser
 
 
+async def serve_cluster(args) -> None:
+    """Run a sharded cluster front end until SIGINT/SIGTERM.
+
+    Spawns ``--shards`` worker subprocesses (each the plain single-process
+    server on its own shard data directory), scatter-gathers through
+    :class:`~repro.cluster.service.ClusterQueryService` and serves the
+    same JSON-lines protocol on the front-end port.
+    """
+    import signal
+
+    from ..cluster.service import AsyncClusterService, ClusterQueryService
+    from ..storage.cluster import ClusterLayout
+
+    worker_options = {
+        "checkpoint_interval": args.checkpoint_interval,
+        "coalesce_delay": args.coalesce_delay,
+        "workers_per_shard": args.workers,
+        "fsync": args.fsync,
+    }
+    if args.data_dir and ClusterLayout(args.data_dir).read_manifest() is not None:
+        cluster = ClusterQueryService.open(
+            args.data_dir,
+            mode="process",
+            expected_shards=args.shards,
+            partition_size=args.partition_size,
+            worker_options=worker_options,
+        )
+        print(
+            f"recovered cluster of {cluster.num_shards} shard(s), "
+            f"{len(cluster.table_names)} table(s) from {args.data_dir}",
+            flush=True,
+        )
+    else:
+        cluster = ClusterQueryService(
+            num_shards=args.shards,
+            path=args.data_dir or None,
+            mode="process",
+            partition_size=args.partition_size,
+            worker_options=worker_options,
+        )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # non-unix event loops
+            pass
+    try:
+        async with AsyncClusterService(
+            cluster, max_workers=args.workers
+        ) as front_end:
+            async with QueryServer(
+                front_end, host=args.host, port=args.port
+            ) as server:
+                print(f"listening on {server.host}:{server.port}", flush=True)
+                await stop.wait()
+    finally:
+        # Graceful worker shutdown: SIGTERM triggers each worker's final
+        # checkpoint, so the next start recovers from snapshots.
+        await loop.run_in_executor(None, cluster.close)
+
+
 async def serve(args) -> None:
     """Run a server until SIGINT/SIGTERM; durable when --data-dir is set."""
     import signal
 
+    if getattr(args, "shards", 1) > 1:
+        await serve_cluster(args)
+        return
+
     if args.data_dir:
+        from ..storage.cluster import ClusterLayout
+
+        manifest = ClusterLayout(args.data_dir).read_manifest()
+        if manifest is not None:
+            # Opening a cluster root as a single-node data dir would boot
+            # an empty catalog and scribble wal/snapshots into the cluster
+            # directory — refuse instead of silently "losing" the data.
+            raise SystemExit(
+                f"{args.data_dir!r} is a sharded cluster root "
+                f"({manifest.num_shards} shard(s)); start it with "
+                f"--shards {manifest.num_shards}"
+            )
         database = Database.open(
             args.data_dir, fsync=args.fsync, partition_size=args.partition_size
         )

@@ -30,7 +30,7 @@ class QueryServiceSystem:
         partition_size: int | None = None,
         params: PairwiseHistParams | None = None,
         max_workers: int | None = None,
-        executor: str = "thread",
+        executor: str | None = None,
         name: str = "PairwiseHist (partitioned)",
     ) -> "QueryServiceSystem":
         """Stand up a single-table service for benchmarking."""

@@ -1,0 +1,277 @@
+"""Synchronous JSON-lines wire client + payload helpers.
+
+:class:`ClusterClient` is the blocking counterpart of
+:class:`~repro.service.server.AsyncQueryClient`: it speaks the exact same
+newline-delimited-JSON protocol to a :class:`~repro.service.server.QueryServer`
+from plain threads — which is what the cluster front end
+(:mod:`repro.cluster`) needs to scatter one query to many worker shards
+from a thread pool without dragging an event loop around.  It is also a
+handy operational client for scripts and tests.
+
+The module additionally owns the JSON payload encodings shared by both
+ends of the protocol — tables, schemas and
+:class:`~repro.core.params.PairwiseHistParams` — so the server and every
+client agree on one encoding.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import socket
+import threading
+
+import numpy as np
+
+from ..core.params import PairwiseHistParams
+from ..data.schema import ColumnSchema, ColumnType, TableSchema
+from ..data.table import Table
+
+#: Mirrors the server's per-line buffer limit.
+DEFAULT_LINE_LIMIT = 32 * 1024 * 1024
+
+
+# --------------------------------------------------------------------------- #
+# Payload encodings (shared by the async server and every client)
+
+
+def table_payload(table: Table) -> dict:
+    """JSON-encodable column mapping for ``register`` / ``ingest`` requests."""
+    payload: dict[str, list] = {}
+    for column in table.schema:
+        values = table.column(column.name)
+        if column.is_categorical:
+            payload[column.name] = [None if v is None else str(v) for v in values]
+        else:
+            floats = np.asarray(values, dtype=float)
+            payload[column.name] = [
+                None if not math.isfinite(v) else v for v in floats.tolist()
+            ]
+    return payload
+
+
+def schema_payload(schema: TableSchema) -> list[dict]:
+    """JSON-encodable schema for ``register`` requests (skips inference)."""
+    return [
+        {
+            "name": column.name,
+            "type": column.ctype.value,
+            "decimals": column.decimals,
+            "nullable": bool(column.nullable),
+            "categories": column.categories,
+        }
+        for column in schema
+    ]
+
+
+def schema_from_payload(payload: list[dict]) -> TableSchema:
+    """Inverse of :func:`schema_payload`."""
+    if not isinstance(payload, list) or not all(isinstance(c, dict) for c in payload):
+        raise ValueError("schema payloads must be a list of column objects")
+    columns = []
+    for entry in payload:
+        columns.append(
+            ColumnSchema(
+                name=str(entry["name"]),
+                ctype=ColumnType(entry["type"]),
+                decimals=int(entry.get("decimals", 0)),
+                categories=entry.get("categories"),
+                nullable=bool(entry.get("nullable", True)),
+            )
+        )
+    return TableSchema(columns)
+
+
+_PARAMS_FIELDS = (
+    "sample_size",
+    "min_points",
+    "alpha",
+    "min_spacing",
+    "max_initial_bins",
+    "max_refine_depth",
+    "seed",
+    "max_merged_cells",
+)
+
+
+def params_payload(params: PairwiseHistParams) -> dict:
+    """JSON-encodable construction parameters for ``register`` requests."""
+    return {field: getattr(params, field) for field in _PARAMS_FIELDS}
+
+
+def params_from_payload(payload: dict) -> PairwiseHistParams:
+    """Inverse of :func:`params_payload` (unknown keys are rejected)."""
+    if not isinstance(payload, dict):
+        raise ValueError("params payloads must be a JSON object")
+    unknown = set(payload) - set(_PARAMS_FIELDS)
+    if unknown:
+        raise ValueError(f"unknown params fields: {sorted(unknown)}")
+    return PairwiseHistParams(**payload)
+
+
+# --------------------------------------------------------------------------- #
+# Blocking client
+
+
+class WireError(RuntimeError):
+    """An ``{"ok": false}`` response frame, surfaced as an exception."""
+
+    def __init__(self, error_type: str, message: str) -> None:
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+        self.message = message
+
+
+class UnsentRequestError(ConnectionError):
+    """The connection failed before the request hit the socket.
+
+    The server definitely never saw the request, so retrying it (on a
+    fresh connection) cannot double-apply anything — the distinction a
+    non-idempotent caller (ingest) needs.  A failure *after* the send is
+    a plain :class:`ConnectionError`: the server may or may not have
+    applied the request.
+    """
+
+
+class ClusterClient:
+    """Blocking newline-delimited-JSON client for :class:`QueryServer`.
+
+    One request is in flight per connection at a time; concurrent callers
+    sharing a client serialize on an internal lock (the cluster front end
+    opens one client per worker shard, so shard calls still fan out in
+    parallel).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float | None = 30.0,
+        line_limit: int = DEFAULT_LINE_LIMIT,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.line_limit = line_limit
+        self._sock: socket.socket | None = None
+        self._rfile = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+
+    def connect(self) -> "ClusterClient":
+        sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    def __enter__(self) -> "ClusterClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Protocol
+
+    def request(self, payload: dict) -> dict:
+        """Send one frame, wait for its response frame (raw, ok or not).
+
+        Failures before the frame is written raise
+        :class:`UnsentRequestError` (safe to retry verbatim); failures
+        after it raise :class:`ConnectionError` (the server may have
+        applied the request even though no response arrived).
+        """
+        if self._sock is None:
+            raise UnsentRequestError("client is not connected")
+        frame = json.dumps(payload).encode("utf-8") + b"\n"
+        with self._lock:
+            try:
+                self._sock.sendall(frame)
+            except OSError as exc:
+                raise UnsentRequestError(f"wire send failed: {exc}") from exc
+            try:
+                line = self._rfile.readline(self.line_limit)
+            except OSError as exc:
+                raise ConnectionError(f"wire response failed: {exc}") from exc
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def call(self, payload: dict) -> dict:
+        """Like :meth:`request`, raising :class:`WireError` on error frames."""
+        response = self.request(payload)
+        if not response.get("ok"):
+            raise WireError(
+                str(response.get("error_type", "Error")),
+                str(response.get("error", "")),
+            )
+        return response["result"]
+
+    # ------------------------------------------------------------------ #
+    # Convenience ops
+
+    def ping(self) -> bool:
+        return self.call({"op": "ping"}) == "pong"
+
+    def tables(self) -> list[str]:
+        return self.call({"op": "tables"})["tables"]
+
+    def stat(self, table: str) -> dict:
+        return self.call({"op": "stat", "table": table})
+
+    def query(self, sql: str) -> dict:
+        return self.call({"op": "query", "sql": sql})
+
+    def ingest(self, table: str, rows: Table | dict, coalesce: bool = True) -> dict:
+        payload = table_payload(rows) if isinstance(rows, Table) else rows
+        return self.call(
+            {"op": "ingest", "table": table, "rows": payload, "coalesce": coalesce}
+        )
+
+    def register(
+        self,
+        table: Table,
+        params: PairwiseHistParams | None = None,
+        partition_size: int | None = None,
+    ) -> dict:
+        request: dict = {
+            "op": "register",
+            "table": table.name,
+            "rows": table_payload(table),
+            "schema": schema_payload(table.schema),
+        }
+        if params is not None:
+            request["params"] = params_payload(params)
+        if partition_size is not None:
+            request["partition_size"] = partition_size
+        return self.call(request)
+
+    def drop(self, table: str) -> dict:
+        return self.call({"op": "drop", "table": table})
+
+    def checkpoint(self) -> dict:
+        return self.call({"op": "checkpoint"})
+
+    def persist(self) -> int:
+        return self.call({"op": "persist"})["last_lsn"]

@@ -1,26 +1,41 @@
 """Binary codecs for the durable-storage subsystem.
 
-Everything the recovery path needs that is not already covered by the
-synopsis serialization (:mod:`repro.core.serialization`) is encoded here:
-table schemas, fitted pre-processors, raw row batches (the WAL payloads),
-GreedyGD configuration and the per-table catalog entries a snapshot
-writes.  All framing is explicit little-endian ``struct`` packing —
-no pickle, so payloads are stable across Python versions and safe to read
-from untrusted data directories.
+Two layers live here:
+
+* **Shared framing primitives** — length-prefixed strings (4-byte and
+  2-byte flavours), length-prefixed byte blobs, framed numpy arrays (two
+  historical headers, both kept byte-identical), bit-packed boolean
+  bitmaps and the count-prefixed blob sequences every multi-part payload
+  uses.  These are the *single* source of framing truth:
+  :mod:`repro.core.serialization` (synopsis payloads),
+  :mod:`repro.gd.partitioned` (GD partition dumps) and
+  :mod:`repro.storage.snapshot` all build on them, so the three on-disk
+  formats can no longer drift apart.  This module therefore sits at the
+  bottom of the dependency stack — anything outside :mod:`repro.data`
+  and numpy is imported lazily inside the functions that need it.
+* **Durable-storage payload codecs** — table schemas, fitted
+  pre-processors, raw row batches (the WAL payloads), GreedyGD
+  configuration and the per-table catalog entries a snapshot writes.
+
+All framing is explicit little-endian ``struct`` packing — no pickle, so
+payloads are stable across Python versions and safe to read from
+untrusted data directories.
 """
 
 from __future__ import annotations
 
 import struct
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..core.params import PairwiseHistParams
-from ..core.serialization import deserialize_params, serialize_params
 from ..data.schema import ColumnSchema, ColumnType, TableSchema
 from ..data.table import Table
-from ..gd.greedygd import GreedyGDConfig
-from ..gd.preprocessor import ColumnTransform, Preprocessor
+
+if TYPE_CHECKING:  # heavyweight imports stay lazy at runtime (see docstring)
+    from ..core.params import PairwiseHistParams
+    from ..gd.greedygd import GreedyGDConfig
+    from ..gd.preprocessor import Preprocessor
 
 _NULL_STRING = 0xFFFFFFFF
 
@@ -51,6 +66,18 @@ def unpack_optional_string(buffer: memoryview, offset: int) -> tuple[str | None,
     if length == _NULL_STRING:
         return None, offset + 4
     offset += 4
+    return bytes(buffer[offset : offset + length]).decode("utf-8"), offset + length
+
+
+def pack_short_string(text: str) -> bytes:
+    """2-byte-length string framing (the synopsis / GD-partition flavour)."""
+    raw = text.encode("utf-8")
+    return struct.pack("<H", len(raw)) + raw
+
+
+def unpack_short_string(buffer: memoryview, offset: int) -> tuple[str, int]:
+    (length,) = struct.unpack_from("<H", buffer, offset)
+    offset += 2
     return bytes(buffer[offset : offset + length]).decode("utf-8"), offset + length
 
 
@@ -97,6 +124,54 @@ def unpack_bool_array(buffer: memoryview, offset: int) -> tuple[np.ndarray, int]
     packed = np.frombuffer(buffer[offset : offset + nbytes], dtype=np.uint8)
     mask = np.unpackbits(packed, count=length).astype(bool) if length else np.zeros(0, dtype=bool)
     return mask, offset + nbytes
+
+
+def frame_blobs(blobs: list[bytes]) -> bytes:
+    """Count-prefixed blob sequence: ``<I`` count, then ``<Q`` length + bytes
+    per blob.  The layout shared by partitioned synopsis payloads, snapshot
+    catalogs and snapshot partition files."""
+    framed = [struct.pack("<I", len(blobs))]
+    for blob in blobs:
+        framed.append(struct.pack("<Q", len(blob)))
+        framed.append(blob)
+    return b"".join(framed)
+
+
+def unframe_blobs(buffer: memoryview | bytes, offset: int = 0) -> tuple[list[bytes], int]:
+    """Inverse of :func:`frame_blobs`; returns the blobs and the end offset."""
+    buffer = memoryview(buffer)
+    (count,) = struct.unpack_from("<I", buffer, offset)
+    offset += 4
+    blobs: list[bytes] = []
+    for _ in range(count):
+        (length,) = struct.unpack_from("<Q", buffer, offset)
+        offset += 8
+        blobs.append(bytes(buffer[offset : offset + length]))
+        offset += length
+    return blobs, offset
+
+
+def pack_ndarray8(arr: np.ndarray) -> bytes:
+    """Frame a numpy array with a fixed 8-byte dtype header (the GD
+    partition-dump flavour): ``<8s`` dtype string, ``<B`` ndim, ``<Q``
+    shape entries, ``<Q`` byte length, raw C-order bytes."""
+    arr = np.ascontiguousarray(arr)
+    header = struct.pack("<8sB", arr.dtype.str.encode("ascii"), arr.ndim)
+    shape = struct.pack(f"<{arr.ndim}Q", *arr.shape)
+    raw = arr.tobytes()
+    return header + shape + struct.pack("<Q", len(raw)) + raw
+
+
+def unpack_ndarray8(buffer: memoryview, offset: int) -> tuple[np.ndarray, int]:
+    dtype_raw, ndim = struct.unpack_from("<8sB", buffer, offset)
+    offset += struct.calcsize("<8sB")
+    shape = struct.unpack_from(f"<{ndim}Q", buffer, offset)
+    offset += 8 * ndim
+    (length,) = struct.unpack_from("<Q", buffer, offset)
+    offset += 8
+    dtype = np.dtype(dtype_raw.rstrip(b"\x00").decode("ascii"))
+    arr = np.frombuffer(buffer[offset : offset + length], dtype=dtype).reshape(shape).copy()
+    return arr, offset + length
 
 
 # --------------------------------------------------------------------------- #
@@ -151,7 +226,7 @@ def decode_schema(buffer: memoryview, offset: int = 0) -> tuple[TableSchema, int
 # Preprocessor
 
 
-def encode_preprocessor(preprocessor: Preprocessor) -> bytes:
+def encode_preprocessor(preprocessor: "Preprocessor") -> bytes:
     parts = [struct.pack("<I", len(preprocessor.transforms))]
     for name, t in preprocessor.transforms.items():
         parts.append(pack_string(name))
@@ -162,7 +237,9 @@ def encode_preprocessor(preprocessor: Preprocessor) -> bytes:
     return b"".join(parts)
 
 
-def decode_preprocessor(buffer: memoryview, offset: int = 0) -> tuple[Preprocessor, int]:
+def decode_preprocessor(buffer: memoryview, offset: int = 0) -> tuple["Preprocessor", int]:
+    from ..gd.preprocessor import ColumnTransform, Preprocessor
+
     (count,) = struct.unpack_from("<I", buffer, offset)
     offset += 4
     transforms: dict[str, ColumnTransform] = {}
@@ -226,7 +303,7 @@ def decode_table(buffer: memoryview, offset: int = 0) -> tuple[Table, int]:
 # GreedyGD configuration
 
 
-def encode_gd_config(config: GreedyGDConfig) -> bytes:
+def encode_gd_config(config: "GreedyGDConfig") -> bytes:
     return struct.pack(
         "<qqBB",
         config.search_rows,
@@ -236,7 +313,9 @@ def encode_gd_config(config: GreedyGDConfig) -> bytes:
     )
 
 
-def decode_gd_config(buffer: memoryview, offset: int = 0) -> tuple[GreedyGDConfig, int]:
+def decode_gd_config(buffer: memoryview, offset: int = 0) -> tuple["GreedyGDConfig", int]:
+    from ..gd.greedygd import GreedyGDConfig
+
     search_rows, max_dev, early, warm = struct.unpack_from("<qqBB", buffer, offset)
     offset += struct.calcsize("<qqBB")
     return (
@@ -255,14 +334,18 @@ def decode_gd_config(buffer: memoryview, offset: int = 0) -> tuple[GreedyGDConfi
 
 
 def encode_register_payload(
-    table: Table, params: PairwiseHistParams, partition_size: int
+    table: Table, params: "PairwiseHistParams", partition_size: int
 ) -> bytes:
+    from ..core.serialization import serialize_params
+
     return b"".join(
         [struct.pack("<q", partition_size), serialize_params(params), encode_table(table)]
     )
 
 
-def decode_register_payload(payload: bytes) -> tuple[Table, PairwiseHistParams, int]:
+def decode_register_payload(payload: bytes) -> tuple[Table, "PairwiseHistParams", int]:
+    from ..core.serialization import deserialize_params
+
     buffer = memoryview(payload)
     (partition_size,) = struct.unpack_from("<q", buffer, 0)
     params, offset = deserialize_params(buffer, 8)

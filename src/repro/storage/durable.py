@@ -312,7 +312,10 @@ class DurableDatabase(Database):
             name=loaded.name,
             store=store,
             params=loaded.params,
-            partition_synopses=list(loaded.partition_synopses),
+            # Kept as the snapshot's lazy sequence: per-partition synopses
+            # hydrate on first ingest touch, not at open() (queries only
+            # need the merged synopsis installed below).
+            partition_synopses=loaded.partition_synopses,
             engine=engine,
             synopsis_builds=loaded.synopsis_builds,
             committed_partitions=store.partitions,

@@ -25,11 +25,11 @@ from pathlib import Path
 
 from ..core.params import PairwiseHistParams
 from ..core.serialization import (
+    LazyPartitionSynopses,
     deserialize,
     deserialize_catalog,
     deserialize_manifest,
     deserialize_params,
-    deserialize_partitioned,
     serialize,
     serialize_catalog,
     serialize_manifest,
@@ -152,23 +152,11 @@ def _decode_table_meta(payload: bytes):
 
 
 def _frame_blobs(blobs: list[bytes]) -> bytes:
-    framed = [struct.pack("<I", len(blobs))]
-    for blob in blobs:
-        framed.append(struct.pack("<Q", len(blob)))
-        framed.append(blob)
-    return b"".join(framed)
+    return codec.frame_blobs(blobs)
 
 
 def _unframe_blobs(payload: bytes) -> list[bytes]:
-    buffer = memoryview(payload)
-    (count,) = struct.unpack_from("<I", buffer, 0)
-    offset = 4
-    blobs: list[bytes] = []
-    for _ in range(count):
-        (length,) = struct.unpack_from("<Q", buffer, offset)
-        offset += 8
-        blobs.append(bytes(buffer[offset : offset + length]))
-        offset += length
+    blobs, _ = codec.unframe_blobs(payload)
     return blobs
 
 
@@ -322,7 +310,9 @@ def _load(
         )
         blobs = _unframe_blobs(payloads[f"table-{index:05d}.partitions"])
         partitions = [load_partition(b, name, schema, preprocessor) for b in blobs]
-        synopses = deserialize_partitioned(payloads[f"table-{index:05d}.synopses"])
+        # Per-partition synopses hydrate on first ingest touch (queries run
+        # off the merged payload), keeping query-only restarts fast.
+        synopses = LazyPartitionSynopses(payloads[f"table-{index:05d}.synopses"])
         merged_payload = payloads.get(f"table-{index:05d}.merged")
         merged = deserialize(merged_payload) if merged_payload is not None else None
         tables.append(

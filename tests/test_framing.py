@@ -1,0 +1,200 @@
+"""Framing-consolidation pins: one helper set, byte-identical formats.
+
+PR 5 consolidated the three binary-framing flavours (``core.serialization``
+pack helpers, ``storage.codec``, the GD partition dump) onto the shared
+helper set in :mod:`repro.storage.codec`.  These tests pin the on-disk
+byte layouts against *independent* inline reimplementations of the legacy
+framing, so a future refactor of the shared helpers cannot silently
+change any format — recovery of old data directories depends on it.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+from conftest import make_simple_table
+
+from repro.core.params import PairwiseHistParams
+from repro.core.serialization import (
+    LazyPartitionSynopses,
+    deserialize_catalog,
+    deserialize_partitioned,
+    serialize,
+    serialize_catalog,
+    serialize_partitioned,
+)
+from repro.gd.partitioned import PartitionedStore, dump_partition, load_partition
+from repro.service.database import Database
+from repro.storage import codec
+
+
+# --------------------------------------------------------------------------- #
+# Legacy framing, reimplemented inline (the pre-consolidation byte layouts)
+
+
+def legacy_short_string(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    return struct.pack("<H", len(raw)) + raw
+
+
+def legacy_frame_blobs(blobs: list[bytes]) -> bytes:
+    framed = [struct.pack("<I", len(blobs))]
+    for blob in blobs:
+        framed.append(struct.pack("<Q", len(blob)))
+        framed.append(blob)
+    return b"".join(framed)
+
+
+def legacy_ndarray8(arr: np.ndarray) -> bytes:
+    arr = np.ascontiguousarray(arr)
+    header = struct.pack("<8sB", arr.dtype.str.encode("ascii"), arr.ndim)
+    shape = struct.pack(f"<{arr.ndim}Q", *arr.shape)
+    raw = arr.tobytes()
+    return header + shape + struct.pack("<Q", len(raw)) + raw
+
+
+def legacy_bool_array(mask: np.ndarray) -> bytes:
+    mask = np.asarray(mask, dtype=bool)
+    return struct.pack("<Q", len(mask)) + np.packbits(mask).tobytes()
+
+
+# --------------------------------------------------------------------------- #
+# Primitive-level pins
+
+
+def test_short_string_layout_pinned():
+    for text in ("", "x", "columna", "ünïcode"):
+        assert codec.pack_short_string(text) == legacy_short_string(text)
+        got, end = codec.unpack_short_string(
+            memoryview(codec.pack_short_string(text) + b"trailer"), 0
+        )
+        assert got == text
+        assert end == len(codec.pack_short_string(text))
+
+
+def test_frame_blobs_layout_pinned():
+    blobs = [b"", b"a", b"0123456789" * 7]
+    assert codec.frame_blobs(blobs) == legacy_frame_blobs(blobs)
+    decoded, end = codec.unframe_blobs(codec.frame_blobs(blobs) + b"!!")
+    assert decoded == blobs
+    assert end == len(codec.frame_blobs(blobs))
+
+
+def test_ndarray8_layout_pinned():
+    arrays = [
+        np.arange(7, dtype=np.int64),
+        np.arange(6, dtype=np.uint8).reshape(2, 3),
+        np.array([], dtype=np.float64),
+        np.linspace(0, 1, 5),
+    ]
+    for arr in arrays:
+        framed = codec.pack_ndarray8(arr)
+        assert framed == legacy_ndarray8(arr)
+        got, end = codec.unpack_ndarray8(memoryview(framed + b"xx"), 0)
+        np.testing.assert_array_equal(got, arr)
+        assert got.dtype == arr.dtype and end == len(framed)
+
+
+def test_bool_array_layout_pinned():
+    for mask in (np.zeros(0, bool), np.array([True]), np.arange(19) % 3 == 0):
+        framed = codec.pack_bool_array(mask)
+        assert framed == legacy_bool_array(mask)
+        got, end = codec.unpack_bool_array(memoryview(framed + b"x"), 0)
+        np.testing.assert_array_equal(got, mask)
+        assert end == len(framed)
+
+
+# --------------------------------------------------------------------------- #
+# Format-level pins (the consumers of the shared helpers)
+
+
+@pytest.fixture(scope="module")
+def managed_table():
+    table = make_simple_table(rows=1200, seed=9, name="framed")
+    database = Database(
+        default_params=PairwiseHistParams.with_defaults(sample_size=1200, seed=2),
+        partition_size=500,
+    )
+    return database.register(table)
+
+
+def test_partition_dump_layout_pinned(managed_table):
+    partition = managed_table.store.partitions[0]
+    payload = dump_partition(partition)
+    split = partition.split
+    expected = [b"GDP1"]
+    for arr in (
+        split.bases,
+        split.base_ids,
+        split.deviations,
+        split.deviation_bits,
+        split.total_bits,
+    ):
+        expected.append(legacy_ndarray8(arr))
+    expected.append(struct.pack("<I", len(partition._column_order)))
+    for name in partition._column_order:
+        expected.append(legacy_short_string(name))
+        expected.append(legacy_bool_array(partition.null_masks[name]))
+    assert payload == b"".join(expected)
+
+    loaded = load_partition(
+        payload, "framed", managed_table.store.schema, managed_table.store.preprocessor
+    )
+    assert loaded.num_rows == partition.num_rows
+    assert dump_partition(loaded) == payload
+
+
+def test_partitioned_synopsis_framing_pinned(managed_table):
+    synopses = list(managed_table.partition_synopses)
+    payload = serialize_partitioned(synopses)
+    blobs = [serialize(s) for s in synopses]
+    assert payload == b"PWHP" + legacy_frame_blobs(blobs)
+    # PWHP round trip is the identity on the payload bytes.
+    assert serialize_partitioned(deserialize_partitioned(payload)) == payload
+
+
+def test_catalog_framing_pinned():
+    entries = [b"alpha", b"", b"gamma" * 9]
+    payload = serialize_catalog(entries)
+    assert payload == b"PWHC" + legacy_frame_blobs(entries)
+    assert deserialize_catalog(payload) == entries
+
+
+def test_lazy_partitioned_payload_round_trips_without_decoding(managed_table):
+    payload = serialize_partitioned(list(managed_table.partition_synopses))
+    lazy = LazyPartitionSynopses(payload)
+    assert len(lazy) == managed_table.num_partitions
+    assert not lazy.hydrated
+    # Re-serializing an untouched lazy sequence is the identity (no decode).
+    assert serialize_partitioned(lazy) == payload
+    assert not lazy.hydrated
+    # First element access hydrates; the decoded synopses round-trip.
+    first = lazy[0]
+    assert lazy.hydrated
+    assert serialize(first) == serialize(managed_table.partition_synopses[0])
+    assert serialize_partitioned(list(lazy)) == payload
+
+
+def test_store_append_unaffected_by_shared_framing(managed_table):
+    """Appending after a dump/load cycle still works (framing is faithful)."""
+    store = managed_table.store
+    dumped = [dump_partition(p) for p in store.partitions]
+    loaded = [
+        load_partition(b, store.table_name, store.schema, store.preprocessor)
+        for b in dumped
+    ]
+    rebuilt = PartitionedStore(
+        table_name=store.table_name,
+        schema=store.schema,
+        preprocessor=store.preprocessor,
+        partition_size=store.partition_size,
+        partitions=loaded,
+        _column_order=store.column_order,
+        _config=store._config,
+    )
+    extra = make_simple_table(rows=120, seed=10, name="framed")
+    affected = rebuilt.append(extra)
+    assert affected
+    assert rebuilt.num_rows == store.num_rows + 120
