@@ -15,6 +15,8 @@ output capturing and can be pasted into EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
+import math
 import os
 from pathlib import Path
 
@@ -38,3 +40,27 @@ def record(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n{text}\n")
+
+
+def _jsonable(value):
+    """NaN/inf are not valid JSON; encode them as null, recursively."""
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def record_json(name: str, payload: dict) -> None:
+    """Persist a machine-readable result next to the rendered ``.txt`` table.
+
+    Written to ``benchmarks/results/<name>.json`` so dashboards and
+    regression tooling can track latency percentiles / throughput numbers
+    without screen-scraping the fixed-width tables.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(_jsonable(payload), indent=2, sort_keys=True) + "\n"
+    )

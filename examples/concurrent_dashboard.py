@@ -7,11 +7,15 @@ load.  This example stands up the full concurrent stack:
   reader-writer locks, copy-on-write synopsis refresh),
 * the :class:`~repro.service.AsyncQueryService` coroutine front end with
   its coalescing ingest queue,
-* a :class:`~repro.service.QueryServer` speaking newline-delimited JSON
-  over TCP,
+* a :class:`~repro.service.QueryServer` speaking both negotiated wire
+  dialects on one port — binary pipelined frames and the JSON-lines
+  fallback,
 
 then drives it with several concurrent dashboard sessions issuing SQL
-over the wire while a writer task streams new rows in.  Queries keep
+over the wire while a writer task streams new rows in.  Half the
+sessions use the legacy JSON client, half the binary
+:class:`~repro.service.PipelinedClient` — the server sniffs each
+connection's first bytes, so both coexist transparently.  Queries keep
 answering at full speed through the ingest stream — the writer only takes
 each table's write lock for the final synopsis swap.
 
@@ -25,6 +29,7 @@ from repro import (
     AsyncQueryClient,
     AsyncQueryService,
     PairwiseHistParams,
+    PipelinedClient,
     QueryServer,
     load_dataset,
 )
@@ -55,6 +60,32 @@ async def dashboard(host: str, port: int, session: int, latencies: list) -> int:
     return QUERIES_PER_DASHBOARD
 
 
+async def binary_dashboard(
+    host: str, port: int, session: int, latencies: list
+) -> int:
+    """The same session over the binary pipelined protocol.
+
+    The blocking client runs in a worker thread so the server's event
+    loop keeps serving; one refresh submits the whole SQL rotation as
+    in-flight frames and waits for them together.
+    """
+
+    def drive() -> int:
+        refreshes = QUERIES_PER_DASHBOARD // len(DASHBOARD_SQL)
+        with PipelinedClient(host, port) as client:
+            for _ in range(refreshes):
+                began = time.perf_counter()
+                futures = [client.submit_query(sql) for sql in DASHBOARD_SQL]
+                for future in futures:
+                    future.result(timeout=30.0)
+                elapsed = time.perf_counter() - began
+                latencies.extend([elapsed / len(futures)] * len(futures))
+                time.sleep(0.002)  # render time between refreshes
+        return refreshes * len(DASHBOARD_SQL)
+
+    return await asyncio.to_thread(drive)
+
+
 async def writer(service: AsyncQueryService, source) -> None:
     """Stream batches in; concurrent small appends coalesce automatically."""
     for index in range(INGEST_BATCHES):
@@ -82,17 +113,22 @@ async def main() -> None:
         )
         async with QueryServer(service) as server:
             host, port = server.address
-            print(f"serving newline-delimited JSON on {host}:{port}")
+            print(
+                f"serving binary pipelined frames + JSON-lines on {host}:{port}"
+            )
             print(
                 f"driving {DASHBOARDS} dashboards x {QUERIES_PER_DASHBOARD} "
-                f"queries with background ingest\n"
+                f"queries (half JSON-lines, half pipelined binary) with "
+                f"background ingest\n"
             )
             latencies: list[float] = []
             started = time.perf_counter()
             results = await asyncio.gather(
                 writer(service, table),
                 *[
-                    dashboard(host, port, session, latencies)
+                    (binary_dashboard if session % 2 else dashboard)(
+                        host, port, session, latencies
+                    )
                     for session in range(DASHBOARDS)
                 ],
             )

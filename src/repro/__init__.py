@@ -57,6 +57,8 @@ from .service import (
     Database,
     IngestResult,
     ManagedTable,
+    OverloadedError,
+    PipelinedClient,
     QueryServer,
     QueryService,
     QueryServiceSystem,
@@ -104,6 +106,8 @@ __all__ = [
     "Database",
     "IngestResult",
     "ManagedTable",
+    "OverloadedError",
+    "PipelinedClient",
     "QueryServer",
     "QueryService",
     "QueryServiceSystem",

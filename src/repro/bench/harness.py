@@ -188,6 +188,23 @@ def run_suite(
 # Concurrency benchmark: queries/sec under parallel clients + background ingest
 
 
+def latency_percentiles(latencies_seconds: list[float]) -> dict[str, float]:
+    """p50/p90/p99 of per-request latencies, in milliseconds.
+
+    The machine-readable summary every latency benchmark emits; an empty
+    sample yields NaNs rather than raising so a failed run still writes a
+    well-formed payload.
+    """
+    if not latencies_seconds:
+        return {"p50_ms": float("nan"), "p90_ms": float("nan"), "p99_ms": float("nan")}
+    p50, p90, p99 = np.percentile(np.asarray(latencies_seconds), [50, 90, 99])
+    return {
+        "p50_ms": float(p50) * 1e3,
+        "p90_ms": float(p90) * 1e3,
+        "p99_ms": float(p99) * 1e3,
+    }
+
+
 @dataclass
 class ThroughputMeasurement:
     """One closed-loop throughput run: N clients, optional ingest stream."""
@@ -504,6 +521,8 @@ class ShardedThroughputMeasurement:
     ingests: int
     ingested_rows: int
     wall_seconds: float
+    #: Per-query wall latencies (seconds) across every client thread.
+    query_latencies: list[float] = field(default_factory=list)
 
     @property
     def queries_per_second(self) -> float:
@@ -530,6 +549,21 @@ class ShardedThroughputMeasurement:
             return 0.0
         return (self.queries + self.ingested_rows) / self.wall_seconds
 
+    def payload(self) -> dict:
+        """Machine-readable summary (throughput + latency percentiles)."""
+        return {
+            "mode": self.mode,
+            "num_clients": self.num_clients,
+            "queries": self.queries,
+            "ingests": self.ingests,
+            "ingested_rows": self.ingested_rows,
+            "wall_seconds": self.wall_seconds,
+            "queries_per_second": self.queries_per_second,
+            "ingested_rows_per_second": self.ingested_rows_per_second,
+            "combined_ops_per_second": self.combined_ops_per_second,
+            "latency": latency_percentiles(self.query_latencies),
+        }
+
 
 def _drive_closed_loop(
     execute_query,
@@ -549,6 +583,7 @@ def _drive_closed_loop(
     """
     stop = threading.Event()
     completed = [0] * num_clients
+    latencies: list[list[float]] = [[] for _ in range(num_clients)]
     ingests = [0]
     ingested_rows = [0]
     failures: list[BaseException] = []
@@ -575,7 +610,9 @@ def _drive_closed_loop(
         try:
             while time.perf_counter() < deadline[0]:
                 sql = sql_queries[(worker + step * num_clients) % len(sql_queries)]
+                began = time.perf_counter()
                 execute_query(worker, sql)
+                latencies[worker].append(time.perf_counter() - began)
                 completed[worker] += 1
                 step += 1
         except BaseException as exc:  # pragma: no cover - surfaced below
@@ -605,6 +642,7 @@ def _drive_closed_loop(
         ingests=ingests[0],
         ingested_rows=ingested_rows[0],
         wall_seconds=wall_seconds,
+        query_latencies=[sample for worker in latencies for sample in worker],
     )
 
 
@@ -619,6 +657,7 @@ def run_sharded_benchmark(
     num_clients: int = 4,
     duration_seconds: float = 8.0,
     ingest_interval_seconds: float = 0.25,
+    result_cache_size: int | None = None,
 ) -> list[ShardedThroughputMeasurement]:
     """Single-process server vs an ``num_shards``-worker subprocess cluster.
 
@@ -629,6 +668,11 @@ def run_sharded_benchmark(
     connection per client); the cluster through the scatter-gather front
     end over the same protocol to each worker — so every operation pays
     its deployment's real wire cost.
+
+    ``result_cache_size`` applies to every worker on both deployments
+    (``None`` keeps the server default; ``0`` disables the result cache
+    so the measurement stays a measure of synopsis evaluation rather than
+    cache-hit serving).
     """
     from pathlib import Path
 
@@ -646,6 +690,7 @@ def run_sharded_benchmark(
         partition_size=partition_size,
         checkpoint_interval=3600.0,
         workers_per_shard=num_clients,
+        result_cache_size=result_cache_size,
     )
     try:
         handle = supervisor.spawn(0)
@@ -685,6 +730,7 @@ def run_sharded_benchmark(
         worker_options={
             "checkpoint_interval": 3600.0,
             "workers_per_shard": num_clients,
+            "result_cache_size": result_cache_size,
         },
     )
     try:

@@ -36,7 +36,7 @@ from ..core.params import PairwiseHistParams
 from ..data.schema import TableSchema
 from ..data.table import Table
 from ..sql.ast import Query
-from ..sql.parser import parse_query
+from ..sql.parser import parse_query_cached
 from ..service.wire import UnsentRequestError
 from ..storage.cluster import ClusterLayout, ClusterManifest, ClusterTableMeta
 from .gather import gather_groups, gather_scalar, plan_query
@@ -159,6 +159,11 @@ class ClusterQueryService:
         self._catalog: dict[str, ClusterTable] = {}
         #: Guards catalog dict mutations + manifest writes (register/drop).
         self._catalog_mutex = threading.Lock()
+        #: One lock per shard serializing revival: with multiplexed
+        #: channels, one worker crash fails *every* in-flight caller at
+        #: once — without the lock each would restart the worker, leaking
+        #: N-1 orphaned processes.
+        self._revive_locks = [threading.Lock() for _ in range(num_shards)]
         self._closed = False
         if self.layout is not None:
             existing = self.layout.read_manifest()
@@ -302,30 +307,49 @@ class ClusterQueryService:
         non-idempotent caller (ingest) passes ``False`` and resolves the
         ambiguity itself.
         """
+        generation = getattr(self.shards[index], "generation", None)
         try:
             return fn()
         except UnsentRequestError:
-            self._revive(index)
+            self._revive(index, generation)
             return fn()
         except _SHARD_FAILURES:
-            self._revive(index)
+            self._revive(index, generation)
             if not retry_after_revival:
                 raise
             return fn()
 
-    def _revive(self, index: int) -> None:
+    def _revive(self, index: int, generation: int | None = None) -> None:
+        """Bring shard ``index`` back after a connection-level failure.
+
+        With multiplexed channels, one crash fails many concurrent
+        callers simultaneously; the per-shard lock serializes them, the
+        generation check makes later arrivals observe (not repeat) the
+        first caller's revival, and a wire ping distinguishes a dead
+        worker (restart + recover) from a mere channel loss — e.g. our
+        side of the socket was closed by a concurrent reconnect — where
+        restarting would needlessly discard a healthy worker.
+        """
         if self.supervisor is None:
             raise  # local shards share our process; a crash here is ours
-        handle = self.supervisor.restart(index)
-        self.shards[index].reconnect(handle.port)
-        if self.layout is None:
-            # Memory-only workers lose their tables with the process; drop
-            # them from the routing sets so the next ingest re-registers.
-            for table in self._catalog.values():
-                with table.mutex:
-                    table.registered.discard(index)
-                    table.shard_rows.pop(index, None)
-                    table.shard_partitions.pop(index, None)
+        shard = self.shards[index]
+        with self._revive_locks[index]:
+            if generation is not None and shard.generation != generation:
+                return  # another caller already revived this shard
+            if self.supervisor.ping(index):
+                shard.reconnect()
+                return
+            handle = self.supervisor.restart(index)
+            shard.reconnect(handle.port)
+            if self.layout is None:
+                # Memory-only workers lose their tables with the process;
+                # drop them from the routing sets so the next ingest
+                # re-registers.
+                for table in self._catalog.values():
+                    with table.mutex:
+                        table.registered.discard(index)
+                        table.shard_rows.pop(index, None)
+                        table.shard_partitions.pop(index, None)
 
     def _scatter(self, indices: list[int], fn):
         """Run ``fn(index, shard)`` on many shards concurrently (with the
@@ -467,15 +491,16 @@ class ClusterQueryService:
 
         def _ingest(index: int, shard) -> dict:
             part = parts[index]
+            generation = getattr(shard, "generation", None)
             try:
                 return _apply(index, shard, part)
             except UnsentRequestError:
-                self._revive(index)
+                self._revive(index, generation)
                 return _apply(index, shard, part)
             except _SHARD_FAILURES as failure:
                 with entry.mutex:
                     expected_before = entry.shard_rows.get(index, 0)
-                self._revive(index)
+                self._revive(index, generation)
                 try:
                     stat = shard.stat(table_name)
                 except KeyError:
@@ -527,7 +552,7 @@ class ClusterQueryService:
     def execute(self, query: Query | str):
         """Scatter one query to every registered shard; gather the answers."""
         if isinstance(query, str):
-            query = parse_query(query)
+            query = parse_query_cached(query)
         entry = self.table(query.table)
         plan = plan_query(query)
         sql = str(plan.scattered)

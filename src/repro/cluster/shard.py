@@ -11,8 +11,8 @@ small interface so the same scatter-gather code drives both flavours:
 * :class:`ProcessShard` — a :class:`~repro.service.server.QueryServer`
   subprocess managed by a
   :class:`~repro.cluster.supervisor.ShardSupervisor`, spoken to over the
-  existing JSON-lines protocol via
-  :class:`~repro.service.wire.ClusterClient`.  This is the
+  binary pipelined protocol via
+  :class:`~repro.service.wire.PipelinedClient`.  This is the
   multi-process deployment the GIL cannot bound.
 
 ``execute`` returns shard answers normalised to
@@ -23,13 +23,16 @@ flavour produced them.
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from pathlib import Path
 
 from ..core.params import PairwiseHistParams
 from ..data.table import Table
 from ..service.concurrency import ConcurrentQueryService
 from ..service.database import Database
-from ..service.wire import ClusterClient, WireError
+from ..service.wire import PipelinedClient, WireError
 from ..sql.ast import UnsupportedQueryError
 from ..sql.parser import ParseError
 from .gather import ShardAnswer
@@ -129,74 +132,149 @@ class LocalShard:
             close()
 
 
+class _QueryBatcher:
+    """Coalesce concurrent queries to one shard into batch frames.
+
+    At most one ``OP_QUERY_BATCH`` frame is outstanding at a time;
+    queries arriving while it is in flight accumulate and ship as the
+    next frame the moment the current one completes.  Under concurrent
+    load this drives frames-per-query toward one per shard, while a lone
+    query still departs immediately (as a batch of one).
+    """
+
+    def __init__(self, channel: PipelinedClient) -> None:
+        self._channel = channel
+        self._mutex = threading.Lock()
+        self._pending: list[tuple[str, Future]] = []
+        self._inflight = False
+
+    def submit(self, sql: str) -> Future:
+        """Future of this query's per-item outcome dict."""
+        future: Future = Future()
+        with self._mutex:
+            self._pending.append((sql, future))
+            if self._inflight:
+                return future  # rides the next frame when the current lands
+            self._inflight = True
+        self._send_next()
+        return future
+
+    def _send_next(self) -> None:
+        with self._mutex:
+            batch, self._pending = self._pending, []
+            if not batch:
+                self._inflight = False
+                return
+        try:
+            frame = self._channel.submit_query_batch([sql for sql, _ in batch])
+        except BaseException as exc:
+            with self._mutex:
+                self._inflight = False
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        # Completes on the channel's reader thread, which then ships
+        # whatever accumulated in the meantime.
+        frame.add_done_callback(lambda done: self._complete(batch, done))
+
+    def _complete(self, batch: list[tuple[str, Future]], frame: Future) -> None:
+        try:
+            items = frame.result()
+        except BaseException as exc:
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+        else:
+            for (_, future), item in zip(batch, items):
+                if not future.done():
+                    future.set_result(item)
+            for _, future in batch[len(items) :]:
+                if not future.done():
+                    future.set_exception(
+                        ConnectionError("batch response was truncated")
+                    )
+        self._send_next()
+
+
 class ProcessShard:
     """A worker shard living in a supervised ``QueryServer`` subprocess.
 
-    Wire connections are pooled: each in-flight operation borrows its own
-    connection (opening one on demand), so a slow call — a shard ingest
-    recompressing its tail — never head-of-line blocks the queries
-    scattering to the same worker.  The pool's steady-state size is the
-    front end's concurrency, a handful of sockets.
+    The shard is spoken to over two multiplexed binary channels
+    (:class:`~repro.service.wire.PipelinedClient`): a *query* channel
+    whose concurrent scatters coalesce into batch frames via
+    :class:`_QueryBatcher`, and a *bulk* channel for ingest/register —
+    so an MB-sized row frame (or a slow tail recompression) never
+    head-of-line blocks the small query frames sharing the shard.  Two
+    sockets replace the old per-operation connection pool.
     """
 
     def __init__(
         self, index: int, host: str, port: int, timeout: float | None = 600.0
     ) -> None:
-        import threading
-
         self.index = index
         self.host = host
         self.port = port
         self.timeout = timeout
         self._mutex = threading.Lock()
-        self._free: list[ClusterClient] = []
         self._generation = 0
-        # Open (and keep) one connection eagerly so construction fails
-        # fast when the worker is not listening.
-        self._give_back(self._generation, self._connect())
+        # Connect eagerly so construction fails fast when the worker is
+        # not listening.
+        self._query_channel, self._bulk_channel = self._open_channels()
+        self._batcher = _QueryBatcher(self._query_channel)
 
-    def _connect(self) -> ClusterClient:
-        return ClusterClient(self.host, self.port, timeout=self.timeout).connect()
+    def _connect(self) -> PipelinedClient:
+        return PipelinedClient(self.host, self.port, timeout=self.timeout).connect()
 
-    def _borrow(self) -> tuple[int, ClusterClient]:
-        with self._mutex:
-            generation = self._generation
-            if self._free:
-                return generation, self._free.pop()
-        return generation, self._connect()
-
-    def _give_back(self, generation: int, client: ClusterClient) -> None:
-        with self._mutex:
-            if generation == self._generation:
-                self._free.append(client)
-                return
-        client.close()  # stale generation: the worker was restarted
-
-    def _call(self, fn):
-        generation, client = self._borrow()
+    def _open_channels(self) -> tuple[PipelinedClient, PipelinedClient]:
+        query = self._connect()
         try:
-            result = fn(client)
-        except WireError as error:
-            # The error arrived as a well-formed response frame; the
-            # connection is still in protocol sync and reusable.
-            self._give_back(generation, client)
-            _raise_wire_error(error)
+            bulk = self._connect()
         except BaseException:
-            client.close()
+            query.close()
             raise
-        self._give_back(generation, client)
-        return result
+        return query, bulk
+
+    @property
+    def generation(self) -> int:
+        """Bumped by every reconnect; revival logic uses it to detect that
+        another caller already revived the shard."""
+        return self._generation
 
     def reconnect(self, port: int | None = None) -> None:
-        """Point the pool at a restarted worker; stale sockets are dropped."""
+        """Point the channels at a restarted worker.
+
+        In-flight requests on the old channels fail with
+        :class:`ConnectionError` when they are closed — their callers
+        observe the bumped generation and retry on the new channels.
+        """
+        if port is not None:
+            self.port = port
+        query, bulk = self._open_channels()
         with self._mutex:
             self._generation += 1
-            stale, self._free = self._free, []
-            if port is not None:
-                self.port = port
-        for client in stale:
-            client.close()
-        self._give_back(self._generation, self._connect())
+            stale = (self._query_channel, self._bulk_channel)
+            self._query_channel, self._bulk_channel = query, bulk
+            self._batcher = _QueryBatcher(query)
+        for channel in stale:
+            channel.close()
+
+    def _channels(self) -> tuple[PipelinedClient, PipelinedClient, _QueryBatcher]:
+        with self._mutex:
+            return self._query_channel, self._bulk_channel, self._batcher
+
+    def _await(self, future: Future):
+        try:
+            return future.result(timeout=self.timeout)
+        except FutureTimeoutError:
+            raise ConnectionError(f"no shard response within {self.timeout}s") from None
+
+    def _call(self, fn):
+        query_channel, bulk_channel, _ = self._channels()
+        try:
+            return fn(query_channel, bulk_channel)
+        except WireError as error:
+            _raise_wire_error(error)
 
     # ------------------------------------------------------------------ #
 
@@ -207,16 +285,22 @@ class ProcessShard:
         partition_size: int | None = None,
     ) -> dict:
         return self._call(
-            lambda client: client.register(
+            lambda query, bulk: bulk.register(
                 table, params=params, partition_size=partition_size
             )
         )
 
     def ingest(self, table_name: str, rows: Table) -> dict:
-        return self._call(lambda client: client.ingest(table_name, rows))
+        # Binary table frame on the bulk channel: the rows travel as the
+        # codec format, no JSON row lists.
+        return self._call(lambda query, bulk: bulk.ingest(table_name, rows))
 
     def execute(self, sql: str):
-        payload = self._call(lambda client: client.query(sql))
+        _, _, batcher = self._channels()
+        item = self._await(batcher.submit(sql))
+        if not item["ok"]:
+            _raise_wire_error(WireError(str(item["error_type"]), str(item["error"])))
+        payload = item["result"]
         if "groups" in payload:
             return "groups", {
                 label: [ShardAnswer.from_wire(r) for r in results]
@@ -225,23 +309,23 @@ class ProcessShard:
         return "scalar", [ShardAnswer.from_wire(r) for r in payload["results"]]
 
     def table_names(self) -> list[str]:
-        return self._call(lambda client: client.tables())
+        return self._call(lambda query, bulk: query.tables())
 
     def stat(self, table_name: str) -> dict:
-        return self._call(lambda client: client.stat(table_name))
+        return self._call(lambda query, bulk: query.stat(table_name))
 
     def drop(self, table_name: str) -> None:
-        self._call(lambda client: client.drop(table_name))
+        self._call(lambda query, bulk: query.drop(table_name))
 
     def checkpoint(self) -> dict:
-        return self._call(lambda client: client.checkpoint())
+        return self._call(lambda query, bulk: query.checkpoint())
 
     def persist(self) -> int:
-        return self._call(lambda client: client.persist())
+        return self._call(lambda query, bulk: query.persist())
 
     def close(self) -> None:
         with self._mutex:
             self._generation += 1
-            stale, self._free = self._free, []
-        for client in stale:
-            client.close()
+            channels = (self._query_channel, self._bulk_channel)
+        for channel in channels:
+            channel.close()

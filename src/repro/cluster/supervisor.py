@@ -64,6 +64,7 @@ class ShardSupervisor:
         checkpoint_interval: float = 30.0,
         coalesce_delay: float = 0.0,
         workers_per_shard: int = 2,
+        result_cache_size: int | None = None,
         fsync: bool = False,
         startup_timeout: float = 120.0,
         python: str = sys.executable,
@@ -75,6 +76,7 @@ class ShardSupervisor:
         self.checkpoint_interval = checkpoint_interval
         self.coalesce_delay = coalesce_delay
         self.workers_per_shard = workers_per_shard
+        self.result_cache_size = result_cache_size
         self.fsync = fsync
         self.startup_timeout = startup_timeout
         self.python = python
@@ -107,6 +109,8 @@ class ShardSupervisor:
         ]
         if self.partition_size is not None:
             argv += ["--partition-size", str(self.partition_size)]
+        if self.result_cache_size is not None:
+            argv += ["--result-cache-size", str(self.result_cache_size)]
         data_dir = self.data_dirs[index]
         if data_dir is not None:
             argv += [

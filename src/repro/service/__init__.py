@@ -6,9 +6,11 @@ SQL front end routing queries by table name.  For parallel clients,
 :class:`ConcurrentQueryService` adds per-table reader-writer locks with
 copy-on-write ingestion, :class:`AsyncQueryService` exposes the same API
 as coroutines (with a coalescing ingest queue), and :class:`QueryServer`
-serves it over a newline-delimited-JSON TCP protocol.
-:class:`QueryServiceSystem` plugs a service table into the benchmark
-harness.
+serves it over TCP speaking two negotiated dialects: the binary pipelined
+protocol (:mod:`repro.service.framing`, spoken by
+:class:`PipelinedClient`) and the legacy newline-delimited-JSON fallback
+(:class:`ClusterClient`).  :class:`QueryServiceSystem` plugs a service
+table into the benchmark harness.
 """
 
 from .concurrency import (
@@ -25,12 +27,14 @@ from .database import (
 )
 from .server import AsyncQueryClient, AsyncQueryService, QueryServer
 from .system import QueryServiceSystem
-from .wire import ClusterClient, WireError
+from .wire import ClusterClient, OverloadedError, PipelinedClient, WireError
 
 __all__ = [
     "AsyncQueryClient",
     "AsyncQueryService",
     "ClusterClient",
+    "OverloadedError",
+    "PipelinedClient",
     "WireError",
     "ConcurrentQueryService",
     "Database",

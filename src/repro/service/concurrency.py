@@ -32,7 +32,7 @@ from contextlib import contextmanager
 from ..core.params import PairwiseHistParams
 from ..data.table import Table
 from ..sql.ast import Query
-from ..sql.parser import parse_query
+from ..sql.parser import parse_query_cached
 from .database import Database, IngestResult, ManagedTable, QueryService
 
 
@@ -214,24 +214,24 @@ class ConcurrentQueryService(QueryService):
     # Queries (shared / read side)
 
     def execute(self, query: Query | str):
-        if isinstance(query, str):
-            query = parse_query(query)
+        parsed = parse_query_cached(query) if isinstance(query, str) else query
         while True:
-            lock = self.lock_for(query.table)
+            lock = self.lock_for(parsed.table)
             with lock.read_locked():
-                if not self._lock_is_current(query.table, lock):
+                if not self._lock_is_current(parsed.table, lock):
                     continue  # dropped/re-registered underneath us; retry
-                return self.database.engine(query.table).execute(query)
+                # Cache lookup runs under the read lock, so the synopsis
+                # version it keys on cannot be swapped mid-execution.
+                return self._cached_execute(query, scalar=False)
 
     def execute_scalar(self, query: Query | str):
-        if isinstance(query, str):
-            query = parse_query(query)
+        parsed = parse_query_cached(query) if isinstance(query, str) else query
         while True:
-            lock = self.lock_for(query.table)
+            lock = self.lock_for(parsed.table)
             with lock.read_locked():
-                if not self._lock_is_current(query.table, lock):
+                if not self._lock_is_current(parsed.table, lock):
                     continue
-                return self.database.engine(query.table).execute_scalar(query)
+                return self._cached_execute(query, scalar=True)
 
     # ------------------------------------------------------------------ #
     # Maintenance (exclusive / write side)

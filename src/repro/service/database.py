@@ -19,7 +19,10 @@ generalised to many tables with bounded-cost appends.
 
 from __future__ import annotations
 
+import itertools
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..core.builder import build_partition_synopses, snapshot_partition_input
@@ -31,7 +34,7 @@ from ..data.table import Table
 from ..gd.greedygd import GreedyGDConfig
 from ..gd.partitioned import DEFAULT_PARTITION_SIZE, PartitionedStore
 from ..sql.ast import Query
-from ..sql.parser import parse_query
+from ..sql.parser import parse_query_cached
 
 
 @dataclass
@@ -94,6 +97,13 @@ class ManagedTable:
     #: ``store.partitions`` — otherwise it would persist rows whose WAL
     #: record does not exist yet and recovery would apply them twice.
     committed_partitions: list | None = None
+    #: Version of the published (queryable) synopsis, drawn from one
+    #: global monotonic counter at registration and re-drawn by every
+    #: ingest commit that swaps synopses in.  Result-cache keys include
+    #: it, so the commit pointer swap doubles as cache invalidation —
+    #: and a drop + re-register under the same name can never collide
+    #: with stale entries (the counter never repeats).
+    synopsis_version: int = 0
 
     @property
     def num_rows(self) -> int:
@@ -127,6 +137,11 @@ class ManagedTable:
 
 class Database:
     """Catalog + maintenance layer: registration, ingestion, synopsis refresh."""
+
+    #: One process-wide monotonic source of synopsis versions (class-level
+    #: on purpose: versions stay unique across databases and across drop +
+    #: re-register cycles, so stale cache keys can never alias).
+    _version_counter = itertools.count(1)
 
     def __init__(
         self,
@@ -219,6 +234,7 @@ class Database:
             engine=engine,
             synopsis_builds=len(synopses),
             committed_partitions=store.partitions,
+            synopsis_version=next(self._version_counter),
         )
 
     def _publish_registration(self, managed: ManagedTable, source: Table) -> None:
@@ -346,6 +362,9 @@ class Database:
             managed.committed_partitions = staged.partitions
             managed.synopsis_builds += len(staged.affected)
             managed.engine.refresh_synopsis(staged.merged)
+            # The swap invalidates every cached result for this table:
+            # caches key on (table, version), and this version is fresh.
+            managed.synopsis_version = next(self._version_counter)
         return IngestResult(
             table_name=staged.table_name,
             appended_rows=staged.appended_rows,
@@ -382,18 +401,40 @@ class Database:
         return DurableDatabase.open(path, **kwargs)
 
 
+#: Default bound on the per-service query-result cache (entries, not
+#: bytes; results are a handful of floats each).
+DEFAULT_RESULT_CACHE_SIZE = 256
+
+
 class QueryService:
     """SQL front end: parse, route by table name, execute, ingest.
+
+    Repeated queries are served from a synopsis-version-keyed result
+    cache: cache keys include the owning table's
+    :attr:`ManagedTable.synopsis_version`, so the commit pointer swap at
+    the end of every ingest *is* the invalidation — a hit is always the
+    exact object an uncached execution of the same SQL would return.
+    ``result_cache_size=0`` disables the cache.
 
     >>> service = QueryService()
     >>> service.register_table(table)            # doctest: +SKIP
     >>> service.execute("SELECT AVG(x) FROM t WHERE y > 3")  # doctest: +SKIP
     """
 
-    def __init__(self, database: Database | None = None, **database_kwargs) -> None:
+    def __init__(
+        self,
+        database: Database | None = None,
+        result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+        **database_kwargs,
+    ) -> None:
         if database is not None and database_kwargs:
             raise ValueError("pass either a Database or its constructor arguments")
         self.database = database or Database(**database_kwargs)
+        self.result_cache_size = result_cache_size
+        self._result_cache: OrderedDict[tuple, object] = OrderedDict()
+        self._result_cache_lock = threading.Lock()
+        #: Per-table ``{"hits": n, "misses": n}`` counters (observability).
+        self.cache_stats: dict[str, dict[str, int]] = {}
 
     # ------------------------------------------------------------------ #
     # Catalog passthrough
@@ -418,6 +459,7 @@ class QueryService:
 
     def drop_table(self, table_name: str) -> None:
         self.database.drop(table_name)
+        self._purge_cache(table_name)
 
     def ingest(self, table_name: str, rows: Table) -> IngestResult:
         """Stream new rows into a registered table (incremental refresh)."""
@@ -451,18 +493,60 @@ class QueryService:
 
     def _route(self, query: Query | str) -> tuple[Query, PairwiseHistEngine]:
         if isinstance(query, str):
-            query = parse_query(query)
+            query = parse_query_cached(query)
         return query, self.database.engine(query.table)
+
+    def _execute_engine(self, query: Query, scalar: bool):
+        engine = self.database.engine(query.table)
+        return engine.execute_scalar(query) if scalar else engine.execute(query)
+
+    def _cached_execute(self, query: Query | str, scalar: bool = False):
+        """Execute through the synopsis-version-keyed result cache.
+
+        The key is ``(table, synopsis_version, scalar, sql_text)``; the
+        raw SQL string keys directly (no canonicalisation — dashboards
+        re-send byte-identical text).  A result written under version v
+        after a concurrent commit bumped to v+1 is harmless: lookups use
+        the current version, so the stale entry can never be served and
+        simply ages out of the LRU.
+        """
+        if isinstance(query, str):
+            sql, parsed = query, parse_query_cached(query)
+        else:
+            sql, parsed = str(query), query
+        if self.result_cache_size <= 0:
+            return self._execute_engine(parsed, scalar)
+        version = self.database.table(parsed.table).synopsis_version
+        key = (parsed.table, version, scalar, sql)
+        stats = self.cache_stats.setdefault(parsed.table, {"hits": 0, "misses": 0})
+        with self._result_cache_lock:
+            cached = self._result_cache.get(key)
+            if cached is not None:
+                self._result_cache.move_to_end(key)
+                stats["hits"] += 1
+                return cached
+        result = self._execute_engine(parsed, scalar)
+        with self._result_cache_lock:
+            stats["misses"] += 1
+            self._result_cache[key] = result
+            self._result_cache.move_to_end(key)
+            while len(self._result_cache) > self.result_cache_size:
+                self._result_cache.popitem(last=False)
+        return result
+
+    def _purge_cache(self, table_name: str) -> None:
+        with self._result_cache_lock:
+            for key in [k for k in self._result_cache if k[0] == table_name]:
+                del self._result_cache[key]
+            self.cache_stats.pop(table_name, None)
 
     def execute(self, query: Query | str) -> list[AqpResult] | dict[str, list[AqpResult]]:
         """Execute a query against the table it names."""
-        query, engine = self._route(query)
-        return engine.execute(query)
+        return self._cached_execute(query, scalar=False)
 
     def execute_scalar(self, query: Query | str) -> AqpResult:
         """Execute a non-GROUP BY query, returning the first aggregation."""
-        query, engine = self._route(query)
-        return engine.execute_scalar(query)
+        return self._cached_execute(query, scalar=True)
 
     def query(self, query: Query | str) -> list[AqpResult] | dict[str, list[AqpResult]]:
         """Alias for :meth:`execute` matching the async front end's verb."""

@@ -1,0 +1,289 @@
+"""Binary wire frames for the fast query-path protocol.
+
+The JSON-lines protocol pays a per-request JSON encode/decode plus a
+strict request-response turnaround per connection.  This module defines
+the length-prefixed binary frames that replace it on the hot path, built
+on the framing primitives consolidated in :mod:`repro.storage.codec` so
+the wire format shares one source of framing truth with the on-disk
+formats.
+
+Negotiation
+-----------
+A binary client opens its connection by sending the 4-byte magic
+:data:`MAGIC`.  JSON-lines requests always start with ``{`` (0x7B), so
+the server sniffs the first bytes of every connection: magic → binary
+frames, anything else → the legacy newline-delimited-JSON protocol.
+Existing clients keep working unchanged.
+
+Frame layout (all integers little-endian)
+-----------------------------------------
+Request frame::
+
+    <B op> <Q request_id> <I payload_len> payload
+
+Response frame::
+
+    <B status> <Q request_id> <I payload_len> payload
+
+Responses are matched to requests by ``request_id`` and may arrive in
+any order — clients issue many in-flight requests per connection (true
+pipelining) and the server answers each as soon as its work completes.
+
+Ops / payloads
+--------------
+* ``OP_PING`` (1) — empty payload; OK response payload is empty.
+* ``OP_QUERY`` (2) — ``pack_string(sql)``; OK payload is a result block.
+* ``OP_QUERY_BATCH`` (3) — ``<I n>`` then n × ``pack_string(sql)``; OK
+  payload is ``<I n>`` then n × (``<B ok>`` + result block | error
+  block).  One frame carries many queries — the cluster front end
+  coalesces concurrent scatters to the same shard into one of these.
+* ``OP_INGEST`` (4) — ``<B coalesce>`` + ``pack_string(table)`` +
+  ``codec.encode_table(rows)`` (the lossless binary table codec — no
+  JSON round trip for row payloads); OK payload is a JSON object.
+* ``OP_JSON`` (5) — a JSON-encoded request object (the same shape the
+  JSON-lines protocol accepts), for cold-path ops (register, drop,
+  tables, stat, checkpoint, persist); OK payload is the JSON result.
+
+Result block::
+
+    <B kind>            0 = scalar list, 1 = GROUP BY
+    scalar list: <I n> then per result:
+        pack_string(aggregation label)
+        <3d> value, lower, upper   (NaN encodes JSON null)
+        pack_optional_string(group)
+    groups: <I n> then per group: pack_string(label) + scalar list
+
+Error block: ``pack_string(error_type) + pack_string(message)``.
+
+Statuses: ``STATUS_OK`` (0), ``STATUS_ERROR`` (1) and
+``STATUS_OVERLOADED`` (2) — the admission-control shed response, whose
+payload is an error block with type ``"Overloaded"``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+
+from ..data.table import Table
+from ..storage.codec import (
+    decode_table,
+    encode_table,
+    pack_optional_string,
+    pack_string,
+    unpack_optional_string,
+    unpack_string,
+)
+
+#: Connection preamble a binary client sends once after connecting.
+MAGIC = b"AQP1"
+
+#: Frame header: op/status byte, request id, payload length.
+HEADER = struct.Struct("<BQI")
+HEADER_SIZE = HEADER.size
+
+# Request ops
+OP_PING = 1
+OP_QUERY = 2
+OP_QUERY_BATCH = 3
+OP_INGEST = 4
+OP_JSON = 5
+
+# Response statuses
+STATUS_OK = 0
+STATUS_ERROR = 1
+STATUS_OVERLOADED = 2
+
+#: error_type carried by STATUS_OVERLOADED frames (and the JSON-lines
+#: equivalent ``{"ok": false, "error_type": "Overloaded"}``).
+OVERLOADED_ERROR_TYPE = "Overloaded"
+
+
+def encode_frame(tag: int, request_id: int, payload: bytes = b"") -> bytes:
+    """One complete frame (request or response — the layout is shared)."""
+    return HEADER.pack(tag, request_id, len(payload)) + payload
+
+
+def decode_header(header: bytes) -> tuple[int, int, int]:
+    """(op_or_status, request_id, payload_len) from a 13-byte header."""
+    return HEADER.unpack(header)
+
+
+# --------------------------------------------------------------------------- #
+# Request payloads
+
+
+def encode_query(sql: str) -> bytes:
+    return pack_string(sql)
+
+
+def decode_query(payload: bytes) -> str:
+    sql, _ = unpack_string(memoryview(payload), 0)
+    return sql
+
+
+def encode_query_batch(sqls: list[str]) -> bytes:
+    return struct.pack("<I", len(sqls)) + b"".join(pack_string(s) for s in sqls)
+
+
+def decode_query_batch(payload: bytes) -> list[str]:
+    buffer = memoryview(payload)
+    (count,) = struct.unpack_from("<I", buffer, 0)
+    offset = 4
+    sqls: list[str] = []
+    for _ in range(count):
+        sql, offset = unpack_string(buffer, offset)
+        sqls.append(sql)
+    return sqls
+
+
+def encode_ingest(table_name: str, rows: Table, coalesce: bool = True) -> bytes:
+    return (
+        struct.pack("<B", bool(coalesce))
+        + pack_string(table_name)
+        + encode_table(rows)
+    )
+
+
+def decode_ingest(payload: bytes) -> tuple[str, Table, bool]:
+    buffer = memoryview(payload)
+    (coalesce,) = struct.unpack_from("<B", buffer, 0)
+    table_name, offset = unpack_string(buffer, 1)
+    rows, _ = decode_table(buffer, offset)
+    return table_name, rows, bool(coalesce)
+
+
+def encode_json(obj) -> bytes:
+    return json.dumps(obj).encode("utf-8")
+
+
+def decode_json(payload: bytes):
+    return json.loads(payload)
+
+
+# --------------------------------------------------------------------------- #
+# Result / error payloads
+
+_KIND_SCALAR = 0
+_KIND_GROUPS = 1
+
+
+def _pack_double(value) -> bytes:
+    """A float slot; ``None`` (JSON null) is carried as NaN."""
+    return struct.pack("<d", float("nan") if value is None else float(value))
+
+
+def _unpack_double(buffer: memoryview, offset: int):
+    (value,) = struct.unpack_from("<d", buffer, offset)
+    return (None if math.isnan(value) else value), offset + 8
+
+
+def _encode_result_list(results: list[dict]) -> bytes:
+    parts = [struct.pack("<I", len(results))]
+    for result in results:
+        parts.append(pack_string(result["aggregation"]))
+        parts.append(_pack_double(result["value"]))
+        parts.append(_pack_double(result["lower"]))
+        parts.append(_pack_double(result["upper"]))
+        parts.append(pack_optional_string(result.get("group")))
+    return b"".join(parts)
+
+
+def _decode_result_list(buffer: memoryview, offset: int) -> tuple[list[dict], int]:
+    (count,) = struct.unpack_from("<I", buffer, offset)
+    offset += 4
+    results: list[dict] = []
+    for _ in range(count):
+        aggregation, offset = unpack_string(buffer, offset)
+        value, offset = _unpack_double(buffer, offset)
+        lower, offset = _unpack_double(buffer, offset)
+        upper, offset = _unpack_double(buffer, offset)
+        group, offset = unpack_optional_string(buffer, offset)
+        results.append(
+            {
+                "aggregation": aggregation,
+                "value": value,
+                "lower": lower,
+                "upper": upper,
+                "group": group,
+            }
+        )
+    return results, offset
+
+
+def encode_result(result: dict) -> bytes:
+    """Binary encoding of one ``server.encode_result`` payload dict."""
+    if "groups" in result:
+        parts = [struct.pack("<BI", _KIND_GROUPS, len(result["groups"]))]
+        for label, results in result["groups"].items():
+            parts.append(pack_string(label))
+            parts.append(_encode_result_list(results))
+        return b"".join(parts)
+    return struct.pack("<B", _KIND_SCALAR) + _encode_result_list(result["results"])
+
+
+def decode_result(payload: bytes) -> dict:
+    """Inverse of :func:`encode_result` — same dict shape as the JSON path."""
+    buffer = memoryview(payload)
+    (kind,) = struct.unpack_from("<B", buffer, 0)
+    if kind == _KIND_SCALAR:
+        results, _ = _decode_result_list(buffer, 1)
+        return {"results": results}
+    if kind != _KIND_GROUPS:
+        raise ValueError(f"unknown result kind {kind}")
+    (count,) = struct.unpack_from("<I", buffer, 1)
+    offset = 5
+    groups: dict[str, list[dict]] = {}
+    for _ in range(count):
+        label, offset = unpack_string(buffer, offset)
+        groups[label], offset = _decode_result_list(buffer, offset)
+    return {"groups": groups}
+
+
+def encode_error(error_type: str, message: str) -> bytes:
+    return pack_string(error_type) + pack_string(message)
+
+
+def decode_error(payload: bytes) -> tuple[str, str]:
+    buffer = memoryview(payload)
+    error_type, offset = unpack_string(buffer, 0)
+    message, _ = unpack_string(buffer, offset)
+    return error_type, message
+
+
+def encode_batch_response(items: list[dict]) -> bytes:
+    """Per-query outcomes of one ``OP_QUERY_BATCH`` frame.
+
+    Each item is either ``{"ok": True, "result": <result dict>}`` or
+    ``{"ok": False, "error_type": ..., "error": ...}``.
+    """
+    parts = [struct.pack("<I", len(items))]
+    for item in items:
+        if item.get("ok"):
+            block = encode_result(item["result"])
+            parts.append(struct.pack("<B", 1))
+        else:
+            block = encode_error(str(item["error_type"]), str(item["error"]))
+            parts.append(struct.pack("<B", 0))
+        parts.append(struct.pack("<I", len(block)))
+        parts.append(block)
+    return b"".join(parts)
+
+
+def decode_batch_response(payload: bytes) -> list[dict]:
+    buffer = memoryview(payload)
+    (count,) = struct.unpack_from("<I", buffer, 0)
+    offset = 4
+    items: list[dict] = []
+    for _ in range(count):
+        ok, length = struct.unpack_from("<BI", buffer, offset)
+        offset += 5
+        block = bytes(buffer[offset : offset + length])
+        offset += length
+        if ok:
+            items.append({"ok": True, "result": decode_result(block)})
+        else:
+            error_type, message = decode_error(block)
+            items.append({"ok": False, "error_type": error_type, "error": message})
+    return items

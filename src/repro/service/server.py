@@ -10,17 +10,31 @@ ingest queue whose drain task batches everything pending into a single
 tail-partition recompression, amortising the synopsis rebuild across
 writers (the paper's bounded-cost update, amortised once more).
 
-:class:`QueryServer` puts a newline-delimited-JSON TCP protocol in front
-of it (``asyncio.start_server``), so external clients can drive many
-tables at once:
+:class:`QueryServer` puts a TCP protocol in front of it
+(``asyncio.start_server``) speaking **two negotiated dialects** on one
+port (sniffed from the first bytes of each connection, see
+:mod:`repro.service.framing`):
+
+* the length-prefixed **binary pipelined protocol** — many in-flight
+  requests per connection, responses matched by request id, binary row
+  and result payloads (no JSON on the hot path);
+* the legacy **newline-delimited-JSON** protocol, kept as a fallback so
+  existing clients and scripts work unchanged:
 
     → {"op": "query",  "sql": "SELECT AVG(x) FROM t WHERE y > 3"}
     ← {"ok": true, "result": {"results": [{"value": ..., ...}]}}
 
 Supported ops: ``query``, ``ingest``, ``register``, ``drop``, ``tables``,
 ``ping``, ``checkpoint``, ``persist``.
-Errors come back as ``{"ok": false, "error": ..., "error_type": ...}`` —
-never as a dropped connection or a stack trace.
+Errors come back as ``{"ok": false, "error": ..., "error_type": ...}``
+(JSON) or a ``STATUS_ERROR`` frame (binary) — never as a dropped
+connection or a stack trace.
+
+The server also applies **admission control**: in-flight queries and
+ingests are counted against bounded limits, and work beyond them is shed
+immediately with an explicit ``Overloaded`` error frame
+(``STATUS_OVERLOADED`` in binary) instead of queueing without bound —
+the service degrades gracefully at overload rather than collapsing.
 
 Run it as a process with ``python -m repro.service --data-dir
 /var/lib/aqp``: the data directory makes the whole catalog durable (WAL +
@@ -33,6 +47,7 @@ from __future__ import annotations
 import asyncio
 import json
 import math
+import socket
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
 
@@ -43,9 +58,14 @@ from ..sql.ast import Query
 from ..sql.parser import ParseError
 from ..storage.checkpointer import BackgroundCheckpointer
 from ..storage.faults import maybe_crash
-from . import wire
+from . import framing, wire
 from .concurrency import ConcurrentQueryService
-from .database import Database, IngestResult, ManagedTable
+from .database import (
+    DEFAULT_RESULT_CACHE_SIZE,
+    Database,
+    IngestResult,
+    ManagedTable,
+)
 
 #: Coalesce at most this many rows into one batched tail recompression.
 DEFAULT_MAX_BATCH_ROWS = 65_536
@@ -58,6 +78,12 @@ DEFAULT_MAX_BATCH_DELAY = 0.0
 #: Per-line buffer limit for the TCP protocol (asyncio's default is 64 KiB,
 #: far smaller than a realistic ingest frame).
 DEFAULT_LINE_LIMIT = 32 * 1024 * 1024
+
+#: Admission-control defaults: in-flight requests past these limits are
+#: shed with an explicit ``Overloaded`` response instead of queueing.
+#: ``None`` disables a limit.  One batch frame counts as one query slot.
+DEFAULT_MAX_INFLIGHT_QUERIES = 256
+DEFAULT_MAX_INFLIGHT_INGESTS = 64
 
 
 class AsyncQueryService:
@@ -373,7 +399,11 @@ _CLIENT_ERRORS = (KeyError, ValueError, TypeError, ParseError)
 
 
 class QueryServer:
-    """Newline-delimited-JSON TCP server over an :class:`AsyncQueryService`.
+    """Dual-protocol TCP server over an :class:`AsyncQueryService`.
+
+    Each connection is sniffed: the :data:`~repro.service.framing.MAGIC`
+    preamble selects the binary pipelined protocol, anything else the
+    legacy JSON-lines dialect (see the module docstring).
 
     >>> server = QueryServer(async_service)          # doctest: +SKIP
     >>> await server.start()                         # doctest: +SKIP
@@ -386,13 +416,50 @@ class QueryServer:
         host: str = "127.0.0.1",
         port: int = 0,
         line_limit: int = DEFAULT_LINE_LIMIT,
+        max_inflight_queries: int | None = DEFAULT_MAX_INFLIGHT_QUERIES,
+        max_inflight_ingests: int | None = DEFAULT_MAX_INFLIGHT_INGESTS,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
         self.line_limit = line_limit
+        self.max_inflight_queries = max_inflight_queries
+        self.max_inflight_ingests = max_inflight_ingests
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.StreamWriter] = set()
+        #: In-flight request counts per admission class (event-loop-local,
+        #: so plain ints suffice — no locking).
+        self._inflight = {"query": 0, "ingest": 0}
+        #: Requests shed with an ``Overloaded`` response, per class.
+        self.shed_counts = {"query": 0, "ingest": 0}
+
+    # ------------------------------------------------------------------ #
+    # Admission control
+
+    def _limit_for(self, kind: str) -> int | None:
+        return (
+            self.max_inflight_ingests
+            if kind == "ingest"
+            else self.max_inflight_queries
+        )
+
+    def _admit(self, kind: str) -> bool:
+        """Reserve one in-flight slot, or refuse (caller sheds the request)."""
+        limit = self._limit_for(kind)
+        if limit is not None and self._inflight[kind] >= limit:
+            self.shed_counts[kind] += 1
+            return False
+        self._inflight[kind] += 1
+        return True
+
+    def _release(self, kind: str) -> None:
+        self._inflight[kind] -= 1
+
+    def _overloaded_message(self, kind: str) -> str:
+        return (
+            f"server is at its in-flight {kind} limit "
+            f"({self._limit_for(kind)}); retry later"
+        )
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -433,24 +500,29 @@ class QueryServer:
 
     async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
         self._connections.add(writer)
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            # Small request/response frames + Nagle's algorithm = up to
+            # ~40 ms artificial stalls; this workload is exactly that.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         try:
-            while True:
-                try:
-                    line = await reader.readline()
-                except ValueError as exc:
-                    # Line exceeded the buffer limit; the stream cannot be
-                    # re-synchronised, so answer with an error frame and
-                    # drop this connection only.
-                    writer.write(
-                        json.dumps(self._error(exc)).encode("utf-8") + b"\n"
-                    )
-                    await writer.drain()
-                    break
-                if not line:
-                    break
-                response = await self._respond(line)
-                writer.write(json.dumps(response).encode("utf-8") + b"\n")
-                await writer.drain()
+            # Negotiation sniff: binary clients lead with the 4-byte magic,
+            # JSON-lines requests start with '{'.  Read one byte at a time
+            # so a degenerate short first line (e.g. "{}\n") can never
+            # stall the sniff waiting for a fourth byte.
+            preamble = b""
+            while len(preamble) < len(framing.MAGIC):
+                byte = await reader.read(1)
+                if not byte:
+                    return
+                preamble += byte
+                if preamble == framing.MAGIC[: len(preamble)]:
+                    continue
+                break
+            if preamble == framing.MAGIC:
+                await self._serve_binary(reader, writer)
+            else:
+                await self._serve_json(reader, writer, first=preamble)
         except (ConnectionResetError, asyncio.IncompleteReadError):
             pass
         finally:
@@ -461,6 +533,201 @@ class QueryServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
+    async def _serve_json(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        first: bytes = b"",
+    ) -> None:
+        """The legacy newline-delimited-JSON loop (negotiated fallback).
+
+        ``first`` is whatever the negotiation sniff consumed; if it already
+        ends the first line, that request is served before reading again —
+        blocking in ``readline()`` first would deadlock a client awaiting
+        its first response.
+        """
+        pending = first
+        while True:
+            if pending.endswith(b"\n"):
+                line, pending = pending, b""
+            else:
+                try:
+                    rest = await reader.readline()
+                except ValueError as exc:
+                    # Line exceeded the buffer limit; the stream cannot be
+                    # re-synchronised, so answer with an error frame and
+                    # drop this connection only.
+                    writer.write(
+                        json.dumps(self._error(exc)).encode("utf-8") + b"\n"
+                    )
+                    await writer.drain()
+                    break
+                if not rest:
+                    break
+                line, pending = pending + rest, b""
+                if not line.endswith(b"\n"):
+                    break  # EOF mid-line
+            response = await self._respond(line)
+            writer.write(json.dumps(response).encode("utf-8") + b"\n")
+            await writer.drain()
+
+    async def _serve_binary(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """The pipelined binary loop: one task per frame, answers by id.
+
+        Frames are admitted (or shed) synchronously in arrival order, then
+        executed concurrently; each response is written as a single
+        ``write()`` as soon as its work completes, in whatever order that
+        happens — clients match responses to requests by id.
+        """
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(framing.HEADER_SIZE)
+                except asyncio.IncompleteReadError:
+                    break
+                op, request_id, payload_len = framing.decode_header(header)
+                if payload_len > self.line_limit:
+                    # readexactly() is not bounded by the stream limit the
+                    # way readline() is, so enforce it explicitly; the
+                    # stream cannot be re-synchronised after refusing.
+                    writer.write(
+                        framing.encode_frame(
+                            framing.STATUS_ERROR,
+                            request_id,
+                            framing.encode_error(
+                                "ValueError",
+                                f"frame payload of {payload_len} bytes exceeds "
+                                f"the {self.line_limit} byte limit",
+                            ),
+                        )
+                    )
+                    await writer.drain()
+                    break
+                payload = await reader.readexactly(payload_len)
+                kind = "ingest" if op == framing.OP_INGEST else "query"
+                request = None
+                if op == framing.OP_JSON:
+                    # Parse inline so admission classifies JSON-op ingests
+                    # correctly (and malformed JSON errors out cleanly).
+                    try:
+                        request = framing.decode_json(payload)
+                    except (
+                        json.JSONDecodeError,
+                        UnicodeDecodeError,
+                    ) as exc:
+                        writer.write(
+                            framing.encode_frame(
+                                framing.STATUS_ERROR,
+                                request_id,
+                                framing.encode_error(
+                                    type(exc).__name__, str(exc)
+                                ),
+                            )
+                        )
+                        await writer.drain()
+                        continue
+                    if isinstance(request, dict) and request.get("op") == "ingest":
+                        kind = "ingest"
+                if not self._admit(kind):
+                    writer.write(
+                        framing.encode_frame(
+                            framing.STATUS_OVERLOADED,
+                            request_id,
+                            framing.encode_error(
+                                framing.OVERLOADED_ERROR_TYPE,
+                                self._overloaded_message(kind),
+                            ),
+                        )
+                    )
+                    await writer.drain()
+                    continue
+                task = asyncio.ensure_future(
+                    self._serve_frame(
+                        writer, op, request_id, payload, kind, request
+                    )
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            if tasks:
+                for task in tasks:
+                    task.cancel()
+                await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def _serve_frame(
+        self,
+        writer: asyncio.StreamWriter,
+        op: int,
+        request_id: int,
+        payload: bytes,
+        kind: str,
+        request: dict | None,
+    ) -> None:
+        """Execute one admitted binary frame and write its response."""
+        try:
+            try:
+                body = await self._execute_binary_op(op, payload, request)
+                status = framing.STATUS_OK
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                # Same contract as JSON: errors are frames, never dropped
+                # connections or stack traces.
+                status = framing.STATUS_ERROR
+                message = exc.args[0] if exc.args else str(exc)
+                body = framing.encode_error(type(exc).__name__, str(message))
+            try:
+                writer.write(framing.encode_frame(status, request_id, body))
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError, RuntimeError):
+                pass  # client went away; nothing to answer
+        finally:
+            self._release(kind)
+
+    async def _execute_binary_op(
+        self, op: int, payload: bytes, request: dict | None
+    ) -> bytes:
+        if op == framing.OP_PING:
+            return b""
+        if op == framing.OP_QUERY:
+            sql = framing.decode_query(payload)
+            return framing.encode_result(encode_result(await self.service.query(sql)))
+        if op == framing.OP_QUERY_BATCH:
+            sqls = framing.decode_query_batch(payload)
+
+            async def run_one(sql: str) -> dict:
+                try:
+                    result = encode_result(await self.service.query(sql))
+                    return {"ok": True, "result": result}
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    message = exc.args[0] if exc.args else str(exc)
+                    return {
+                        "ok": False,
+                        "error_type": type(exc).__name__,
+                        "error": str(message),
+                    }
+
+            items = await asyncio.gather(*(run_one(sql) for sql in sqls))
+            return framing.encode_batch_response(list(items))
+        if op == framing.OP_INGEST:
+            table_name, rows, coalesce = framing.decode_ingest(payload)
+            result = await self.service.ingest(table_name, rows, coalesce=coalesce)
+            # Same crash drill as the JSON path: the batch is WAL-committed
+            # but the acknowledgement never leaves the process.  Cluster
+            # tests arm this to pin the front end's exactly-once recovery.
+            maybe_crash("server.ingest.before_ack")
+            return framing.encode_json(_encode_ingest(result))
+        if op == framing.OP_JSON:
+            if not isinstance(request, dict):
+                raise ValueError("requests must be JSON objects")
+            return framing.encode_json(await self._execute_op(request))
+        raise ValueError(f"unknown binary op {op}")
+
     async def _respond(self, line: bytes) -> dict:
         try:
             request = json.loads(line)
@@ -468,6 +735,13 @@ class QueryServer:
             return self._error(exc)
         if not isinstance(request, dict):
             return self._error(ValueError("requests must be JSON objects"))
+        kind = "ingest" if request.get("op") == "ingest" else "query"
+        if not self._admit(kind):
+            return {
+                "ok": False,
+                "error": self._overloaded_message(kind),
+                "error_type": framing.OVERLOADED_ERROR_TYPE,
+            }
         try:
             return {"ok": True, "result": await self._execute_op(request)}
         except _CLIENT_ERRORS as exc:
@@ -478,6 +752,8 @@ class QueryServer:
             # The documented contract: errors are frames, never dropped
             # connections or stack traces (e.g. a query racing close()).
             return self._error(exc)
+        finally:
+            self._release(kind)
 
     @staticmethod
     def _error(exc: Exception) -> dict:
@@ -584,6 +860,9 @@ class AsyncQueryClient:
         self._reader, self._writer = await asyncio.open_connection(
             self.host, self.port, limit=self.line_limit
         )
+        sock = self._writer.get_extra_info("socket")
+        if sock is not None:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         return self
 
     async def close(self) -> None:
@@ -681,7 +960,35 @@ def _build_arg_parser():
         "for more writers",
     )
     parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--result-cache-size",
+        type=int,
+        default=DEFAULT_RESULT_CACHE_SIZE,
+        help="entries in the synopsis-version-keyed result cache "
+        "(0 disables; with --shards this applies to every worker)",
+    )
+    parser.add_argument(
+        "--max-inflight-queries",
+        type=int,
+        default=DEFAULT_MAX_INFLIGHT_QUERIES,
+        help="admission control: queries in flight beyond this are shed "
+        "with an Overloaded error (0 disables the limit)",
+    )
+    parser.add_argument(
+        "--max-inflight-ingests",
+        type=int,
+        default=DEFAULT_MAX_INFLIGHT_INGESTS,
+        help="admission control: ingests in flight beyond this are shed "
+        "with an Overloaded error (0 disables the limit)",
+    )
     return parser
+
+
+def _admission_kwargs(args) -> dict:
+    return {
+        "max_inflight_queries": args.max_inflight_queries or None,
+        "max_inflight_ingests": args.max_inflight_ingests or None,
+    }
 
 
 async def serve_cluster(args) -> None:
@@ -702,6 +1009,7 @@ async def serve_cluster(args) -> None:
         "coalesce_delay": args.coalesce_delay,
         "workers_per_shard": args.workers,
         "fsync": args.fsync,
+        "result_cache_size": args.result_cache_size,
     }
     if args.data_dir and ClusterLayout(args.data_dir).read_manifest() is not None:
         cluster = ClusterQueryService.open(
@@ -736,7 +1044,7 @@ async def serve_cluster(args) -> None:
             cluster, max_workers=args.workers
         ) as front_end:
             async with QueryServer(
-                front_end, host=args.host, port=args.port
+                front_end, host=args.host, port=args.port, **_admission_kwargs(args)
             ) as server:
                 print(f"listening on {server.host}:{server.port}", flush=True)
                 await stop.wait()
@@ -780,7 +1088,9 @@ async def serve(args) -> None:
         )
     else:
         database = Database(partition_size=args.partition_size)
-    service = ConcurrentQueryService(database=database)
+    service = ConcurrentQueryService(
+        database=database, result_cache_size=args.result_cache_size
+    )
     checkpointer = (
         BackgroundCheckpointer(service, interval_seconds=args.checkpoint_interval)
         if args.data_dir
@@ -798,7 +1108,9 @@ async def serve(args) -> None:
         max_workers=args.workers,
         max_batch_delay=args.coalesce_delay,
     ) as async_service:
-        async with QueryServer(async_service, host=args.host, port=args.port) as server:
+        async with QueryServer(
+            async_service, host=args.host, port=args.port, **_admission_kwargs(args)
+        ) as server:
             if checkpointer is not None:
                 checkpointer.start()
             print(f"listening on {server.host}:{server.port}", flush=True)

@@ -1,12 +1,15 @@
-"""Synchronous JSON-lines wire client + payload helpers.
+"""Synchronous wire clients + payload helpers.
 
-:class:`ClusterClient` is the blocking counterpart of
-:class:`~repro.service.server.AsyncQueryClient`: it speaks the exact same
-newline-delimited-JSON protocol to a :class:`~repro.service.server.QueryServer`
-from plain threads — which is what the cluster front end
-(:mod:`repro.cluster`) needs to scatter one query to many worker shards
-from a thread pool without dragging an event loop around.  It is also a
-handy operational client for scripts and tests.
+Two blocking clients for :class:`~repro.service.server.QueryServer`:
+
+* :class:`ClusterClient` — the legacy newline-delimited-JSON client, one
+  request in flight per connection.  Kept as the negotiated fallback and
+  as a handy operational client for scripts and tests.
+* :class:`PipelinedClient` — the binary-protocol client
+  (:mod:`repro.service.framing`): many requests in flight per connection,
+  a background reader thread matches response frames to requests by id.
+  This is what the cluster front end (:mod:`repro.cluster`) multiplexes
+  its scatters over.
 
 The module additionally owns the JSON payload encodings shared by both
 ends of the protocol — tables, schemas and
@@ -20,12 +23,15 @@ import json
 import math
 import socket
 import threading
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
 
 import numpy as np
 
 from ..core.params import PairwiseHistParams
 from ..data.schema import ColumnSchema, ColumnType, TableSchema
 from ..data.table import Table
+from . import framing
 
 #: Mirrors the server's per-line buffer limit.
 DEFAULT_LINE_LIMIT = 32 * 1024 * 1024
@@ -120,6 +126,14 @@ class WireError(RuntimeError):
         super().__init__(f"{error_type}: {message}")
         self.error_type = error_type
         self.message = message
+
+
+class OverloadedError(WireError):
+    """The server shed this request at admission (``STATUS_OVERLOADED``).
+
+    The request was refused *before* any work started, so retrying later
+    is always safe — including for ingest.
+    """
 
 
 class UnsentRequestError(ConnectionError):
@@ -247,6 +261,289 @@ class ClusterClient:
         payload = table_payload(rows) if isinstance(rows, Table) else rows
         return self.call(
             {"op": "ingest", "table": table, "rows": payload, "coalesce": coalesce}
+        )
+
+    def register(
+        self,
+        table: Table,
+        params: PairwiseHistParams | None = None,
+        partition_size: int | None = None,
+    ) -> dict:
+        request: dict = {
+            "op": "register",
+            "table": table.name,
+            "rows": table_payload(table),
+            "schema": schema_payload(table.schema),
+        }
+        if params is not None:
+            request["params"] = params_payload(params)
+        if partition_size is not None:
+            request["partition_size"] = partition_size
+        return self.call(request)
+
+    def drop(self, table: str) -> dict:
+        return self.call({"op": "drop", "table": table})
+
+    def checkpoint(self) -> dict:
+        return self.call({"op": "checkpoint"})
+
+    def persist(self) -> int:
+        return self.call({"op": "persist"})["last_lsn"]
+
+
+# --------------------------------------------------------------------------- #
+# Pipelined binary client
+
+
+class PipelinedClient:
+    """Blocking binary-protocol client with true pipelining.
+
+    ``submit_*`` methods write one frame and return a
+    :class:`~concurrent.futures.Future` immediately — many requests ride
+    one connection concurrently, and a background reader thread resolves
+    each future as its response frame arrives (responses may come back in
+    any order; they are matched by request id).  The synchronous
+    conveniences (``query`` / ``ingest`` / ``call`` / ...) mirror
+    :class:`ClusterClient` and simply wait on their own future.
+
+    Error semantics match :class:`ClusterClient`: a failure *before* the
+    frame hits the socket raises :class:`UnsentRequestError` (safe to
+    retry verbatim); a connection failure afterwards fails the future
+    with a plain :class:`ConnectionError` (the server may have applied
+    the request).  Error frames raise :class:`WireError`; admission-shed
+    frames raise :class:`OverloadedError`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float | None = 30.0,
+        line_limit: int = DEFAULT_LINE_LIMIT,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.line_limit = line_limit
+        self._sock: socket.socket | None = None
+        self._rfile = None
+        self._reader: threading.Thread | None = None
+        self._send_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: dict[int, tuple[Future, int]] = {}
+        self._next_id = 0
+        self._closed = False
+        #: Set (under ``_pending_lock``) when the reader thread dies; any
+        #: later submit must refuse instead of writing into a socket whose
+        #: responses nobody will ever read.
+        self._dead_exc: Exception | None = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+
+    def connect(self) -> "PipelinedClient":
+        sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # The connect timeout must not apply to the reader's blocking
+        # read — an idle connection is not an error.  Per-request
+        # timeouts are enforced on the futures instead.
+        sock.settimeout(None)
+        sock.sendall(framing.MAGIC)
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+        self._closed = False
+        self._dead_exc = None
+        self._reader = threading.Thread(
+            target=self._read_loop, name="aqp-pipeline-reader", daemon=True
+        )
+        self._reader.start()
+        return self
+
+    def close(self) -> None:
+        self._closed = True
+        sock, rfile, reader = self._sock, self._rfile, self._reader
+        self._sock = self._rfile = self._reader = None
+        if sock is not None:
+            # Unblock the reader thread *before* closing the buffered
+            # file: rfile.close() needs the buffer lock the reader holds
+            # while blocked in readinto(), so closing it first deadlocks.
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        if reader is not None and reader is not threading.current_thread():
+            reader.join(timeout=1.0)
+        for closable in (rfile, sock):
+            if closable is not None:
+                try:
+                    closable.close()
+                except OSError:
+                    pass
+        self._fail_pending(ConnectionError("client closed"))
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None and not self._closed
+
+    def __enter__(self) -> "PipelinedClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Frame plumbing
+
+    def _submit(self, op: int, payload: bytes) -> Future:
+        """Write one request frame; its future resolves with the response."""
+        future: Future = Future()
+        with self._send_lock:
+            sock = self._sock
+            if sock is None or self._closed:
+                raise UnsentRequestError("client is not connected")
+            self._next_id += 1
+            request_id = self._next_id
+            # Register before sending so a same-thread-fast response can
+            # never race past its pending entry.  The dead-reader check
+            # shares the lock with _fail_pending, so either this entry is
+            # registered before the reader's drain (and gets failed by
+            # it), or the death is observed here — a future can never be
+            # orphaned between a dead reader and a successful send.
+            with self._pending_lock:
+                if self._dead_exc is not None:
+                    raise UnsentRequestError(
+                        f"wire reader died: {self._dead_exc}"
+                    ) from self._dead_exc
+                self._pending[request_id] = (future, op)
+            try:
+                sock.sendall(framing.encode_frame(op, request_id, payload))
+            except OSError as exc:
+                with self._pending_lock:
+                    self._pending.pop(request_id, None)
+                raise UnsentRequestError(f"wire send failed: {exc}") from exc
+        return future
+
+    def _read_loop(self) -> None:
+        rfile = self._rfile
+        try:
+            while True:
+                header = rfile.read(framing.HEADER_SIZE)
+                if len(header) < framing.HEADER_SIZE:
+                    raise ConnectionError("server closed the connection")
+                status, request_id, payload_len = framing.decode_header(header)
+                if payload_len > self.line_limit:
+                    raise ConnectionError(
+                        f"response frame of {payload_len} bytes exceeds the "
+                        f"{self.line_limit} byte limit"
+                    )
+                payload = rfile.read(payload_len) if payload_len else b""
+                if len(payload) < payload_len:
+                    raise ConnectionError("server closed the connection mid-frame")
+                with self._pending_lock:
+                    entry = self._pending.pop(request_id, None)
+                if entry is None:
+                    continue  # e.g. a duplicate/late frame; nobody waits on it
+                future, op = entry
+                if status == framing.STATUS_OK:
+                    try:
+                        result = self._decode_ok(op, payload)
+                    except Exception as exc:
+                        future.set_exception(exc)
+                    else:
+                        future.set_result(result)
+                else:
+                    error_type, message = framing.decode_error(payload)
+                    cls = (
+                        OverloadedError
+                        if status == framing.STATUS_OVERLOADED
+                        else WireError
+                    )
+                    future.set_exception(cls(error_type, message))
+        except Exception as exc:
+            if not isinstance(exc, ConnectionError):
+                exc = ConnectionError(f"wire reader failed: {exc}")
+            self._fail_pending(exc)
+
+    def _fail_pending(self, exc: Exception) -> None:
+        with self._pending_lock:
+            self._dead_exc = exc
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for future, _ in pending:
+            if not future.done():
+                future.set_exception(exc)
+
+    @staticmethod
+    def _decode_ok(op: int, payload: bytes):
+        if op == framing.OP_PING:
+            return True
+        if op == framing.OP_QUERY:
+            return framing.decode_result(payload)
+        if op == framing.OP_QUERY_BATCH:
+            return framing.decode_batch_response(payload)
+        return framing.decode_json(payload)  # OP_INGEST / OP_JSON
+
+    def _result(self, future: Future):
+        try:
+            return future.result(timeout=self.timeout)
+        except FutureTimeoutError:
+            # The request was sent; whether the server applied it is
+            # unknown — the ambiguous-outcome error, like a mid-flight
+            # connection loss.
+            raise ConnectionError(
+                f"no response within {self.timeout}s"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # Pipelined submissions
+
+    def submit_ping(self) -> Future:
+        return self._submit(framing.OP_PING, b"")
+
+    def submit_query(self, sql: str) -> Future:
+        """Future of a decoded result payload (same shape as the JSON path)."""
+        return self._submit(framing.OP_QUERY, framing.encode_query(sql))
+
+    def submit_query_batch(self, sqls: list[str]) -> Future:
+        """Future of per-query outcome dicts (``ok``/``result``/``error``)."""
+        return self._submit(framing.OP_QUERY_BATCH, framing.encode_query_batch(sqls))
+
+    def submit_ingest(self, table: str, rows: Table, coalesce: bool = True) -> Future:
+        """Binary ingest: rows travel as the codec table format, not JSON."""
+        return self._submit(
+            framing.OP_INGEST, framing.encode_ingest(table, rows, coalesce)
+        )
+
+    def submit_call(self, payload: dict) -> Future:
+        """Cold-path JSON op over a binary frame (register, drop, stat, ...)."""
+        return self._submit(framing.OP_JSON, framing.encode_json(payload))
+
+    # ------------------------------------------------------------------ #
+    # Synchronous conveniences (mirror ClusterClient)
+
+    def call(self, payload: dict) -> dict:
+        return self._result(self.submit_call(payload))
+
+    def ping(self) -> bool:
+        return self._result(self.submit_ping()) is True
+
+    def tables(self) -> list[str]:
+        return self.call({"op": "tables"})["tables"]
+
+    def stat(self, table: str) -> dict:
+        return self.call({"op": "stat", "table": table})
+
+    def query(self, sql: str) -> dict:
+        return self._result(self.submit_query(sql))
+
+    def query_batch(self, sqls: list[str]) -> list[dict]:
+        return self._result(self.submit_query_batch(sqls))
+
+    def ingest(self, table: str, rows: Table | dict, coalesce: bool = True) -> dict:
+        if isinstance(rows, Table):
+            return self._result(self.submit_ingest(table, rows, coalesce))
+        return self.call(
+            {"op": "ingest", "table": table, "rows": rows, "coalesce": coalesce}
         )
 
     def register(

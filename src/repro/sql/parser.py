@@ -16,6 +16,9 @@ and parentheses override precedence.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
+
 from .ast import (
     AggregateFunction,
     Aggregation,
@@ -192,6 +195,43 @@ class _Parser:
 def parse_query(sql: str) -> Query:
     """Parse a SQL string into a :class:`~repro.sql.ast.Query`."""
     return _Parser(tokenize(sql)).parse_query()
+
+
+#: Bound on the SQL-text → AST cache below (dashboards cycle through a
+#: small set of query strings; 512 is generous for that workload).
+PARSE_CACHE_SIZE = 512
+
+_parse_cache: OrderedDict[str, Query] = OrderedDict()
+_parse_cache_lock = threading.Lock()
+
+
+def parse_query_cached(sql: str) -> Query:
+    """Like :func:`parse_query`, memoized on the exact SQL text (LRU).
+
+    Sharing one :class:`~repro.sql.ast.Query` between callers is safe
+    because the AST is immutable in practice: every consumer that needs a
+    variant (e.g. the gather planner) builds one with
+    ``dataclasses.replace`` instead of mutating in place.  Parse errors
+    are never cached.
+    """
+    with _parse_cache_lock:
+        query = _parse_cache.get(sql)
+        if query is not None:
+            _parse_cache.move_to_end(sql)
+            return query
+    query = parse_query(sql)
+    with _parse_cache_lock:
+        _parse_cache[sql] = query
+        _parse_cache.move_to_end(sql)
+        while len(_parse_cache) > PARSE_CACHE_SIZE:
+            _parse_cache.popitem(last=False)
+    return query
+
+
+def clear_parse_cache() -> None:
+    """Drop every cached AST (tests)."""
+    with _parse_cache_lock:
+        _parse_cache.clear()
 
 
 def parse_predicate(sql: str) -> Predicate:

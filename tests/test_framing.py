@@ -26,6 +26,7 @@ from repro.core.serialization import (
     serialize_partitioned,
 )
 from repro.gd.partitioned import PartitionedStore, dump_partition, load_partition
+from repro.service import framing
 from repro.service.database import Database
 from repro.storage import codec
 
@@ -198,3 +199,155 @@ def test_store_append_unaffected_by_shared_framing(managed_table):
     affected = rebuilt.append(extra)
     assert affected
     assert rebuilt.num_rows == store.num_rows + 120
+
+
+# --------------------------------------------------------------------------- #
+# Binary wire-protocol pins (repro.service.framing)
+#
+# Old binary clients keep their connections alive across server upgrades;
+# pinning the frame layouts against inline reimplementations keeps the
+# wire format stable the same way the on-disk pins above do.
+
+
+def legacy_string(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    return struct.pack("<I", len(raw)) + raw
+
+
+def legacy_optional_string(text) -> bytes:
+    if text is None:
+        return struct.pack("<I", 0xFFFFFFFF)
+    return legacy_string(text)
+
+
+def legacy_double(value) -> bytes:
+    return struct.pack("<d", float("nan") if value is None else float(value))
+
+
+def legacy_result_list(results) -> bytes:
+    parts = [struct.pack("<I", len(results))]
+    for result in results:
+        parts.append(legacy_string(result["aggregation"]))
+        parts.append(legacy_double(result["value"]))
+        parts.append(legacy_double(result["lower"]))
+        parts.append(legacy_double(result["upper"]))
+        parts.append(legacy_optional_string(result.get("group")))
+    return b"".join(parts)
+
+
+def test_wire_frame_header_layout_pinned():
+    assert framing.MAGIC == b"AQP1"
+    assert framing.HEADER_SIZE == 13
+    frame = framing.encode_frame(framing.OP_QUERY, 0x0102030405060708, b"pay")
+    assert frame == struct.pack("<BQI", 2, 0x0102030405060708, 3) + b"pay"
+    assert framing.decode_header(frame[:13]) == (2, 0x0102030405060708, 3)
+    # The op/status numbering is part of the wire contract.
+    assert (
+        framing.OP_PING,
+        framing.OP_QUERY,
+        framing.OP_QUERY_BATCH,
+        framing.OP_INGEST,
+        framing.OP_JSON,
+    ) == (1, 2, 3, 4, 5)
+    assert (
+        framing.STATUS_OK,
+        framing.STATUS_ERROR,
+        framing.STATUS_OVERLOADED,
+    ) == (0, 1, 2)
+
+
+def test_wire_query_payloads_pinned():
+    sql = "SELECT COUNT(*) FROM stream"
+    assert framing.encode_query(sql) == legacy_string(sql)
+    assert framing.decode_query(framing.encode_query(sql)) == sql
+
+    sqls = ["SELECT AVG(x) FROM t", "SELECT SUM(y) FROM t WHERE x > 1", ""]
+    expected = struct.pack("<I", 3) + b"".join(legacy_string(s) for s in sqls)
+    assert framing.encode_query_batch(sqls) == expected
+    assert framing.decode_query_batch(expected) == sqls
+
+
+def test_wire_ingest_payload_pinned():
+    rows = make_simple_table(rows=40, seed=11, name="stream")
+    payload = framing.encode_ingest("stream", rows, coalesce=False)
+    assert payload == (
+        struct.pack("<B", 0) + legacy_string("stream") + codec.encode_table(rows)
+    )
+    name, decoded, coalesce = framing.decode_ingest(payload)
+    assert name == "stream" and coalesce is False
+    assert decoded.num_rows == 40
+    assert codec.encode_table(decoded) == codec.encode_table(rows)
+
+
+def test_wire_result_payloads_pinned():
+    scalar = {
+        "results": [
+            {"aggregation": "AVG(x)", "value": 1.5, "lower": 1.0, "upper": 2.0},
+            {"aggregation": "COUNT(*)", "value": None, "lower": None, "upper": None},
+        ]
+    }
+    payload = framing.encode_result(scalar)
+    assert payload == struct.pack("<B", 0) + legacy_result_list(scalar["results"])
+    decoded = framing.decode_result(payload)
+    assert decoded == {
+        "results": [
+            {**scalar["results"][0], "group": None},
+            {**scalar["results"][1], "group": None},
+        ]
+    }
+
+    grouped = {
+        "groups": {
+            "alpha": [
+                {
+                    "aggregation": "SUM(y)",
+                    "value": 3.0,
+                    "lower": 2.5,
+                    "upper": 3.5,
+                    "group": "alpha",
+                }
+            ],
+            "beta": [],
+        }
+    }
+    payload = framing.encode_result(grouped)
+    expected = struct.pack("<BI", 1, 2)
+    for label, results in grouped["groups"].items():
+        expected += legacy_string(label) + legacy_result_list(results)
+    assert payload == expected
+    assert framing.decode_result(payload) == grouped
+
+
+def test_wire_error_and_batch_response_pinned():
+    assert framing.encode_error("KeyError", "no such table") == legacy_string(
+        "KeyError"
+    ) + legacy_string("no such table")
+    assert framing.decode_error(framing.encode_error("A", "b")) == ("A", "b")
+    assert framing.OVERLOADED_ERROR_TYPE == "Overloaded"
+
+    ok_result = {
+        "results": [
+            {
+                "aggregation": "AVG(x)",
+                "value": 1.0,
+                "lower": 0.5,
+                "upper": 1.5,
+                "group": None,
+            }
+        ]
+    }
+    items = [
+        {"ok": True, "result": ok_result},
+        {"ok": False, "error_type": "ParseError", "error": "bad sql"},
+    ]
+    payload = framing.encode_batch_response(items)
+    ok_block = framing.encode_result(ok_result)
+    err_block = framing.encode_error("ParseError", "bad sql")
+    assert payload == (
+        struct.pack("<I", 2)
+        + struct.pack("<BI", 1, len(ok_block))
+        + ok_block
+        + struct.pack("<BI", 0, len(err_block))
+        + err_block
+    )
+    assert framing.decode_batch_response(payload) == items

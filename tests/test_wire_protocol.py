@@ -1,0 +1,397 @@
+"""Fast-wire-path tests: negotiation, pipelining, admission, caches.
+
+The contract under test (see ``repro.service.framing`` / ``wire`` /
+``server``):
+
+* the server sniffs each connection's first bytes — the binary magic
+  selects the pipelined frame protocol, anything else the legacy
+  JSON-lines dialect, so old clients keep working unchanged and both
+  dialects answer identically;
+* :class:`PipelinedClient` keeps many requests in flight on one
+  connection and matches responses by request id;
+* admission control sheds requests over the in-flight limit with an
+  explicit ``Overloaded`` response instead of queueing without bound;
+* the SQL parse cache and the synopsis-version-keyed result cache are
+  invisible to callers: identical answers, invalidated by ingest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from conftest import make_simple_table
+
+from repro import (
+    AsyncQueryService,
+    ConcurrentQueryService,
+    PairwiseHistParams,
+    QueryServer,
+    QueryService,
+)
+from repro.service.wire import (
+    ClusterClient,
+    OverloadedError,
+    PipelinedClient,
+    WireError,
+)
+from repro.sql import parser as sql_parser
+from repro.sql.parser import (
+    ParseError,
+    clear_parse_cache,
+    parse_query,
+    parse_query_cached,
+)
+
+
+def exact_params() -> PairwiseHistParams:
+    return PairwiseHistParams.with_defaults(sample_size=None, seed=1)
+
+
+def run_async(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def serve(scenario, **server_kwargs):
+    """Boot a one-table server and hand ``scenario`` its address.
+
+    ``scenario(address, server)`` may be a plain function — it runs in a
+    worker thread so the blocking wire clients never stall the server's
+    event loop.
+    """
+    async with AsyncQueryService(partition_size=600, max_workers=2) as svc:
+        await svc.register_table(
+            make_simple_table(rows=1200, seed=50, name="stream"),
+            params=exact_params(),
+        )
+        async with QueryServer(svc, **server_kwargs) as server:
+            return await asyncio.to_thread(scenario, server.address, server)
+
+
+EXTRA_ROW = {
+    "x": [1.0],
+    "y": [2.0],
+    "z": [3.0],
+    "w": [4.0],
+    "with_nulls": [None],
+    "category": ["alpha"],
+}
+
+
+# --------------------------------------------------------------------------- #
+# Protocol negotiation
+
+
+class TestNegotiation:
+    def test_old_json_lines_client_works_against_the_new_server(self):
+        """A pre-binary client (first byte ``{``) gets correct answers."""
+
+        def scenario(address, server):
+            with ClusterClient(*address) as client:
+                assert client.ping()
+                assert client.tables() == ["stream"]
+                payload = client.query("SELECT COUNT(*) FROM stream")
+                assert payload["results"][0]["value"] == pytest.approx(
+                    1200, rel=1e-9
+                )
+                assert client.ingest("stream", EXTRA_ROW)["appended_rows"] == 1
+                after = client.query("SELECT COUNT(*) FROM stream")
+                assert after["results"][0]["value"] == pytest.approx(
+                    1201, rel=1e-9
+                )
+                # Errors still come back as clean JSON frames.
+                with pytest.raises(WireError, match="ParseError"):
+                    client.query("SELECT FROM")
+
+        run_async(serve(scenario))
+
+    def test_both_dialects_share_a_server_and_answer_identically(self):
+        def scenario(address, server):
+            sql = "SELECT AVG(x), SUM(y) FROM stream WHERE y > 50"
+            grouped = "SELECT COUNT(x) FROM stream GROUP BY category"
+            with ClusterClient(*address) as old, PipelinedClient(*address) as new:
+                assert old.query(sql) == new.query(sql)
+                assert old.query(grouped) == new.query(grouped)
+                assert old.tables() == new.tables() == ["stream"]
+
+        run_async(serve(scenario))
+
+
+# --------------------------------------------------------------------------- #
+# Binary pipelined client
+
+
+class TestPipelinedClient:
+    def test_roundtrip_all_ops(self):
+        def scenario(address, server):
+            with PipelinedClient(*address) as client:
+                assert client.ping()
+                assert client.tables() == ["stream"]
+                assert client.stat("stream")["rows"] == 1200
+
+                payload = client.query("SELECT AVG(x) FROM stream WHERE y > 50")
+                (result,) = payload["results"]
+                assert result["aggregation"] == "AVG(x)"
+                assert result["lower"] <= result["value"] <= result["upper"]
+
+                grouped = client.query(
+                    "SELECT COUNT(x) FROM stream GROUP BY category"
+                )
+                assert set(grouped["groups"]) <= {"alpha", "beta", "gamma", "delta"}
+
+                # Binary ingest: rows travel as the codec table format.
+                batch = make_simple_table(rows=80, seed=7, name="stream")
+                ingest = client.ingest("stream", batch)
+                assert ingest["appended_rows"] == 80
+                after = client.query("SELECT COUNT(*) FROM stream")
+                assert after["results"][0]["value"] == pytest.approx(
+                    1280, rel=1e-9
+                )
+
+                # Cold-path JSON ops ride OP_JSON frames: register + drop.
+                side = make_simple_table(rows=400, seed=8, name="side")
+                assert client.register(side, params=exact_params())["rows"] == 400
+                assert sorted(client.tables()) == ["side", "stream"]
+                assert client.drop("side")["dropped"]
+
+        run_async(serve(scenario))
+
+    def test_error_frames_raise_wire_error_not_dead_connections(self):
+        def scenario(address, server):
+            with PipelinedClient(*address) as client:
+                with pytest.raises(WireError) as excinfo:
+                    client.query("SELECT FROM")
+                assert excinfo.value.error_type == "ParseError"
+                assert not isinstance(excinfo.value, OverloadedError)
+                with pytest.raises(WireError) as excinfo:
+                    client.query("SELECT COUNT(*) FROM nope")
+                assert excinfo.value.error_type == "KeyError"
+                # The connection survives error frames.
+                assert client.ping()
+
+        run_async(serve(scenario))
+
+    def test_many_requests_in_flight_resolve_to_their_own_answers(self):
+        """Responses are matched by request id, not arrival order."""
+
+        def scenario(address, server):
+            sqls = [
+                f"SELECT COUNT(*) FROM stream WHERE y > {threshold}"
+                for threshold in range(0, 100, 5)
+            ]
+            with PipelinedClient(*address) as client:
+                serial = {sql: client.query(sql) for sql in sqls}
+                # Issue everything before reading anything; interleave an
+                # error and a ping so non-query frames are in the mix too.
+                futures = [(sql, client.submit_query(sql)) for sql in sqls]
+                bad = client.submit_query("SELECT FROM")
+                pinged = client.submit_ping()
+                for sql, future in futures:
+                    assert future.result(timeout=30.0) == serial[sql]
+                assert pinged.result(timeout=30.0) is True
+                with pytest.raises(WireError, match="ParseError"):
+                    bad.result(timeout=30.0)
+
+        run_async(serve(scenario))
+
+    def test_query_batch_carries_per_item_outcomes(self):
+        def scenario(address, server):
+            good = "SELECT AVG(x) FROM stream"
+            grouped = "SELECT COUNT(x) FROM stream GROUP BY category"
+            with PipelinedClient(*address) as client:
+                items = client.query_batch([good, "SELECT FROM", grouped])
+                assert [item["ok"] for item in items] == [True, False, True]
+                assert items[0]["result"] == client.query(good)
+                assert items[1]["error_type"] == "ParseError"
+                assert items[2]["result"] == client.query(grouped)
+                assert client.query_batch([]) == []
+
+        run_async(serve(scenario))
+
+    def test_submit_after_close_is_a_safe_unsent_error(self):
+        from repro.service.wire import UnsentRequestError
+
+        def scenario(address, server):
+            client = PipelinedClient(*address).connect()
+            client.close()
+            with pytest.raises(UnsentRequestError):
+                client.submit_ping()
+
+        run_async(serve(scenario))
+
+
+# --------------------------------------------------------------------------- #
+# Admission control
+
+
+class TestAdmissionControl:
+    def test_query_shed_is_an_explicit_overloaded_response(self):
+        """``max_inflight_queries=0`` sheds every query on both dialects."""
+
+        def scenario(address, server):
+            with PipelinedClient(*address) as binary:
+                with pytest.raises(OverloadedError):
+                    binary.query("SELECT COUNT(*) FROM stream")
+            with ClusterClient(*address) as old:
+                response = old.request(
+                    {"op": "query", "sql": "SELECT COUNT(*) FROM stream"}
+                )
+                assert response["ok"] is False
+                assert response["error_type"] == "Overloaded"
+            assert server.shed_counts["query"] >= 2
+            # Ingest has its own limit: it is not collateral damage.
+            with ClusterClient(*address) as old:
+                assert old.ingest("stream", EXTRA_ROW)["appended_rows"] == 1
+
+        run_async(serve(scenario, max_inflight_queries=0))
+
+    def test_ingest_shed_leaves_queries_unaffected(self):
+        def scenario(address, server):
+            with PipelinedClient(*address) as client:
+                batch = make_simple_table(rows=10, seed=3, name="stream")
+                with pytest.raises(OverloadedError):
+                    client.ingest("stream", batch)
+                # JSON-op ingests classify as ingest too (parsed inline).
+                with pytest.raises(OverloadedError):
+                    client.ingest("stream", EXTRA_ROW)
+                payload = client.query("SELECT COUNT(*) FROM stream")
+                assert payload["results"][0]["value"] == pytest.approx(
+                    1200, rel=1e-9
+                )
+            assert server.shed_counts["ingest"] >= 2
+            assert server.shed_counts["query"] == 0
+
+        run_async(serve(scenario, max_inflight_ingests=0))
+
+    def test_overloaded_is_a_retryable_refusal(self):
+        """A shed happens before any work: retrying with capacity succeeds."""
+
+        def scenario(address, server):
+            with PipelinedClient(*address) as client:
+                batch = make_simple_table(rows=10, seed=4, name="stream")
+                with pytest.raises(OverloadedError):
+                    client.ingest("stream", batch)
+                server.max_inflight_ingests = 64  # capacity returns
+                assert client.ingest("stream", batch)["appended_rows"] == 10
+
+        run_async(serve(scenario, max_inflight_ingests=0))
+
+
+# --------------------------------------------------------------------------- #
+# SQL parse cache
+
+
+class TestParseCache:
+    def setup_method(self):
+        clear_parse_cache()
+
+    def test_cached_parse_is_identical_to_a_fresh_parse(self):
+        sqls = [
+            "SELECT COUNT(*) FROM stream",
+            "SELECT AVG(x), SUM(y) FROM stream WHERE y > 50 AND x < 3",
+            "SELECT VAR(z) FROM stream WHERE (a = 1 OR b = 2) AND c >= 0.5",
+            "SELECT MIN(w) FROM stream GROUP BY category",
+        ]
+        for sql in sqls:
+            assert parse_query_cached(sql) == parse_query(sql)
+            # A repeat returns the very same AST object (a cache hit).
+            assert parse_query_cached(sql) is parse_query_cached(sql)
+
+    def test_cached_and_fresh_plans_execute_identically(self):
+        service = QueryService(partition_size=600)
+        service.register_table(
+            make_simple_table(rows=1200, seed=50, name="stream"),
+            params=exact_params(),
+        )
+        for sql in (
+            "SELECT AVG(x) FROM stream WHERE y > 50",
+            "SELECT COUNT(x) FROM stream GROUP BY category",
+        ):
+            fresh = service.execute(parse_query(sql))  # bypasses the cache
+            cached = service.execute(sql)  # parse-cache + result-cache path
+            assert cached == fresh
+
+    def test_eviction_keeps_the_cache_bounded(self):
+        limit = sql_parser.PARSE_CACHE_SIZE
+        for i in range(limit + 50):
+            parse_query_cached(f"SELECT COUNT(*) FROM stream WHERE y > {i}")
+        assert len(sql_parser._parse_cache) == limit
+        # The oldest entries were evicted, the newest survive.
+        assert (
+            f"SELECT COUNT(*) FROM stream WHERE y > {limit + 49}"
+            in sql_parser._parse_cache
+        )
+        assert "SELECT COUNT(*) FROM stream WHERE y > 0" not in sql_parser._parse_cache
+
+    def test_parse_errors_are_never_cached(self):
+        for _ in range(2):
+            with pytest.raises(ParseError):
+                parse_query_cached("SELECT FROM nowhere")
+        assert len(sql_parser._parse_cache) == 0
+
+
+# --------------------------------------------------------------------------- #
+# Synopsis-version result cache
+
+
+def make_cached_service(service_cls=QueryService, **kwargs):
+    service = service_cls(partition_size=600, **kwargs)
+    service.register_table(
+        make_simple_table(rows=1200, seed=50, name="stream"),
+        params=exact_params(),
+    )
+    return service
+
+
+class TestResultCache:
+    def test_hit_returns_the_identical_result(self):
+        service = make_cached_service()
+        sql = "SELECT AVG(x) FROM stream WHERE y > 50"
+        first = service.execute_scalar(sql)
+        second = service.execute_scalar(sql)
+        assert second is first  # the exact object, hence bit-identical
+        assert service.cache_stats["stream"] == {"hits": 1, "misses": 1}
+        # GROUP BY results cache too, and scalar/list paths do not collide.
+        grouped = "SELECT COUNT(x) FROM stream GROUP BY category"
+        assert service.execute(grouped) is service.execute(grouped)
+
+    def test_ingest_invalidates_through_the_version_key(self):
+        service = make_cached_service()
+        sql = "SELECT COUNT(*) FROM stream"
+        before = service.execute_scalar(sql)
+        assert before.value == pytest.approx(1200, rel=1e-9)
+        version = service.table("stream").synopsis_version
+        service.ingest("stream", make_simple_table(rows=100, seed=9, name="stream"))
+        assert service.table("stream").synopsis_version > version
+        after = service.execute_scalar(sql)
+        assert after.value == pytest.approx(1300, rel=1e-9)
+        assert service.cache_stats["stream"]["misses"] == 2
+
+    def test_lru_bound_is_enforced(self):
+        service = make_cached_service(result_cache_size=4)
+        for i in range(10):
+            service.execute_scalar(f"SELECT COUNT(*) FROM stream WHERE y > {i}")
+        assert len(service._result_cache) == 4
+
+    def test_drop_purges_entries_and_stats(self):
+        service = make_cached_service()
+        service.execute_scalar("SELECT COUNT(*) FROM stream")
+        assert service._result_cache
+        service.drop_table("stream")
+        assert not service._result_cache
+        assert "stream" not in service.cache_stats
+
+    def test_zero_size_disables_the_cache(self):
+        service = make_cached_service(result_cache_size=0)
+        sql = "SELECT COUNT(*) FROM stream"
+        assert service.execute_scalar(sql).value == pytest.approx(1200, rel=1e-9)
+        assert service.execute_scalar(sql).value == pytest.approx(1200, rel=1e-9)
+        assert not service._result_cache
+        assert not service.cache_stats
+
+    def test_concurrent_service_reuses_the_cache_under_its_read_lock(self):
+        service = make_cached_service(service_cls=ConcurrentQueryService)
+        sql = "SELECT AVG(y) FROM stream"
+        assert service.execute_scalar(sql) is service.execute_scalar(sql)
+        assert service.cache_stats["stream"]["hits"] == 1
