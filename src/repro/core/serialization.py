@@ -488,19 +488,35 @@ def deserialize_manifest(payload: bytes) -> tuple[int, list[tuple[str, int, int]
 _PARTITIONED_MAGIC = b"PWHP"
 
 
-def serialize_partitioned(synopses: list[PairwiseHist], force_dense: bool = False) -> bytes:
+def serialize_partitioned(
+    synopses: list[PairwiseHist], force_dense: bool = False, cache: bool = False
+) -> bytes:
     """Encode a sequence of per-partition synopses as one framed payload.
 
     Each partition keeps its own independent :func:`serialize` blob so a
     single partition can be replaced after an incremental append without
     re-encoding the others; the merged, queryable synopsis is rebuilt from
     the parts at load time via :meth:`PairwiseHist.merge`.
+
+    ``cache=True`` memoizes each synopsis's serialized blob on the object
+    (published synopses are immutable — an ingest replaces the object).
+    Incremental checkpoints pass it so the per-table synopsis payload
+    costs one encode per *changed* partition, not per partition.
     """
     if isinstance(synopses, LazyPartitionSynopses) and not synopses.hydrated:
         # Never-decoded synopses round-trip as their original payload —
         # the encode is skipped entirely, byte-identity is trivial.
         return synopses.payload
-    parts = [serialize(synopsis, force_dense) for synopsis in synopses]
+    if not cache:
+        parts = [serialize(synopsis, force_dense) for synopsis in synopses]
+    else:
+        parts = []
+        for synopsis in synopses:
+            cached = getattr(synopsis, "_pwhp_blob", None)
+            if cached is None or cached[0] != force_dense:
+                cached = (force_dense, serialize(synopsis, force_dense))
+                synopsis._pwhp_blob = cached
+            parts.append(cached[1])
     return _PARTITIONED_MAGIC + frame_blobs(parts)
 
 

@@ -1120,7 +1120,14 @@ async def serve(args) -> None:
                 if checkpointer is not None:
                     # Final checkpoint so the next start recovers from a
                     # snapshot instead of replaying the whole WAL.
-                    await loop.run_in_executor(None, checkpointer.stop)
+                    final = await loop.run_in_executor(None, checkpointer.stop)
+                    if final is None and checkpointer.last_error is not None:
+                        print(
+                            "final checkpoint failed: "
+                            f"{checkpointer.last_error!r}; the next start "
+                            "will recover this state from the WAL instead",
+                            flush=True,
+                        )
     if args.data_dir:
         database.close()
 

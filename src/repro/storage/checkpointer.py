@@ -44,23 +44,33 @@ class BackgroundCheckpointer:
         if self._thread is not None:
             raise RuntimeError("the checkpointer is already running")
         self._stop.clear()
+        # A trigger() or stop() from a previous run leaves the wake flag
+        # set; without clearing it a restarted checkpointer would fire
+        # immediately instead of waiting its full interval.
+        self._wake.clear()
         self._thread = threading.Thread(
             target=self._run, name="aqp-checkpointer", daemon=True
         )
         self._thread.start()
         return self
 
-    def stop(self, final_checkpoint: bool = True) -> None:
+    def stop(self, final_checkpoint: bool = True) -> CheckpointResult | None:
         """Stop the thread; by default take one last checkpoint on the way
-        out so a clean shutdown restarts from a snapshot, not a replay."""
+        out so a clean shutdown restarts from a snapshot, not a replay.
+
+        Returns the final checkpoint's result so callers can tell a clean
+        shutdown actually persisted — ``None`` means the final checkpoint
+        failed (the cause is in :attr:`last_error`), was not requested, or
+        the checkpointer was not running."""
         if self._thread is None:
-            return
+            return None
         self._stop.set()
         self._wake.set()
         self._thread.join()
         self._thread = None
         if final_checkpoint:
-            self._checkpoint_once()
+            return self._checkpoint_once()
+        return None
 
     def trigger(self) -> None:
         """Ask the thread to checkpoint now instead of at the next tick."""
@@ -82,15 +92,16 @@ class BackgroundCheckpointer:
                 break
             self._checkpoint_once()
 
-    def _checkpoint_once(self) -> None:
+    def _checkpoint_once(self) -> CheckpointResult | None:
         try:
             result = self.target.checkpoint()
         except Exception as exc:
             self.last_error = exc
-            return
+            return None
         self.last_error = None
         self.last_result = result
         if result.skipped:
             self.checkpoints_skipped += 1
         else:
             self.checkpoints_written += 1
+        return result

@@ -39,6 +39,7 @@ from ..service.database import Database, IngestResult, ManagedTable, StagedInges
 from . import codec
 from .faults import maybe_crash
 from .snapshot import (
+    _BLOB_ATTR,
     SNAPSHOT_PREFIX,
     LoadedTable,
     SnapshotState,
@@ -156,8 +157,20 @@ class DurableDatabase(Database):
             return super().commit_ingest(staged)
         payload = codec.encode_ingest_payload(staged.table_name, staged.rows)
         with self._durable_mutex:
-            self.wal.append(WAL_INGEST, payload)
-            return super().commit_ingest(staged)
+            # Validate everything the in-memory commit can reject *before*
+            # the WAL append: a record whose commit then failed would be
+            # replayed on recovery (or, staged against a dropped table,
+            # crash recovery outright), diverging recovered state from
+            # the live run.
+            self.table(staged.table_name)
+            lsn = self.wal.append(WAL_INGEST, payload)
+            try:
+                return super().commit_ingest(staged)
+            except BaseException:
+                # The commit published nothing; scrub the record so the
+                # WAL keeps exactly the mutations the live run applied.
+                self.wal.rollback_last(lsn)
+                raise
 
     def drop(self, name: str) -> None:
         with self._durable_mutex:
@@ -180,6 +193,13 @@ class DurableDatabase(Database):
         the captured state iff its LSN is ``<= checkpoint_lsn``.  Captures
         ``committed_partitions`` — never ``store.partitions``, which a
         staged-but-uncommitted ingest may already have advanced.
+
+        Each partition is also classified as sealed-and-already-persisted
+        (it carries the blob identity a previous checkpoint — or the
+        snapshot load — stamped on it) vs. new/tail (``None``); the
+        snapshot writer checks the identities against the previous
+        snapshot's manifest and hard-links the persisted blobs instead of
+        rewriting them, which is what makes checkpoints O(tail).
         """
         with self._durable_mutex:
             tables = []
@@ -201,6 +221,9 @@ class DurableDatabase(Database):
                         partition_synopses=managed.partition_synopses,
                         synopsis_builds=managed.synopsis_builds,
                         merged=managed.engine.synopsis,
+                        persisted_blobs=[
+                            getattr(p, _BLOB_ATTR, None) for p in partitions
+                        ],
                     )
                 )
             return SnapshotState(checkpoint_lsn=self.wal.last_lsn, tables=tables)

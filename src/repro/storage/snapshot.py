@@ -2,25 +2,43 @@
 
 A snapshot directory holds, per registered table, the catalog entry
 (schema, fitted pre-processor, construction params, GreedyGD config), the
-GD-compressed partitions (one framed blob per partition, so a future
-incremental checkpoint can rewrite only the tail) and the per-partition
-PWHP synopses.  A ``MANIFEST`` listing every file with its size and CRC32
-is written *last*, and the whole directory is assembled under a temporary
-name and published with a single ``os.replace`` — so a snapshot either
-exists completely and checksum-clean, or does not exist at all.  The
-recovery path scans snapshot directories newest-first and loads the first
-one whose manifest validates, so a crash mid-checkpoint (partial temp
-dir, missing manifest, torn file) silently falls back to the previous
+GD-compressed partitions and the per-partition PWHP synopses.  A
+``MANIFEST`` listing every file with its size and CRC32 is written
+*last*, and the whole directory is assembled under a temporary name and
+published with a single ``os.replace`` — so a snapshot either exists
+completely and checksum-clean, or does not exist at all.  The recovery
+path scans snapshot directories newest-first and loads the first one
+whose manifest validates, so a crash mid-checkpoint (partial temp dir,
+missing manifest, torn file) silently falls back to the previous
 checkpoint plus WAL replay.
+
+Two partition layouts exist:
+
+* **v1** — one ``table-NNNNN.partitions`` file framing every partition
+  blob; every checkpoint rewrites the whole table.
+* **v2** (default) — one content-addressed ``part-<digest>.blob`` file
+  per partition plus a small ``table-NNNNN.parts`` index listing the
+  blob names in partition order.  Sealed partitions are immutable, so a
+  checkpoint **hard-links** their blob files from the previous snapshot
+  directory (copying on filesystems without link support) and only
+  serializes partitions it has never persisted — typically just the
+  tail.  Checkpoint cost becomes O(tail), not O(table).  Garbage
+  collection stays safe because the link keeps the blob's bytes alive
+  until the last snapshot directory referencing it is removed.
+
+The loader accepts both layouts, so a v2 build opens v1 data directories
+unchanged.  ``REPRO_SNAPSHOT_FORMAT=1`` forces new snapshots back to the
+v1 layout (used by the CI backward-compat drill).
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import shutil
 import struct
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..core.params import PairwiseHistParams
@@ -51,6 +69,43 @@ _MANIFEST_NAME = "MANIFEST"
 _CATALOG_NAME = "CATALOG"
 _CURRENT_NAME = "CURRENT"
 
+#: Snapshot partition layouts (see module docstring).
+SNAPSHOT_FORMAT_V1 = 1
+SNAPSHOT_FORMAT_V2 = 2
+
+_BLOB_PREFIX = "part-"
+_BLOB_SUFFIX = ".blob"
+_PARTS_MAGIC = b"PRT2"
+
+#: Attribute cached on a :class:`CompressedStore` once its blob has been
+#: persisted: ``(blob file name, size, crc32)``.  Partition objects are
+#: immutable after publication (a tail top-up replaces the object), so
+#: the identity holds for the object's whole lifetime; whether the file
+#: still exists is re-checked against the previous snapshot's manifest.
+_BLOB_ATTR = "_snapshot_blob"
+
+
+def _blob_name(payload: bytes) -> str:
+    """Content-addressed blob file name (stable across table reordering)."""
+    return f"{_BLOB_PREFIX}{hashlib.blake2b(payload, digest_size=16).hexdigest()}{_BLOB_SUFFIX}"
+
+
+def _encode_parts_index(names: list[str]) -> bytes:
+    return _PARTS_MAGIC + codec.frame_blobs([name.encode("ascii") for name in names])
+
+
+def _decode_parts_index(payload: bytes) -> list[str]:
+    buffer = memoryview(payload)
+    if bytes(buffer[:4]) != _PARTS_MAGIC:
+        raise ValueError("not a snapshot partition index (bad magic)")
+    blobs, _ = codec.unframe_blobs(buffer, 4)
+    return [blob.decode("ascii") for blob in blobs]
+
+
+def snapshot_format_version() -> int:
+    """The partition layout new snapshots are written in (env-overridable)."""
+    return int(os.environ.get("REPRO_SNAPSHOT_FORMAT", SNAPSHOT_FORMAT_V2))
+
 
 # --------------------------------------------------------------------------- #
 # Captured state (copy-on-write references, serialized off-lock)
@@ -79,6 +134,13 @@ class TableSnapshotState:
     #: exact (``PWHX``) encoding so a warm restart loads it directly
     #: instead of re-merging every partition's synopsis.
     merged: PairwiseHist | None = None
+    #: Per partition: ``(blob name, size, crc32)`` when the partition is
+    #: already persisted under a content-addressed v2 blob file, ``None``
+    #: for partitions never written (new / topped-up tail).  Filled by
+    #: :meth:`DurableDatabase._capture` under the durable mutex; when
+    #: left ``None`` entirely, the writer reads the same identity off the
+    #: partition objects itself.
+    persisted_blobs: list[tuple[str, int, int] | None] | None = None
 
 
 @dataclass
@@ -168,11 +230,29 @@ def snapshot_dir_name(checkpoint_lsn: int) -> str:
     return f"{SNAPSHOT_PREFIX}{checkpoint_lsn:020d}"
 
 
+def _previous_snapshot(
+    snapshots_dir: Path,
+) -> tuple[Path, dict[str, tuple[int, int]]] | None:
+    """The newest published snapshot with a parseable manifest, as the
+    hard-link source for sealed blobs: ``(path, {name: (size, crc)})``."""
+    for path in _snapshot_paths(snapshots_dir):
+        manifest_path = path / _MANIFEST_NAME
+        if not manifest_path.is_file():
+            continue
+        try:
+            _, files = deserialize_manifest(manifest_path.read_bytes())
+        except (ValueError, struct.error):
+            continue
+        return path, {name: (size, crc) for name, size, crc in files}
+    return None
+
+
 def write_snapshot(
     snapshots_dir: str | os.PathLike,
     state: SnapshotState,
     keep: int = 2,
     fsync: bool = False,
+    format_version: int | None = None,
 ) -> Path:
     """Write one snapshot atomically; returns the published directory.
 
@@ -181,20 +261,37 @@ def write_snapshot(
     directory under its final LSN-derived name.  Snapshots beyond the
     ``keep`` most recent are garbage-collected afterwards.
 
-    ``fsync=True`` additionally fsyncs every snapshot file and the
-    enclosing directories before returning.  The caller truncates WAL
-    segments the snapshot covers immediately afterwards, so without the
-    fsync a power cut could persist the truncation but not the snapshot
-    data; process-death-only durability (the default) does not need it.
+    In the default v2 layout, partition blobs already present in the
+    previous snapshot are hard-linked into the new directory instead of
+    being re-serialized and re-written — only partitions persisted for
+    the first time (the tail), the catalog, the synopsis payloads and
+    the manifest cost anything, so checkpoint time is O(tail).
+
+    ``fsync=True`` additionally fsyncs every *newly written* snapshot
+    file and the enclosing directories before returning.  Hard-linked
+    blobs need no re-fsync: their bytes were fsynced by the checkpoint
+    that first wrote them, and the directory fsync persists the new link
+    entries.  The caller truncates WAL segments the snapshot covers
+    immediately afterwards, so without the fsync a power cut could
+    persist the truncation but not the snapshot data;
+    process-death-only durability (the default) does not need it.
     """
+    if format_version is None:
+        format_version = snapshot_format_version()
     snapshots_dir = Path(snapshots_dir)
     snapshots_dir.mkdir(parents=True, exist_ok=True)
     final_path = snapshots_dir / snapshot_dir_name(state.checkpoint_lsn)
+    previous = (
+        _previous_snapshot(snapshots_dir)
+        if format_version >= SNAPSHOT_FORMAT_V2
+        else None
+    )
     tmp_path = snapshots_dir / f"{_TMP_PREFIX}{state.checkpoint_lsn:020d}-{os.getpid()}"
     if tmp_path.exists():
         shutil.rmtree(tmp_path)
     tmp_path.mkdir(parents=True)
     files: list[tuple[str, int, int]] = []
+    written: set[str] = set()
 
     def _write(name: str, payload: bytes) -> None:
         path = tmp_path / name
@@ -202,20 +299,75 @@ def write_snapshot(
         if fsync:
             _fsync_path(path)
         files.append((name, len(payload), zlib.crc32(payload)))
+        written.add(name)
+
+    def _link(name: str) -> bool:
+        """Reuse a blob from the previous snapshot; False on any miss."""
+        prev_path, prev_files = previous
+        size, crc = prev_files[name]
+        src = prev_path / name
+        dst = tmp_path / name
+        try:
+            os.link(src, dst)
+        except OSError:
+            # No hard-link support (or the file vanished): fall back to a
+            # verified copy, degrading to v1-style write cost for this blob.
+            try:
+                payload = src.read_bytes()
+            except OSError:
+                return False
+            if len(payload) != size or zlib.crc32(payload) != crc:
+                return False
+            dst.write_bytes(payload)
+            if fsync:
+                _fsync_path(dst)
+        files.append((name, size, crc))
+        written.add(name)
+        return True
+
+    def _persist_partitions(index: int, table: TableSnapshotState) -> None:
+        if format_version < SNAPSHOT_FORMAT_V2:
+            _write(
+                f"table-{index:05d}.partitions",
+                _frame_blobs([dump_partition(p) for p in table.partitions]),
+            )
+            maybe_crash("snapshot.mid_write")
+            return
+        known = (
+            table.persisted_blobs
+            if table.persisted_blobs is not None
+            else [getattr(p, _BLOB_ATTR, None) for p in table.partitions]
+        )
+        names: list[str] = []
+        for partition, identity in zip(table.partitions, known):
+            name = None
+            if identity is not None and previous is not None:
+                if identity[0] in written:
+                    name = identity[0]  # shared with an earlier table
+                elif identity[0] in previous[1] and _link(identity[0]):
+                    name = identity[0]
+            if name is None:
+                payload = dump_partition(partition)
+                name = _blob_name(payload)
+                if name not in written:
+                    _write(name, payload)
+                setattr(
+                    partition, _BLOB_ATTR, (name, len(payload), zlib.crc32(payload))
+                )
+            names.append(name)
+        maybe_crash("snapshot.mid_write")
+        _write(f"table-{index:05d}.parts", _encode_parts_index(names))
 
     _write(_CATALOG_NAME, serialize_catalog([_encode_table_meta(t) for t in state.tables]))
     for index, table in enumerate(state.tables):
-        _write(
-            f"table-{index:05d}.partitions",
-            _frame_blobs([dump_partition(p) for p in table.partitions]),
-        )
-        maybe_crash("snapshot.mid_write")
+        _persist_partitions(index, table)
         _write(
             f"table-{index:05d}.synopses",
-            serialize_partitioned(table.partition_synopses),
+            serialize_partitioned(table.partition_synopses, cache=True),
         )
         if table.merged is not None:
             _write(f"table-{index:05d}.merged", serialize(table.merged, exact=True))
+    maybe_crash("snapshot.before_manifest")
     manifest_path = tmp_path / _MANIFEST_NAME
     manifest_path.write_bytes(serialize_manifest(state.checkpoint_lsn, files))
     if fsync:
@@ -230,7 +382,7 @@ def write_snapshot(
         os.replace(tmp_path, final_path)
     if fsync:
         _fsync_path(snapshots_dir)
-    _update_current(snapshots_dir, final_path.name)
+    _update_current(snapshots_dir, final_path.name, fsync=fsync)
     _collect_garbage(snapshots_dir, keep)
     return final_path
 
@@ -244,12 +396,18 @@ def _fsync_path(path: Path) -> None:
         os.close(fd)
 
 
-def _update_current(snapshots_dir: Path, name: str) -> None:
+def _update_current(snapshots_dir: Path, name: str, fsync: bool = False) -> None:
     """Advisory pointer to the live snapshot (ops convenience; the loader
-    trusts manifests, not this file)."""
+    trusts manifests, not this file).  Matches the snapshot's durability
+    level: with ``fsync`` the tmp file is synced before the rename and
+    the directory after it, so a runbook never reads a torn pointer."""
     tmp = snapshots_dir / f"{_CURRENT_NAME}.tmp"
     tmp.write_text(name + "\n")
+    if fsync:
+        _fsync_path(tmp)
     os.replace(tmp, snapshots_dir / _CURRENT_NAME)
+    if fsync:
+        _fsync_path(snapshots_dir)
 
 
 def _snapshot_paths(snapshots_dir: Path) -> list[Path]:
@@ -264,6 +422,12 @@ def _snapshot_paths(snapshots_dir: Path) -> list[Path]:
 
 
 def _collect_garbage(snapshots_dir: Path, keep: int) -> None:
+    """Remove snapshots beyond the ``keep`` newest, plus orphaned temp dirs.
+
+    Safe with v2 hard-linked blobs: ``rmtree`` only unlinks the stale
+    directory's *names*; a blob's bytes live until the last snapshot
+    directory holding a link to it is removed.
+    """
     for stale in _snapshot_paths(snapshots_dir)[keep:]:
         shutil.rmtree(stale, ignore_errors=True)
     for orphan in snapshots_dir.glob(f"{_TMP_PREFIX}*"):
@@ -308,8 +472,24 @@ def _load(
         name, partition_size, builds, params, gd_config, schema, preprocessor = (
             _decode_table_meta(entry)
         )
-        blobs = _unframe_blobs(payloads[f"table-{index:05d}.partitions"])
+        parts_index = payloads.get(f"table-{index:05d}.parts")
+        if parts_index is not None:  # v2: per-partition blob files
+            blob_names = _decode_parts_index(parts_index)
+            blobs = [payloads[blob_name] for blob_name in blob_names]
+        else:  # v1: one monolithic framed file per table
+            blob_names = None
+            blobs = _unframe_blobs(payloads[f"table-{index:05d}.partitions"])
         partitions = [load_partition(b, name, schema, preprocessor) for b in blobs]
+        if blob_names is not None:
+            # Remember each partition's on-disk identity so the first
+            # checkpoint after this restart hard-links the sealed blobs
+            # instead of rewriting them.
+            for partition, blob_name, blob in zip(partitions, blob_names, blobs):
+                setattr(
+                    partition,
+                    _BLOB_ATTR,
+                    (blob_name, len(blob), zlib.crc32(blob)),
+                )
         # Per-partition synopses hydrate on first ingest touch (queries run
         # off the merged payload), keeping query-only restarts fast.
         synopses = LazyPartitionSynopses(payloads[f"table-{index:05d}.synopses"])

@@ -117,6 +117,9 @@ class WriteAheadLog:
         self._mutex = threading.Lock()
         self._file = None
         self._segment_path: Path | None = None
+        #: Byte offset of the last appended record within the active
+        #: segment — consumed (once) by :meth:`rollback_last`.
+        self._last_append_offset: int | None = None
         self.last_scan = self._open_for_append()
 
     # ------------------------------------------------------------------ #
@@ -188,6 +191,7 @@ class WriteAheadLog:
             if self._file.tell() >= self.segment_max_bytes:
                 self._rotate_locked()
             lsn = self._last_lsn + 1
+            start = self._file.tell()
             frame = _frame(lsn, rtype, payload)
             if crash_points_armed():
                 maybe_crash("wal.append.before_write")
@@ -205,7 +209,27 @@ class WriteAheadLog:
             if self.fsync:
                 os.fsync(self._file.fileno())
             self._last_lsn = lsn
+            self._last_append_offset = start
             return lsn
+
+    def rollback_last(self, lsn: int) -> None:
+        """Remove the most recent record — compensation for a commit that
+        failed *after* its WAL append (the caller still holds the durable
+        mutex, so no later record can exist).  Only the record appended
+        last is removable; anything else raises."""
+        with self._mutex:
+            if lsn != self._last_lsn or self._last_append_offset is None:
+                raise ValueError(
+                    f"cannot roll back lsn {lsn}: the last appended record "
+                    f"is {self._last_lsn}"
+                )
+            self._file.flush()
+            self._file.truncate(self._last_append_offset)
+            self._file.seek(self._last_append_offset)
+            if self.fsync:
+                os.fsync(self._file.fileno())
+            self._last_lsn = lsn - 1
+            self._last_append_offset = None
 
     def sync(self) -> int:
         """Flush and fsync whatever has been appended; returns the last LSN."""

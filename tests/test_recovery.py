@@ -215,6 +215,139 @@ class TestRecovery:
         assert answers(recovered) == expected
         recovered.close()
 
+    def test_crash_mid_incremental_checkpoint_falls_back_to_previous(self, tmp_path):
+        """Crash an *incremental* checkpoint at every phase boundary — after
+        the blobs, after the parts index + links, after the manifest — and
+        recovery must land on the previous snapshot plus WAL tail, exactly
+        matching a never-crashed reference.  The next checkpoint must then
+        succeed and clean up the orphaned temp directory."""
+        ops = [("register", batch(0, rows=900)), ("ingest", "sensors", batch(1))]
+        db = durable(tmp_path)
+        db.register(batch(0, rows=900))
+        db.ingest("sensors", batch(1))
+        db.checkpoint()  # snapshot at lsn 2: the link source
+        for lsn, point in (
+            (3, "snapshot.mid_write"),
+            (4, "snapshot.before_manifest"),
+            (5, "snapshot.before_publish"),
+        ):
+            db.ingest("sensors", batch(lsn))
+            ops.append(("ingest", "sensors", batch(lsn)))
+            expected = answers(db)
+            set_crash_hook(
+                lambda p, armed=point: (_ for _ in ()).throw(SimulatedCrash(p))
+                if p == armed
+                else None
+            )
+            with pytest.raises(SimulatedCrash):
+                db.checkpoint()
+            set_crash_hook(None)
+            db.wal.close()
+
+            recovered = durable(tmp_path)
+            assert recovered.recovery_info.snapshot_lsn == 2
+            assert recovered.recovery_info.replayed_records == lsn - 2
+            assert answers(recovered) == expected
+            assert answers(recovered) == answers(reference_db(ops))
+            recovered.close()
+            db = durable(tmp_path)
+        # A checkpoint after all that succeeds and leaves no temp litter.
+        result = db.checkpoint()
+        assert not result.skipped
+        snapshots = tmp_path / "data" / "snapshots"
+        assert not list(snapshots.glob("tmp-*"))
+        expected = answers(db)
+        db.close()
+        recovered = durable(tmp_path)
+        assert recovered.recovery_info.snapshot_lsn == 5
+        assert recovered.recovery_info.replayed_records == 0
+        assert answers(recovered) == expected
+        recovered.close()
+
+    def test_v1_snapshot_recovers_and_next_checkpoint_upgrades(
+        self, tmp_path, monkeypatch
+    ):
+        """A data dir written by the v1 (monolithic) snapshot format must
+        recover under the v2 code, and the next checkpoint upgrades it to
+        the blob layout without disturbing answers."""
+        monkeypatch.setenv("REPRO_SNAPSHOT_FORMAT", "1")
+        db = durable(tmp_path)
+        db.register(batch(0, rows=900))
+        db.ingest("sensors", batch(1))
+        db.checkpoint()
+        db.ingest("sensors", batch(2))
+        expected = answers(db)
+        db.close()
+        snapshots = tmp_path / "data" / "snapshots"
+        newest = sorted(p for p in snapshots.iterdir() if p.name.startswith("snap-"))[-1]
+        assert (newest / "table-00000.partitions").is_file()
+
+        monkeypatch.delenv("REPRO_SNAPSHOT_FORMAT")
+        recovered = durable(tmp_path)
+        assert recovered.recovery_info.snapshot_lsn == 2
+        assert answers(recovered) == expected
+        recovered.checkpoint()
+        newest = sorted(p for p in snapshots.iterdir() if p.name.startswith("snap-"))[-1]
+        assert list(newest.glob("part-*.blob"))  # upgraded to v2
+        recovered.close()
+        again = durable(tmp_path)
+        assert again.recovery_info.snapshot_lsn == 3
+        assert answers(again) == expected
+        again.close()
+
+    def test_commit_after_drop_raises_without_phantom_wal_record(self, tmp_path):
+        """Committing a staged ingest against a table dropped in between
+        must fail *without* logging: a phantom WAL_INGEST after the
+        WAL_DROP would crash recovery outright (replay commits into a
+        table that no longer exists)."""
+        db = durable(tmp_path)
+        db.register(batch(0, rows=900))
+        staged = db.stage_ingest("sensors", batch(1))
+        db.drop("sensors")
+        with pytest.raises(KeyError):
+            db.commit_ingest(staged)
+        assert db.wal.last_lsn == 2  # register + drop, no phantom ingest
+        db.close()
+
+        recovered = durable(tmp_path)  # replay must not crash
+        assert recovered.recovery_info.replayed_records == 2
+        assert recovered.table_names == []
+        recovered.close()
+
+    def test_failed_inmemory_commit_rolls_back_wal(self, tmp_path, monkeypatch):
+        """If the in-memory publish fails *after* the WAL append, the
+        record is rolled back so recovery replays exactly the mutations
+        the live run actually applied."""
+        db = durable(tmp_path)
+        db.register(batch(0, rows=900))
+        expected = answers(db)
+        staged = db.stage_ingest("sensors", batch(1))
+
+        def boom(self, staged):
+            raise RuntimeError("publish failed")
+
+        monkeypatch.setattr(Database, "commit_ingest", boom)
+        with pytest.raises(RuntimeError, match="publish failed"):
+            db.commit_ingest(staged)
+        monkeypatch.undo()
+        assert db.wal.last_lsn == 1  # the ingest record was scrubbed
+        assert answers(db) == expected  # unpublished synopses stay invisible
+        db.close()
+
+        # Recovery sees exactly the committed history: the register, not
+        # the failed ingest (the scrubbed record must not be replayed).
+        recovered = durable(tmp_path)
+        assert recovered.recovery_info.replayed_records == 1
+        assert answers(recovered) == expected
+        # The recovered database ingests normally afterwards.
+        recovered.ingest("sensors", batch(2))
+        assert answers(recovered) == answers(
+            reference_db(
+                [("register", batch(0, rows=900)), ("ingest", "sensors", batch(2))]
+            )
+        )
+        recovered.close()
+
     def test_crash_between_snapshot_and_truncation_is_idempotent(self, tmp_path):
         db = durable(tmp_path)
         db.register(batch(0, rows=900))
@@ -436,6 +569,50 @@ class TestCheckpointIntegration:
         assert answers(recovered) == expected
         recovered.close()
 
+    def test_restarted_checkpointer_waits_full_interval(self, tmp_path):
+        """stop()/trigger() leave the wake event set; a restarted
+        checkpointer must not consume that stale flag and fire
+        immediately — it waits its full interval again."""
+        db = durable(tmp_path)
+        db.register(batch(0, rows=900))
+        checkpointer = BackgroundCheckpointer(db, interval_seconds=30.0)
+        checkpointer.start()
+        checkpointer.trigger()
+        deadline = time.time() + 5.0
+        while checkpointer.checkpoints_written < 1 and time.time() < deadline:
+            time.sleep(0.01)
+        assert checkpointer.checkpoints_written == 1
+        checkpointer.stop(final_checkpoint=False)
+
+        db.ingest("sensors", batch(1))  # give a restart something to write
+        checkpointer.start()
+        time.sleep(0.3)
+        total = checkpointer.checkpoints_written + checkpointer.checkpoints_skipped
+        assert total == 1  # nothing fired: the stale wake flag was cleared
+        checkpointer.stop(final_checkpoint=False)
+        db.close()
+
+    def test_stop_reports_final_checkpoint_result(self, tmp_path):
+        db = durable(tmp_path)
+        db.register(batch(0, rows=900))
+        db.ingest("sensors", batch(1))
+        checkpointer = BackgroundCheckpointer(db, interval_seconds=30.0).start()
+        result = checkpointer.stop()
+        assert result is not None and not result.skipped
+        assert checkpointer.last_error is None
+        # Stopping a checkpointer that is not running returns None.
+        assert checkpointer.stop() is None
+        db.close()
+
+    def test_stop_surfaces_failed_final_checkpoint(self):
+        class Boom:
+            def checkpoint(self):
+                raise RuntimeError("disk full")
+
+        checkpointer = BackgroundCheckpointer(Boom(), interval_seconds=30.0).start()
+        assert checkpointer.stop() is None
+        assert isinstance(checkpointer.last_error, RuntimeError)
+
     def test_plain_service_reports_missing_durability(self):
         service = QueryService(default_params=PARAMS)
         with pytest.raises(ValueError, match="durable"):
@@ -560,6 +737,66 @@ class TestServerKillRecovery:
                 port, lambda client: client.request({"op": "tables"})
             )
             assert tables["result"]["tables"] == ["t"]
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+
+    @pytest.mark.slow
+    def test_kill_between_link_and_manifest_recovers(self, tmp_path):
+        """kill -9 an incremental checkpoint after the sealed blobs were
+        hard-linked into the temp dir but before the manifest was written:
+        the unpublished temp dir must not confuse recovery, and the next
+        checkpoint succeeds."""
+        data_dir = tmp_path / "server-data"
+        proc, port = _start_server(data_dir)
+        try:
+
+            async def setup(client):
+                await client.request(
+                    {
+                        "op": "register",
+                        "table": "t",
+                        "rows": _rows_payload(0, rows=700),
+                        "partition_size": 300,
+                    }
+                )
+                checkpoint = await client.request({"op": "checkpoint"})
+                assert checkpoint["ok"] and not checkpoint["result"]["skipped"]
+                await client.ingest("t", _rows_payload(1))
+                persisted = await client.request({"op": "persist"})
+                assert persisted["ok"]
+                return await client.query(_SQL)
+
+            before = _client_run(port, setup)
+        finally:
+            proc.kill()
+            proc.wait(timeout=30)
+
+        # Restart armed to die between the blob links and the manifest.
+        proc, port = _start_server(data_dir, crash_point="snapshot.before_manifest")
+        try:
+
+            async def doomed(client):
+                with pytest.raises(
+                    (RuntimeError, ConnectionError, OSError, EOFError)
+                ):
+                    await client.request({"op": "checkpoint"})
+
+            _client_run(port, doomed)
+            assert proc.wait(timeout=30) != 0  # died at the crash point
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+        proc, port = _start_server(data_dir)
+        try:
+            after = _client_run(port, lambda client: client.query(_SQL))
+            assert after == before
+            checkpoint = _client_run(
+                port, lambda client: client.request({"op": "checkpoint"})
+            )
+            assert checkpoint["ok"] and not checkpoint["result"]["skipped"]
         finally:
             proc.send_signal(signal.SIGTERM)
             assert proc.wait(timeout=30) == 0

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import struct
 import zlib
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -42,6 +43,13 @@ from repro.storage.snapshot import SnapshotState, TableSnapshotState
 def _clear_crash_hook():
     yield
     set_crash_hook(None)
+
+
+@pytest.fixture(autouse=True)
+def _default_snapshot_format(monkeypatch):
+    """These unit tests pin the default (v2) layout; don't let an ambient
+    REPRO_SNAPSHOT_FORMAT (e.g. the CI v1-compat job) flip it."""
+    monkeypatch.delenv("REPRO_SNAPSHOT_FORMAT", raising=False)
 
 
 # --------------------------------------------------------------------------- #
@@ -357,7 +365,7 @@ class TestSnapshots:
     def test_corrupted_snapshot_falls_back_to_previous(self, tmp_path):
         write_snapshot(tmp_path, _make_state(checkpoint_lsn=3), keep=5)
         newest = write_snapshot(tmp_path, _make_state(checkpoint_lsn=9, seed=1), keep=5)
-        victim = newest / "table-00000.partitions"
+        victim = sorted(newest.glob("part-*.blob"))[0]
         data = bytearray(victim.read_bytes())
         data[len(data) // 2] ^= 0xFF
         victim.write_bytes(bytes(data))
@@ -395,3 +403,220 @@ class TestSnapshots:
         names = sorted(p.name for p in tmp_path.iterdir() if p.name.startswith("snap-"))
         assert len(names) == 2
         assert names[-1].endswith("4")
+
+    def test_same_lsn_redundant_temp_is_discarded(self, tmp_path):
+        """A second snapshot at an already-published LSN hits the
+        redundant-temp branch: the fresh copy is dropped, the published
+        directory stays, and no temp dirs leak."""
+        for fmt in (2, 1):
+            target = tmp_path / f"v{fmt}"
+            state = _make_state(checkpoint_lsn=7)
+            first = write_snapshot(target, state, format_version=fmt)
+            second = write_snapshot(target, state, format_version=fmt)
+            assert first == second
+            assert not list(target.glob("tmp-*"))
+            loaded = load_latest_snapshot(target)
+            assert loaded.checkpoint_lsn == 7
+            assert loaded.tables[0].to_store().num_rows == 600
+
+    def test_fsync_covers_current_pointer_and_skips_linked_blobs(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.storage.snapshot as snapshot_mod
+
+        synced: list[str] = []
+        monkeypatch.setattr(
+            snapshot_mod, "_fsync_path", lambda p: synced.append(Path(p).name)
+        )
+        store, params = _make_store()
+        write_snapshot(tmp_path, _state_from_store(store, params, lsn=1), fsync=True)
+        # The CURRENT tmp file is synced before its rename and the
+        # snapshots directory after it (satellite: torn-pointer footgun).
+        assert "CURRENT.tmp" in synced
+        assert synced.count(tmp_path.name) >= 2
+        synced.clear()
+        store.append(make_simple_table(rows=200, seed=9, name="snap"))
+        write_snapshot(tmp_path, _state_from_store(store, params, lsn=2), fsync=True)
+        # Hard-linked sealed blobs are not re-fsynced: only newly written
+        # files (tail blob, parts index, synopses, catalog, manifest,
+        # CURRENT.tmp) and the directories appear.
+        linked = [name for name in synced if name.startswith("part-")]
+        assert len(linked) == 1  # just the new tail blob
+        # And with fsync off, nothing at all is synced.
+        synced.clear()
+        store.append(make_simple_table(rows=200, seed=10, name="snap"))
+        write_snapshot(tmp_path, _state_from_store(store, params, lsn=3), fsync=False)
+        assert synced == []
+
+
+# --------------------------------------------------------------------------- #
+# Incremental (v2) snapshots: hard-linked sealed blobs
+
+
+def _make_store(rows: int = 600, seed: int = 0):
+    table = make_simple_table(rows=rows, seed=seed, name="snap")
+    store = PartitionedStore.compress(table, partition_size=200)
+    params = PairwiseHistParams.with_defaults(sample_size=600)
+    return store, params
+
+
+def _state_from_store(store, params, lsn: int) -> SnapshotState:
+    from repro.core.builder import build_partition_synopses, snapshot_partition_input
+
+    synopses = build_partition_synopses(
+        [snapshot_partition_input(store, p) for p in store.partitions],
+        params,
+        columns=store.column_order,
+        executor="serial",
+    )
+    return SnapshotState(
+        checkpoint_lsn=lsn,
+        tables=[
+            TableSnapshotState(
+                name=store.table_name,
+                schema=store.schema,
+                preprocessor=store.preprocessor,
+                partition_size=store.partition_size,
+                params=params,
+                gd_config=GreedyGDConfig(),
+                partitions=list(store.partitions),
+                partition_synopses=synopses,
+                synopsis_builds=len(synopses),
+            )
+        ],
+    )
+
+
+def _blob_names(path) -> set[str]:
+    return {p.name for p in path.glob("part-*.blob")}
+
+
+class TestIncrementalSnapshots:
+    def test_sealed_blobs_are_hard_linked_tail_rewritten(self, tmp_path):
+        store, params = _make_store()  # 3 sealed partitions of 200
+        snap1 = write_snapshot(tmp_path, _state_from_store(store, params, 1), keep=5)
+        store.append(make_simple_table(rows=200, seed=1, name="snap"))
+        snap2 = write_snapshot(tmp_path, _state_from_store(store, params, 2), keep=5)
+        shared = _blob_names(snap1) & _blob_names(snap2)
+        assert len(shared) == 3  # every sealed partition reused
+        assert len(_blob_names(snap2) - _blob_names(snap1)) == 1  # the new tail
+        for name in shared:
+            a, b = (snap1 / name).stat(), (snap2 / name).stat()
+            assert a.st_ino == b.st_ino and b.st_nlink >= 2
+        loaded = load_latest_snapshot(tmp_path)
+        assert loaded.checkpoint_lsn == 2
+        assert loaded.tables[0].to_store().num_rows == 800
+
+    def test_unsealed_tail_blob_is_relinked_when_unchanged(self, tmp_path):
+        """A half-full tail that no ingest touched between checkpoints has
+        identical content, so even it is reused (content addressing)."""
+        store, params = _make_store(rows=500)  # 200/200/100: unsealed tail
+        snap1 = write_snapshot(tmp_path, _state_from_store(store, params, 1), keep=5)
+        snap2 = write_snapshot(tmp_path, _state_from_store(store, params, 2), keep=5)
+        assert _blob_names(snap1) == _blob_names(snap2)
+        for name in _blob_names(snap2):
+            assert (snap2 / name).stat().st_nlink >= 2
+
+    def test_topped_up_tail_is_rewritten_not_linked(self, tmp_path):
+        store, params = _make_store(rows=500)  # tail holds 100 of 200
+        snap1 = write_snapshot(tmp_path, _state_from_store(store, params, 1), keep=5)
+        store.append(make_simple_table(rows=50, seed=2, name="snap"))
+        snap2 = write_snapshot(tmp_path, _state_from_store(store, params, 2), keep=5)
+        assert len(_blob_names(snap1) & _blob_names(snap2)) == 2  # sealed pair
+        assert len(_blob_names(snap2) - _blob_names(snap1)) == 1  # new tail content
+        loaded = load_latest_snapshot(tmp_path)
+        assert loaded.tables[0].to_store().num_rows == 550
+
+    def test_loaded_snapshot_links_on_next_checkpoint(self, tmp_path):
+        """Recovery stamps each loaded partition with its blob identity, so
+        the first checkpoint after a warm restart links instead of
+        rewriting — the O(tail) property survives restarts."""
+        store, params = _make_store()
+        snap1 = write_snapshot(tmp_path, _state_from_store(store, params, 1), keep=5)
+        loaded = load_latest_snapshot(tmp_path)
+        restored = loaded.tables[0].to_store()
+        snap2 = write_snapshot(
+            tmp_path, _state_from_store(restored, params, 2), keep=5
+        )
+        assert _blob_names(snap2) == _blob_names(snap1)
+        for name in _blob_names(snap2):
+            assert (snap2 / name).stat().st_nlink >= 2
+
+    def test_gc_keeps_linked_blobs_alive(self, tmp_path):
+        """Deleting the oldest snapshots of an incremental chain must not
+        invalidate newer ones: hard links survive unlinking their source
+        directory (satellite: GC-vs-links safety)."""
+        from repro.storage.snapshot import _snapshot_paths, _validate
+
+        store, params = _make_store()
+        write_snapshot(tmp_path, _state_from_store(store, params, 1), keep=10)
+        for lsn, seed in ((2, 21), (3, 22)):
+            store.append(make_simple_table(rows=200, seed=seed, name="snap"))
+            write_snapshot(tmp_path, _state_from_store(store, params, lsn), keep=10)
+        assert len(_snapshot_paths(tmp_path)) == 3
+        newest = _snapshot_paths(tmp_path)[0]
+        before = {name: (newest / name).read_bytes() for name in _blob_names(newest)}
+        before_loaded = load_latest_snapshot(tmp_path)
+        # Drop the two oldest snapshots (the link sources) via keep.
+        store.append(make_simple_table(rows=200, seed=23, name="snap"))
+        write_snapshot(tmp_path, _state_from_store(store, params, 4), keep=2)
+        remaining = _snapshot_paths(tmp_path)
+        assert [p.name for p in remaining] == [
+            "snap-00000000000000000004",
+            "snap-00000000000000000003",
+        ]
+        # Every remaining snapshot still validates checksum-clean...
+        for path in remaining:
+            assert _validate(path) is not None
+        # ...and the chain's blobs are bit-identical to before the GC.
+        after = {name: (newest / name).read_bytes() for name in _blob_names(newest)}
+        assert after == before
+        loaded = load_latest_snapshot(tmp_path)
+        assert loaded.checkpoint_lsn == 4
+        assert loaded.tables[0].to_store().num_rows == 1200
+        assert before_loaded.tables[0].to_store().num_rows == 1000
+
+    def test_crash_before_manifest_falls_back_to_previous(self, tmp_path):
+        """A crash after the blobs are linked but before the manifest is
+        written leaves an unpublished temp dir; recovery falls back to the
+        previous snapshot and the next checkpoint cleans up."""
+        store, params = _make_store()
+        write_snapshot(tmp_path, _state_from_store(store, params, 1), keep=5)
+        store.append(make_simple_table(rows=200, seed=5, name="snap"))
+
+        def crash(point):
+            if point == "snapshot.before_manifest":
+                raise SimulatedCrash(point)
+
+        set_crash_hook(crash)
+        with pytest.raises(SimulatedCrash):
+            write_snapshot(tmp_path, _state_from_store(store, params, 2), keep=5)
+        set_crash_hook(None)
+        assert load_latest_snapshot(tmp_path).checkpoint_lsn == 1
+        write_snapshot(tmp_path, _state_from_store(store, params, 2), keep=5)
+        assert load_latest_snapshot(tmp_path).checkpoint_lsn == 2
+        assert not list(tmp_path.glob("tmp-*"))
+
+    def test_v1_format_written_and_loaded(self, tmp_path):
+        path = write_snapshot(
+            tmp_path, _make_state(checkpoint_lsn=7), format_version=1
+        )
+        assert (path / "table-00000.partitions").is_file()
+        assert not _blob_names(path)
+        loaded = load_latest_snapshot(tmp_path)
+        assert loaded.checkpoint_lsn == 7
+        assert loaded.tables[0].to_store().num_rows == 600
+
+    def test_v1_chain_upgrades_to_v2_on_next_write(self, tmp_path):
+        store, params = _make_store()
+        write_snapshot(
+            tmp_path, _state_from_store(store, params, 1), keep=5, format_version=1
+        )
+        loaded = load_latest_snapshot(tmp_path)
+        restored = loaded.tables[0].to_store()
+        snap2 = write_snapshot(tmp_path, _state_from_store(restored, params, 2), keep=5)
+        assert _blob_names(snap2)  # v2 layout now
+        assert load_latest_snapshot(tmp_path).checkpoint_lsn == 2
+        # The v2 blobs are brand new files (nothing to link from a v1 dir).
+        for name in _blob_names(snap2):
+            assert (snap2 / name).stat().st_nlink == 1
