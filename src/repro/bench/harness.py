@@ -591,6 +591,8 @@ def _drive_closed_loop(
 
     def writer() -> None:
         index = 0
+        if not ingest_batches:
+            return  # read-only window (e.g. the replica read-scaling bench)
         try:
             while not stop.is_set():
                 began = time.perf_counter()
@@ -749,6 +751,97 @@ def run_sharded_benchmark(
         )
     finally:
         cluster.close()
+    return measurements
+
+
+def wait_for_replica_catchup(cluster, timeout_seconds: float = 60.0) -> None:
+    """Block until every replica's applied LSN matches its primary's durable
+    LSN (quiescent cluster), then force a routing-eligibility refresh."""
+    from ..cluster.shard import ReplicatedShard
+
+    deadline = time.perf_counter() + timeout_seconds
+    for shard in cluster.shards:
+        if not isinstance(shard, ReplicatedShard):
+            continue
+        while True:
+            durable = int(shard.primary.status().get("durable_lsn", 0))
+            applied = [
+                int(shard.replicas[slot].status().get("applied_lsn", -1))
+                for slot in shard.replica_slots()
+            ]
+            if all(lsn >= durable for lsn in applied):
+                break
+            if time.perf_counter() > deadline:
+                raise TimeoutError(
+                    f"replicas of shard {shard.index} never caught up to "
+                    f"lsn {durable} within {timeout_seconds:.0f}s "
+                    f"(applied: {applied})"
+                )
+            time.sleep(0.05)
+        shard._refresh_eligible()
+        shard._next_refresh = time.monotonic() + shard.refresh_interval
+
+
+def run_replication_benchmark(
+    table: Table,
+    sql_queries: list[str],
+    data_dir,
+    replica_counts: tuple[int, ...] = (0, 2),
+    params: PairwiseHistParams | None = None,
+    partition_size: int = 2_000,
+    num_clients: int = 4,
+    duration_seconds: float = 8.0,
+    catchup_timeout: float = 120.0,
+) -> list[ShardedThroughputMeasurement]:
+    """Read-only throughput of one shard with varying replica counts.
+
+    Each configuration boots a 1-shard process cluster (primary plus
+    ``n`` WAL-shipping read replicas on the same host), registers the
+    same table, waits for every replica to catch up, then drives N
+    closed-loop query clients with **no** ingest stream — isolating the
+    read-scaling effect of routing scatters across the replica set.
+
+    The result cache is disabled on every worker so the measurement
+    scales with synopsis evaluation (the paper's workload) rather than
+    cache-hit serving, and checkpoints are pushed out of the window.
+    """
+    from pathlib import Path
+
+    from ..cluster.service import ClusterQueryService
+
+    data_dir = Path(data_dir)
+    params = params or PairwiseHistParams.with_defaults(sample_size=None)
+    measurements: list[ShardedThroughputMeasurement] = []
+    for count in replica_counts:
+        cluster = ClusterQueryService(
+            num_shards=1,
+            path=data_dir / f"replicas-{count}",
+            mode="process",
+            partition_size=partition_size,
+            replicas=count,
+            worker_options={
+                "checkpoint_interval": 3600.0,
+                "workers_per_shard": num_clients,
+                "result_cache_size": 0,
+            },
+        )
+        try:
+            cluster.register_table(table, params=params)
+            wait_for_replica_catchup(cluster, timeout_seconds=catchup_timeout)
+            measurements.append(
+                _drive_closed_loop(
+                    execute_query=lambda w, sql: cluster.execute(sql),
+                    do_ingest=lambda batch: None,
+                    sql_queries=sql_queries,
+                    ingest_batches=[],
+                    num_clients=num_clients,
+                    duration_seconds=duration_seconds,
+                    ingest_interval_seconds=3600.0,
+                    mode=f"1-primary-{count}-replica",
+                )
+            )
+        finally:
+            cluster.close()
     return measurements
 
 

@@ -38,10 +38,15 @@ from ..data.table import Table
 from ..sql.ast import Query
 from ..sql.parser import parse_query_cached
 from ..service.wire import UnsentRequestError
-from ..storage.cluster import ClusterLayout, ClusterManifest, ClusterTableMeta
+from ..storage.cluster import (
+    ClusterLayout,
+    ClusterManifest,
+    ClusterTableMeta,
+    shard_dir_name,
+)
 from .gather import gather_groups, gather_scalar, plan_query
 from .router import ShardRouter
-from .shard import LocalShard, ProcessShard
+from .shard import LocalShard, ProcessShard, ReplicatedShard
 from .supervisor import ShardSupervisor
 
 #: Connection-level failures that trigger a worker restart.
@@ -145,6 +150,8 @@ class ClusterQueryService:
         default_params: PairwiseHistParams | None = None,
         partition_size: int | None = None,
         worker_options: dict | None = None,
+        replicas: int | None = 0,
+        max_replica_lag: int = 256,
         _opening: bool = False,
         **database_kwargs,
     ) -> None:
@@ -156,6 +163,7 @@ class ClusterQueryService:
         self.partition_size = partition_size
         self.router = ShardRouter(num_shards)
         self.layout = ClusterLayout(path) if path is not None else None
+        self.max_replica_lag = max_replica_lag
         self._catalog: dict[str, ClusterTable] = {}
         #: Guards catalog dict mutations + manifest writes (register/drop).
         self._catalog_mutex = threading.Lock()
@@ -165,6 +173,20 @@ class ClusterQueryService:
         #: N-1 orphaned processes.
         self._revive_locks = [threading.Lock() for _ in range(num_shards)]
         self._closed = False
+        if replicas is None:
+            # Autodetect (the open() path): the replica directories on
+            # disk are the setting.
+            replicas = (
+                self.layout.detect_replicas(num_shards)
+                if self.layout is not None
+                else 0
+            )
+        self.replicas = int(replicas)
+        if self.replicas and (mode != "process" or self.layout is None):
+            raise ValueError(
+                "read replicas need mode='process' and a cluster path — "
+                "each replica is a follower subprocess with its own data dir"
+            )
         if self.layout is not None:
             existing = self.layout.read_manifest()
             if existing is not None and not _opening:
@@ -173,23 +195,70 @@ class ClusterQueryService:
                     "contains state; use ClusterQueryService.open(path) to "
                     "recover it"
                 )
-            self.layout.ensure(num_shards)
+            self.layout.ensure(num_shards, replicas=self.replicas)
         shard_dirs: list[Path | None] = (
             self.layout.shard_paths(num_shards)
             if self.layout is not None
             else [None] * num_shards
         )
+        replica_dirs: list[list[Path]] | None = None
+        epoch_files: list[Path] | None = None
+        if self.replicas:
+            from ..replication.fence import read_epoch, write_epoch
+
+            replica_dirs = [
+                [self.layout.replica_path(i, r) for r in range(self.replicas)]
+                for i in range(num_shards)
+            ]
+            epoch_files = [self.layout.epoch_path(i) for i in range(num_shards)]
+            for i in range(num_shards):
+                record = read_epoch(epoch_files[i])
+                if record.epoch == 0:
+                    write_epoch(epoch_files[i], 1, primary=shard_dir_name(i))
+                elif record.primary and record.primary != shard_dirs[i].name:
+                    # A past promotion moved the primary role into one of
+                    # the replica directories; honour the epoch record so
+                    # the reopened cluster serves the promoted state.
+                    for slot, candidate in enumerate(replica_dirs[i]):
+                        if candidate.name == record.primary:
+                            shard_dirs[i], replica_dirs[i][slot] = (
+                                candidate,
+                                shard_dirs[i],
+                            )
+                            break
         self.supervisor: ShardSupervisor | None = None
         if mode == "process":
             self.supervisor = ShardSupervisor(
                 data_dirs=shard_dirs,
                 partition_size=partition_size,
+                replicas=self.replicas,
+                replica_data_dirs=replica_dirs,
+                epoch_files=epoch_files,
                 **(worker_options or {}),
             )
             handles = self.supervisor.start()
-            self.shards = [
+            primaries = [
                 ProcessShard(h.index, self.supervisor.host, h.port) for h in handles
             ]
+            if self.replicas:
+                self.shards = [
+                    ReplicatedShard(
+                        i,
+                        primary,
+                        {
+                            r: ProcessShard(
+                                i,
+                                self.supervisor.host,
+                                self.supervisor.handles[(i, r)].port,
+                            )
+                            for r in range(self.replicas)
+                        },
+                        max_lag_records=max_replica_lag,
+                    )
+                    for i, primary in enumerate(primaries)
+                ]
+            else:
+                self.shards = primaries
         else:
             if worker_options:
                 raise ValueError("worker_options only apply to mode='process'")
@@ -243,6 +312,9 @@ class ClusterQueryService:
                 f"shard(s); refusing to reopen with {expected_shards} — the "
                 "shard count is part of the routing function"
             )
+        # Reopening autodetects the replica count from the directory
+        # listing unless the caller pins it explicitly.
+        kwargs.setdefault("replicas", None if mode == "process" else 0)
         service = cls(
             num_shards=manifest.num_shards,
             path=path,
@@ -339,6 +411,8 @@ class ClusterQueryService:
             if self.supervisor.ping(index):
                 shard.reconnect()
                 return
+            if self.replicas and self._promote_shard(index):
+                return
             handle = self.supervisor.restart(index)
             shard.reconnect(handle.port)
             if self.layout is None:
@@ -350,6 +424,74 @@ class ClusterQueryService:
                         table.registered.discard(index)
                         table.shard_rows.pop(index, None)
                         table.shard_partitions.pop(index, None)
+
+    def _promote_shard(self, index: int) -> bool:
+        """Fail a dead primary over to its freshest live replica.
+
+        Caller holds the shard's revive lock.  The order is the fencing
+        contract: bump the epoch file first (from that instant the deposed
+        primary — even a zombie that is merely unreachable — can no longer
+        acknowledge writes), then tell the chosen replica to act as the
+        primary.  The freshest replica (highest durable LSN) necessarily
+        holds every acknowledged write, because acks waited for
+        replication and follower WALs are contiguous.
+
+        Returns False when no replica can take over — the caller falls
+        back to restart-as-recovery on the old primary's directory.
+        """
+        from ..replication.fence import read_epoch, write_epoch
+
+        shard = self.shards[index]
+        supervisor = self.supervisor
+        candidates: list[tuple[int, int]] = []
+        for slot in shard.replica_slots():
+            replica = shard.replicas[slot]
+            try:
+                status = replica.status()
+            except Exception:
+                try:
+                    replica.reconnect()
+                    status = replica.status()
+                except Exception:
+                    continue
+            if status.get("role") != "replica":
+                continue
+            candidates.append((int(status.get("durable_lsn", 0)), slot))
+        if not candidates:
+            return False
+        _, slot = max(candidates)
+        epoch_path = self.layout.epoch_path(index)
+        new_epoch = read_epoch(epoch_path).epoch + 1
+        promoted_dir = supervisor.replica_data_dirs[index][slot]
+        write_epoch(epoch_path, new_epoch, primary=promoted_dir.name)
+        try:
+            shard.replicas[slot].promote(new_epoch)
+        except Exception:
+            return False  # retried at a yet-higher epoch by the next revive
+        deposed = supervisor.adopt_primary(index, slot)
+        if deposed is not None and deposed.alive:
+            deposed.process.kill()  # fenced zombie; reap it
+            deposed.process.wait(timeout=30)
+        shard.swap_primary(slot)
+        new_port = supervisor.handles[index].port
+        for other in shard.replica_slots():
+            try:
+                shard.replicas[other].follow(supervisor.host, new_port)
+            except Exception:
+                pass  # its own revive path will respawn it
+        # The deposed primary's directory comes back as a fresh follower:
+        # its unreplicated (never-acknowledged) WAL tail is quarantined so
+        # it reseeds cleanly from the new primary.
+        try:
+            handle = supervisor.respawn_replica(
+                index, slot, fresh=True, epoch=new_epoch
+            )
+            shard.attach_replica(
+                slot, ProcessShard(index, supervisor.host, handle.port)
+            )
+        except Exception:
+            pass  # a missing replica only costs read capacity
+        return True
 
     def _scatter(self, indices: list[int], fn):
         """Run ``fn(index, shard)`` on many shards concurrently (with the

@@ -24,6 +24,7 @@ flavour produced them.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from pathlib import Path
@@ -323,9 +324,216 @@ class ProcessShard:
     def persist(self) -> int:
         return self._call(lambda query, bulk: query.persist())
 
+    def status(self) -> dict:
+        """Replication/health snapshot of the worker (role, LSNs, lag)."""
+        return self._call(lambda query, bulk: query.status())
+
+    def promote(self, epoch: int) -> dict:
+        """Tell a replica worker to become the primary at ``epoch``."""
+        return self._call(lambda query, bulk: query.promote(epoch))
+
+    def follow(self, host: str, port: int) -> dict:
+        """Repoint a replica worker's subscription at a new primary."""
+        return self._call(lambda query, bulk: query.follow(host, port))
+
     def close(self) -> None:
         with self._mutex:
             self._generation += 1
             channels = (self._query_channel, self._bulk_channel)
         for channel in channels:
             channel.close()
+
+
+class ReplicatedShard:
+    """One logical shard backed by a primary plus read replicas.
+
+    Queries round-robin across the primary and every *eligible* replica —
+    a replica is eligible while its worker reports the replica role and
+    its applied LSN trails the primary's durable LSN by at most
+    ``max_lag_records`` (the bounded-staleness knob).  Eligibility is
+    refreshed at most every ``refresh_interval`` seconds by whichever
+    query thread gets there first; any failure on a replica read demotes
+    it on the spot and the query retries on the primary, so replica
+    trouble costs latency, never an error.
+
+    Everything with write or authority semantics — ingest, register,
+    drop, checkpoint, persist, stat — goes to the primary only.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        primary: ProcessShard,
+        replicas: dict[int, ProcessShard] | None = None,
+        max_lag_records: int = 256,
+        refresh_interval: float = 0.25,
+    ) -> None:
+        self.index = index
+        self.primary = primary
+        self.replicas: dict[int, ProcessShard] = dict(replicas or {})
+        self.max_lag_records = max_lag_records
+        self.refresh_interval = refresh_interval
+        self._mutex = threading.Lock()
+        self._refresh_mutex = threading.Lock()
+        self._eligible: tuple[int, ...] = ()
+        self._next_refresh = 0.0
+        self._rr = 0
+        self._generation = 0
+
+    # ------------------------------------------------------------------ #
+    # Topology
+
+    @property
+    def generation(self) -> int:
+        """Bumped by reconnect and promotion; revival logic uses it to
+        detect that another caller already revived the shard."""
+        return self._generation
+
+    def replica_slots(self) -> list[int]:
+        with self._mutex:
+            return sorted(self.replicas)
+
+    def eligible_slots(self) -> list[int]:
+        """Replica slots currently in the read set (within the lag bound)."""
+        with self._mutex:
+            return sorted(self._eligible)
+
+    def attach_replica(self, slot: int, shard: ProcessShard) -> None:
+        """Install (or replace) the replica at ``slot``."""
+        with self._mutex:
+            old = self.replicas.get(slot)
+            self.replicas[slot] = shard
+            self._eligible = tuple(s for s in self._eligible if s != slot)
+        if old is not None and old is not shard:
+            old.close()
+
+    def swap_primary(self, slot: int) -> ProcessShard:
+        """Make the (already promoted) replica at ``slot`` the primary.
+
+        Returns the deposed primary's shard, which the caller owns —
+        its process is usually already dead.
+        """
+        with self._mutex:
+            promoted = self.replicas.pop(slot)
+            deposed, self.primary = self.primary, promoted
+            self._eligible = ()
+            self._generation += 1
+        return deposed
+
+    def reconnect(self, port: int | None = None) -> None:
+        self.primary.reconnect(port)
+        with self._mutex:
+            self._generation += 1
+
+    # ------------------------------------------------------------------ #
+    # Staleness-bounded read routing
+
+    def _refresh_eligible(self) -> None:
+        """Re-derive the eligible replica set from worker statuses."""
+        try:
+            durable = int(self.primary.status().get("durable_lsn", 0))
+        except Exception:
+            return  # primary trouble is the revival path's problem
+        with self._mutex:
+            replicas = dict(self.replicas)
+        eligible = []
+        for slot, shard in sorted(replicas.items()):
+            try:
+                status = shard.status()
+            except Exception:
+                try:
+                    shard.reconnect()
+                    status = shard.status()
+                except Exception:
+                    continue
+            if status.get("role") != "replica":
+                continue
+            applied = int(status.get("applied_lsn", 0))
+            if durable - applied <= self.max_lag_records:
+                eligible.append(slot)
+        with self._mutex:
+            self._eligible = tuple(s for s in eligible if s in self.replicas)
+
+    def _maybe_refresh(self) -> None:
+        now = time.monotonic()
+        if now < self._next_refresh:
+            return
+        if not self._refresh_mutex.acquire(blocking=False):
+            return  # someone else is already paying for the refresh
+        try:
+            if time.monotonic() < self._next_refresh:
+                return
+            self._refresh_eligible()
+            self._next_refresh = time.monotonic() + self.refresh_interval
+        finally:
+            self._refresh_mutex.release()
+
+    def _pick(self) -> tuple[int | None, ProcessShard]:
+        with self._mutex:
+            candidates: list[tuple[int | None, ProcessShard]] = [(None, self.primary)]
+            candidates += [
+                (slot, self.replicas[slot])
+                for slot in self._eligible
+                if slot in self.replicas
+            ]
+            self._rr += 1
+            return candidates[self._rr % len(candidates)]
+
+    def _demote(self, slot: int) -> None:
+        with self._mutex:
+            self._eligible = tuple(s for s in self._eligible if s != slot)
+
+    def execute(self, sql: str):
+        self._maybe_refresh()
+        slot, shard = self._pick()
+        if slot is None:
+            return self.primary.execute(sql)
+        try:
+            return shard.execute(sql)
+        except Exception:
+            # Deterministic errors re-raise identically from the primary;
+            # replica-only trouble (lag, restart, promotion) is absorbed.
+            self._demote(slot)
+            return self.primary.execute(sql)
+
+    # ------------------------------------------------------------------ #
+    # Primary-only operations
+
+    def register(
+        self,
+        table: Table,
+        params: PairwiseHistParams | None = None,
+        partition_size: int | None = None,
+    ) -> dict:
+        return self.primary.register(
+            table, params=params, partition_size=partition_size
+        )
+
+    def ingest(self, table_name: str, rows: Table) -> dict:
+        return self.primary.ingest(table_name, rows)
+
+    def table_names(self) -> list[str]:
+        return self.primary.table_names()
+
+    def stat(self, table_name: str) -> dict:
+        return self.primary.stat(table_name)
+
+    def drop(self, table_name: str) -> None:
+        self.primary.drop(table_name)
+
+    def checkpoint(self) -> dict:
+        return self.primary.checkpoint()
+
+    def persist(self) -> int:
+        return self.primary.persist()
+
+    def status(self) -> dict:
+        return self.primary.status()
+
+    def close(self) -> None:
+        with self._mutex:
+            shards = [self.primary, *self.replicas.values()]
+            self.replicas.clear()
+            self._eligible = ()
+        for shard in shards:
+            shard.close()

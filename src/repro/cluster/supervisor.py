@@ -11,8 +11,14 @@ shard data directory.  The supervisor:
 * restarts a dead worker on the same data directory, which makes the
   replacement recover its tables from its own snapshot + WAL before it
   starts listening — restart *is* recovery;
-* stops the fleet gracefully (SIGTERM, which triggers each worker's final
-  checkpoint) with a kill fallback.
+* optionally spawns ``replicas`` follower processes per shard
+  (``--replica-of`` workers subscribing to their primary's WAL stream),
+  and supports the promotion dance: ``adopt_primary`` rekeys a promoted
+  replica into the primary slot, ``respawn_replica`` brings a dead or
+  diverged process back as a fresh follower;
+* stops the fleet gracefully — SIGTERM (which triggers each worker's
+  final checkpoint), then escalates to SIGKILL for any worker that has
+  not exited within the grace period.
 """
 
 from __future__ import annotations
@@ -47,6 +53,8 @@ class WorkerHandle:
     index: int
     process: subprocess.Popen
     port: int
+    #: Replica slot within the shard, ``None`` for the primary.
+    replica: int | None = None
 
     @property
     def alive(self) -> bool:
@@ -69,6 +77,12 @@ class ShardSupervisor:
         startup_timeout: float = 120.0,
         python: str = sys.executable,
         crash_point: str | None = None,
+        replicas: int = 0,
+        replica_data_dirs: list[list[Path]] | None = None,
+        epoch_files: list[Path] | None = None,
+        ack_replicas: int | None = None,
+        stop_grace_timeout: float = 30.0,
+        extra_env: dict[str, str] | None = None,
     ) -> None:
         self.data_dirs = [None if d is None else Path(d) for d in data_dirs]
         self.host = host
@@ -84,7 +98,28 @@ class ShardSupervisor:
         #: fault-injection point (crash drills / tests); clear it before a
         #: restart or the replacement dies at the same point again.
         self.crash_point = crash_point
-        self.handles: dict[int, WorkerHandle] = {}
+        #: Follower processes per shard; requires durable data dirs.
+        self.replicas = replicas
+        self.replica_data_dirs = (
+            None
+            if replica_data_dirs is None
+            else [[Path(p) for p in dirs] for dirs in replica_data_dirs]
+        )
+        #: Per-shard epoch (fencing) files; workers read their epoch from
+        #: these at spawn so a restart rejoins at the current epoch.
+        self.epoch_files = (
+            None if epoch_files is None else [Path(p) for p in epoch_files]
+        )
+        #: How many follower acks a primary's mutation ack waits for;
+        #: defaults to 1 whenever replicas exist (semi-sync replication).
+        self.ack_replicas = (
+            (1 if replicas > 0 else 0) if ack_replicas is None else ack_replicas
+        )
+        #: SIGTERM→SIGKILL escalation grace for :meth:`stop`.
+        self.stop_grace_timeout = stop_grace_timeout
+        #: Extra environment variables for every spawned worker (drills).
+        self.extra_env = dict(extra_env) if extra_env else None
+        self.handles: dict[int | tuple[int, int], WorkerHandle] = {}
 
     @property
     def num_shards(self) -> int:
@@ -93,7 +128,7 @@ class ShardSupervisor:
     # ------------------------------------------------------------------ #
     # Spawning
 
-    def _argv(self, index: int) -> list[str]:
+    def _base_argv(self, data_dir: Path | None) -> list[str]:
         argv = [
             self.python,
             "-m",
@@ -111,7 +146,6 @@ class ShardSupervisor:
             argv += ["--partition-size", str(self.partition_size)]
         if self.result_cache_size is not None:
             argv += ["--result-cache-size", str(self.result_cache_size)]
-        data_dir = self.data_dirs[index]
         if data_dir is not None:
             argv += [
                 "--data-dir",
@@ -123,13 +157,44 @@ class ShardSupervisor:
                 argv.append("--fsync")
         return argv
 
-    def spawn(self, index: int) -> WorkerHandle:
-        """Start worker ``index``; blocks until it reports its port.
+    def _epoch_argv(self, index: int) -> list[str]:
+        """Fencing/semi-sync flags, with the epoch read live from the file
+        so a restarted worker rejoins at the *current* epoch."""
+        if self.epoch_files is None:
+            return []
+        from ..replication.fence import read_epoch
 
-        A worker with a populated data directory recovers before it prints
-        ``listening on``, so a handle returned from here is already serving
-        its recovered tables.
-        """
+        path = self.epoch_files[index]
+        argv = ["--epoch-file", str(path), "--epoch", str(read_epoch(path).epoch)]
+        if self.ack_replicas:
+            argv += ["--ack-replicas", str(self.ack_replicas)]
+        return argv
+
+    def _argv(self, index: int) -> list[str]:
+        return self._base_argv(self.data_dirs[index]) + self._epoch_argv(index)
+
+    def _replica_argv(self, index: int, replica: int) -> list[str]:
+        primary = self.handles.get(index)
+        if primary is None:
+            raise RuntimeError(
+                f"cannot spawn replica {replica} of shard {index}: "
+                "the primary has no handle to subscribe to"
+            )
+        assert self.replica_data_dirs is not None
+        return (
+            self._base_argv(self.replica_data_dirs[index][replica])
+            + [
+                "--replica-of",
+                f"{self.host}:{primary.port}",
+                "--follower-id",
+                f"shard{index}-r{replica}",
+            ]
+            + self._epoch_argv(index)
+        )
+
+    def _spawn_process(
+        self, argv: list[str], key: int | tuple[int, int]
+    ) -> subprocess.Popen:
         env = dict(os.environ, PYTHONUNBUFFERED="1")
         src = _repro_src_dir()
         existing = env.get("PYTHONPATH")
@@ -137,13 +202,25 @@ class ShardSupervisor:
         env.pop("REPRO_CRASH_POINT", None)  # never inherit armed crash points
         if self.crash_point:
             env["REPRO_CRASH_POINT"] = self.crash_point
-        process = subprocess.Popen(
-            self._argv(index),
+        if self.extra_env:
+            env.update(self.extra_env)
+        return subprocess.Popen(
+            argv,
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
             text=True,
             env=env,
         )
+
+    def spawn(self, index: int) -> WorkerHandle:
+        """Start the primary of shard ``index``; blocks until it reports
+        its port.
+
+        A worker with a populated data directory recovers before it prints
+        ``listening on``, so a handle returned from here is already serving
+        its recovered tables.
+        """
+        process = self._spawn_process(self._argv(index), index)
         port, banner = self._await_port(process)
         if port is None:
             process.kill()
@@ -154,6 +231,28 @@ class ShardSupervisor:
             )
         handle = WorkerHandle(index=index, process=process, port=port)
         self.handles[index] = handle
+        return handle
+
+    def spawn_replica(self, index: int, replica: int) -> WorkerHandle:
+        """Start follower ``replica`` of shard ``index`` (primary must be up).
+
+        The follower recovers its own data directory first, then subscribes
+        to the primary from its recovered LSN — catch-up happens in the
+        background after the handle is returned.
+        """
+        process = self._spawn_process(self._replica_argv(index, replica), (index, replica))
+        port, banner = self._await_port(process)
+        if port is None:
+            process.kill()
+            process.wait(timeout=30)
+            raise RuntimeError(
+                f"replica {replica} of shard {index} never reported a port "
+                f"within {self.startup_timeout:.0f}s; output:\n" + "".join(banner)
+            )
+        handle = WorkerHandle(
+            index=index, process=process, port=port, replica=replica
+        )
+        self.handles[(index, replica)] = handle
         return handle
 
     def _await_port(self, process) -> tuple[int | None, list[str]]:
@@ -189,9 +288,14 @@ class ShardSupervisor:
                 return None, banner
 
     def start(self) -> list[WorkerHandle]:
-        """Spawn every worker; tears the fleet down if any fails to boot."""
+        """Spawn every primary, then every replica; tears the fleet down
+        if any worker fails to boot.  Returns the primary handles."""
         try:
-            return [self.spawn(index) for index in range(self.num_shards)]
+            primaries = [self.spawn(index) for index in range(self.num_shards)]
+            for index in range(self.num_shards):
+                for replica in range(self.replicas):
+                    self.spawn_replica(index, replica)
+            return primaries
         except BaseException:
             self.stop(graceful=False)
             raise
@@ -199,13 +303,13 @@ class ShardSupervisor:
     # ------------------------------------------------------------------ #
     # Health / restart
 
-    def is_alive(self, index: int) -> bool:
-        handle = self.handles.get(index)
+    def is_alive(self, key: int | tuple[int, int]) -> bool:
+        handle = self.handles.get(key)
         return handle is not None and handle.alive
 
-    def ping(self, index: int, timeout: float = 5.0) -> bool:
+    def ping(self, key: int | tuple[int, int], timeout: float = 5.0) -> bool:
         """Liveness through the wire, not just the process table."""
-        handle = self.handles.get(index)
+        handle = self.handles.get(key)
         if handle is None or not handle.alive:
             return False
         try:
@@ -227,27 +331,98 @@ class ShardSupervisor:
             handle.process.wait(timeout=30)
         return self.spawn(index)
 
-    def kill(self, index: int) -> None:
+    def kill(self, key: int | tuple[int, int]) -> None:
         """``kill -9`` one worker (fault injection for tests and drills)."""
-        handle = self.handles[index]
+        handle = self.handles[key]
         handle.process.send_signal(signal.SIGKILL)
         handle.process.wait(timeout=30)
 
     # ------------------------------------------------------------------ #
+    # Promotion
+
+    def adopt_primary(self, index: int, replica: int) -> WorkerHandle | None:
+        """Rekey an (already promoted) replica process into the primary slot.
+
+        Swaps the shard's primary data dir with the replica's — from now
+        on ``spawn(index)`` restarts the promoted worker on the directory
+        it actually owns, and ``spawn_replica(index, replica)`` reuses the
+        old primary's directory for a fresh follower.  Returns the
+        deposed primary's handle (usually a corpse), or ``None``.
+        """
+        promoted = self.handles.pop((index, replica))
+        deposed = self.handles.pop(index, None)
+        self.handles[index] = WorkerHandle(
+            index=index, process=promoted.process, port=promoted.port
+        )
+        if self.replica_data_dirs is not None:
+            dirs = self.replica_data_dirs[index]
+            self.data_dirs[index], dirs[replica] = (
+                dirs[replica],
+                self.data_dirs[index],
+            )
+        return deposed
+
+    def respawn_replica(
+        self, index: int, replica: int, fresh: bool = False, epoch: int = 0
+    ) -> WorkerHandle:
+        """Bring a replica slot back, killing any remnant process first.
+
+        ``fresh=True`` quarantines the directory's wal/snapshots into a
+        ``divergent-{epoch}`` subdirectory before spawning — used for a
+        deposed primary whose unreplicated tail must not resurface.  The
+        fresh follower then bootstraps by reseeding from the new primary.
+        """
+        handle = self.handles.pop((index, replica), None)
+        if handle is not None:
+            if handle.alive:
+                handle.process.kill()
+            handle.process.wait(timeout=30)
+        if fresh and self.replica_data_dirs is not None:
+            data_dir = self.replica_data_dirs[index][replica]
+            quarantine = data_dir / f"divergent-{epoch:06d}"
+            for name in ("wal", "snapshots"):
+                source = data_dir / name
+                if source.exists():
+                    quarantine.mkdir(parents=True, exist_ok=True)
+                    os.replace(source, quarantine / name)
+        return self.spawn_replica(index, replica)
+
+    # ------------------------------------------------------------------ #
     # Shutdown
 
-    def stop(self, graceful: bool = True, timeout: float = 30.0) -> None:
-        """Stop every worker; graceful SIGTERM triggers final checkpoints."""
+    def stop(
+        self,
+        graceful: bool = True,
+        timeout: float = 30.0,
+        grace_timeout: float | None = None,
+    ) -> None:
+        """Stop every worker.
+
+        Graceful stop sends SIGTERM (triggering each worker's final
+        checkpoint) and gives the whole fleet one shared grace period
+        (``grace_timeout``, default :attr:`stop_grace_timeout`) to exit;
+        stragglers are then escalated to SIGKILL, so one wedged worker —
+        hung checkpoint, masked signal handler — can never hang shutdown
+        for longer than the grace plus the reap ``timeout``.
+        """
+        grace = self.stop_grace_timeout if grace_timeout is None else grace_timeout
         for handle in self.handles.values():
             if not handle.alive:
                 continue
             handle.process.send_signal(
                 signal.SIGTERM if graceful else signal.SIGKILL
             )
+        deadline = time.monotonic() + (grace if graceful else timeout)
+        stragglers: list[WorkerHandle] = []
         for handle in self.handles.values():
             try:
-                handle.process.wait(timeout=timeout)
-            except subprocess.TimeoutExpired:  # pragma: no cover - stuck worker
-                handle.process.kill()
-                handle.process.wait(timeout=timeout)
+                handle.process.wait(
+                    timeout=max(0.05, deadline - time.monotonic())
+                )
+            except subprocess.TimeoutExpired:
+                stragglers.append(handle)
+        for handle in stragglers:
+            handle.process.kill()
+        for handle in stragglers:
+            handle.process.wait(timeout=timeout)
         self.handles.clear()

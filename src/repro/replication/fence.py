@@ -1,0 +1,72 @@
+"""Epoch fencing: at most one worker may ack writes for a shard.
+
+Each replicated shard has one epoch file at the cluster root — a tiny
+JSON document ``{"epoch": E, "primary": "<data dir name>"}`` updated
+with an atomic rename.  A worker is told its epoch at spawn; before
+acknowledging any mutation it re-reads the file and refuses (raising
+:class:`FencedError`) if the file's epoch has moved past its own.
+
+Promotion is therefore a two-step protocol with a crash-safe order:
+the front end first bumps the epoch file (from this instant a zombie
+primary can no longer ack anything, even if its process is alive and
+still reachable), *then* tells the chosen follower to start acting as
+the primary.  A crash between the steps leaves a shard with no writable
+primary — safe, and the next revive pass retries promotion.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+#: error_type carried on the wire when a fenced worker refuses a write
+#: (the server encodes ``type(exc).__name__``).
+FENCED_ERROR_TYPE = "FencedError"
+
+
+class FencedError(RuntimeError):
+    """This worker's epoch is stale; a newer primary has been elected."""
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    epoch: int
+    #: Data-directory *name* (relative to the cluster root) of the worker
+    #: holding the primary role at this epoch; ``None`` before the first
+    #: election record is written.
+    primary: str | None
+
+
+def read_epoch(path: str | os.PathLike) -> EpochRecord:
+    """The current epoch record (``epoch=0`` when the file doesn't exist)."""
+    try:
+        raw = Path(path).read_bytes()
+    except FileNotFoundError:
+        return EpochRecord(epoch=0, primary=None)
+    try:
+        doc = json.loads(raw)
+        return EpochRecord(epoch=int(doc["epoch"]), primary=doc.get("primary"))
+    except (ValueError, KeyError, TypeError) as exc:
+        raise ValueError(f"corrupt epoch file {str(path)!r}: {exc}") from exc
+
+
+def write_epoch(path: str | os.PathLike, epoch: int, primary: str | None = None) -> None:
+    """Atomically publish a new epoch record (plain rename; the record is
+    advisory-durable — a torn write is impossible, a lost one re-elects)."""
+    path = Path(path)
+    doc = {"epoch": int(epoch), "primary": primary}
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(doc))
+    os.replace(tmp, path)
+
+
+def check_fence(path: str | os.PathLike, own_epoch: int) -> None:
+    """Raise :class:`FencedError` if the epoch file has moved past ours."""
+    record = read_epoch(path)
+    if record.epoch > own_epoch:
+        raise FencedError(
+            f"epoch {own_epoch} is fenced: a primary at epoch "
+            f"{record.epoch} has been elected"
+        )

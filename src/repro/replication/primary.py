@@ -1,0 +1,259 @@
+"""Primary-side replication hub: WAL shipping, acks, retention floor.
+
+One :class:`ReplicationHub` lives inside each durable server process.  It
+owns the subscriber registry (follower id → acknowledged LSN) and three
+derived facts:
+
+* the **retention floor** — the minimum LSN any registered follower still
+  needs, wired into ``DurableDatabase.retention_floor`` so checkpoints
+  never truncate a live subscriber out of the log.  A disconnected
+  follower keeps its floor for ``retention_grace_seconds`` (it is usually
+  mid-restart); past that it is evicted and must reseed from a snapshot
+  if it returns too late.
+* the **replicated LSN** — the highest LSN durably acknowledged by at
+  least ``ack_replicas`` followers.  With ``ack_replicas >= 1`` the
+  server delays every mutation ack until the record is replicated
+  (semi-synchronous replication): an acknowledged write then survives a
+  kill -9 of the primary, because the freshest follower — the one
+  promotion picks — must hold it (follower WALs are contiguous, so the
+  follower with the highest durable LSN is a superset of every other
+  acker).
+* the **stream** — one asyncio task per subscribed follower that tails
+  the WAL (``read_records(after_lsn)``, cheap thanks to the segment-skip
+  fast path) and ships compressed :data:`~repro.service.framing.REPL_WAL_BATCH`
+  frames; a follower behind the truncation horizon first receives a
+  :data:`~repro.service.framing.REPL_SNAPSHOT_SEED` built from the newest
+  on-disk snapshot.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..service import framing
+from ..storage.snapshot import read_snapshot_files
+
+#: Keep a disconnected follower's retention floor this long (seconds).
+DEFAULT_RETENTION_GRACE = 300.0
+
+#: How long a mutation ack may wait on the replication barrier.
+DEFAULT_ACK_TIMEOUT = 30.0
+
+
+@dataclass
+class SubscriberState:
+    follower_id: str
+    acked_lsn: int
+    connected: bool = True
+    disconnected_at: float | None = None
+    connected_at: float = field(default_factory=time.monotonic)
+
+
+class ReplicationHub:
+    """Subscriber registry + WAL shipping for one primary."""
+
+    def __init__(
+        self,
+        database,
+        ack_replicas: int = 0,
+        ack_timeout: float = DEFAULT_ACK_TIMEOUT,
+        retention_grace_seconds: float = DEFAULT_RETENTION_GRACE,
+        poll_interval: float = 0.01,
+        batch_max_records: int = 1024,
+        batch_max_bytes: int = 4 * 1024 * 1024,
+    ) -> None:
+        self.database = database
+        self.ack_replicas = ack_replicas
+        self.ack_timeout = ack_timeout
+        self.retention_grace_seconds = retention_grace_seconds
+        self.poll_interval = poll_interval
+        self.batch_max_records = batch_max_records
+        self.batch_max_bytes = batch_max_bytes
+        #: Guards ``_subscribers`` — read by the checkpoint thread through
+        #: the retention-floor hook, written on the server's event loop.
+        self._mutex = threading.Lock()
+        self._subscribers: dict[str, SubscriberState] = {}
+        #: ``(lsn, future)`` barriers waiting for replication; loop-only.
+        self._waiters: list[tuple[int, asyncio.Future]] = []
+
+    def attach(self) -> None:
+        """Wire this hub's retention floor into the database's checkpoints."""
+        self.database.retention_floor = self.retention_floor
+
+    # ------------------------------------------------------------------ #
+    # Subscriber registry
+
+    def subscribe(self, follower_id: str, after_lsn: int) -> None:
+        with self._mutex:
+            state = self._subscribers.get(follower_id)
+            if state is None:
+                self._subscribers[follower_id] = SubscriberState(
+                    follower_id=follower_id, acked_lsn=after_lsn
+                )
+            else:
+                state.acked_lsn = after_lsn
+                state.connected = True
+                state.disconnected_at = None
+                state.connected_at = time.monotonic()
+
+    def disconnect(self, follower_id: str) -> None:
+        with self._mutex:
+            state = self._subscribers.get(follower_id)
+            if state is not None:
+                state.connected = False
+                state.disconnected_at = time.monotonic()
+
+    def update_ack(self, follower_id: str, lsn: int) -> None:
+        """Record a follower's durably-applied position (event loop only)."""
+        with self._mutex:
+            state = self._subscribers.get(follower_id)
+            if state is not None and lsn > state.acked_lsn:
+                state.acked_lsn = lsn
+        self._notify_waiters()
+
+    def retention_floor(self) -> int | None:
+        """Minimum LSN a registered follower still needs, or ``None``.
+
+        Called from the checkpoint thread.  Evicts followers whose
+        disconnection outlived the grace period — their floor must not
+        pin the log forever.
+        """
+        now = time.monotonic()
+        floors: list[int] = []
+        with self._mutex:
+            for state in list(self._subscribers.values()):
+                if (
+                    not state.connected
+                    and state.disconnected_at is not None
+                    and now - state.disconnected_at > self.retention_grace_seconds
+                ):
+                    del self._subscribers[state.follower_id]
+                    continue
+                floors.append(state.acked_lsn)
+        return min(floors) if floors else None
+
+    def subscriber_snapshot(self) -> dict[str, dict]:
+        """Per-follower ack state for the ``status`` op."""
+        with self._mutex:
+            return {
+                fid: {"acked_lsn": s.acked_lsn, "connected": s.connected}
+                for fid, s in self._subscribers.items()
+            }
+
+    # ------------------------------------------------------------------ #
+    # Semi-synchronous ack barrier
+
+    def replicated_lsn(self) -> int:
+        """Highest LSN acknowledged by >= ``ack_replicas`` followers."""
+        if self.ack_replicas <= 0:
+            return self.database.wal.last_lsn
+        with self._mutex:
+            acked = sorted(
+                (s.acked_lsn for s in self._subscribers.values()), reverse=True
+            )
+        if len(acked) < self.ack_replicas:
+            return 0
+        return acked[self.ack_replicas - 1]
+
+    async def wait_replicated(self, lsn: int, timeout: float | None = None) -> bool:
+        """Block until ``lsn`` is replicated to >= ``ack_replicas`` followers.
+
+        Returns False on timeout — the caller refuses the ack, so the
+        client retries (the mutation is durable locally but deliberately
+        unacknowledged; the exactly-once retry path resolves it).
+        """
+        if self.ack_replicas <= 0 or self.replicated_lsn() >= lsn:
+            return True
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        entry = (lsn, future)
+        self._waiters.append(entry)
+        try:
+            await asyncio.wait_for(
+                future, self.ack_timeout if timeout is None else timeout
+            )
+            return True
+        except asyncio.TimeoutError:
+            return False
+        finally:
+            if entry in self._waiters:
+                self._waiters.remove(entry)
+
+    def _notify_waiters(self) -> None:
+        if not self._waiters:
+            return
+        replicated = self.replicated_lsn()
+        for lsn, future in self._waiters:
+            if lsn <= replicated and not future.done():
+                future.set_result(True)
+
+    # ------------------------------------------------------------------ #
+    # Shipping
+
+    def _collect_batch(self, after_lsn: int) -> list[tuple[int, int, bytes]]:
+        """Next run of WAL records past ``after_lsn`` (worker thread)."""
+        records: list[tuple[int, int, bytes]] = []
+        size = 0
+        iterator = self.database.wal.read_records(after_lsn=after_lsn)
+        try:
+            for record in iterator:
+                records.append((record.lsn, record.rtype, record.payload))
+                size += len(record.payload)
+                if len(records) >= self.batch_max_records or size >= self.batch_max_bytes:
+                    break
+        finally:
+            iterator.close()  # drop the iterator's retention floor promptly
+        return records
+
+    def _build_seed(self) -> tuple[bytes, int] | None:
+        """Snapshot-seed payload for a follower behind the WAL horizon."""
+        result = read_snapshot_files(self.database.snapshots_dir)
+        if result is None:
+            return None
+        checkpoint_lsn, _, files = result
+        return framing.encode_snapshot_seed(checkpoint_lsn, files), checkpoint_lsn
+
+    async def stream(
+        self, writer: asyncio.StreamWriter, request_id: int, after_lsn: int, follower_id: str
+    ) -> None:
+        """Serve one subscription for the life of its connection.
+
+        Every frame is a STATUS_OK response tagged with the subscribe
+        request id; the follower distinguishes seed from batch by the
+        payload's leading kind byte.
+        """
+        loop = asyncio.get_running_loop()
+        position = after_lsn
+        # Register first so the retention floor is pinned before the
+        # horizon check — a checkpoint between the two could otherwise
+        # truncate the records we are about to ship.
+        self.subscribe(follower_id, position)
+        try:
+            if position + 1 < self.database.wal.first_lsn():
+                seed = await loop.run_in_executor(None, self._build_seed)
+                if seed is None:
+                    raise RuntimeError(
+                        f"follower {follower_id!r} is behind the WAL horizon "
+                        "and no snapshot exists to seed it"
+                    )
+                payload, seed_lsn = seed
+                writer.write(framing.encode_frame(framing.STATUS_OK, request_id, payload))
+                await writer.drain()
+                position = seed_lsn
+                self.subscribe(follower_id, position)
+            while True:
+                batch = await loop.run_in_executor(None, self._collect_batch, position)
+                if batch:
+                    frame = framing.encode_frame(
+                        framing.STATUS_OK, request_id, framing.encode_wal_batch(batch)
+                    )
+                    writer.write(frame)
+                    await writer.drain()
+                    position = batch[-1][0]
+                else:
+                    await asyncio.sleep(self.poll_interval)
+        finally:
+            self.disconnect(follower_id)

@@ -42,7 +42,18 @@ Ops / payloads
   JSON round trip for row payloads); OK payload is a JSON object.
 * ``OP_JSON`` (5) — a JSON-encoded request object (the same shape the
   JSON-lines protocol accepts), for cold-path ops (register, drop,
-  tables, stat, checkpoint, persist); OK payload is the JSON result.
+  tables, stat, checkpoint, persist, status, promote, follow); OK
+  payload is the JSON result.
+* ``OP_SUBSCRIBE`` (6) — ``<Q after_lsn>`` + ``pack_string(follower_id)``.
+  A replication follower sends this once; the server then streams
+  ``STATUS_OK`` frames tagged with the subscribe request id for the life
+  of the connection.  Each stream payload starts with a kind byte:
+  :data:`REPL_WAL_BATCH` (a compressed run of WAL records) or
+  :data:`REPL_SNAPSHOT_SEED` (a full snapshot, sent first when the
+  follower's position is behind the WAL truncation horizon).
+* ``OP_WAL_ACK`` (7) — ``<Q lsn>``: the follower's durably-applied
+  position.  One-way; the server never responds to it.  Feeds the
+  primary's retention floor and the semi-synchronous ack barrier.
 
 Result block::
 
@@ -65,6 +76,7 @@ from __future__ import annotations
 import json
 import math
 import struct
+import zlib
 
 from ..data.table import Table
 from ..storage.codec import (
@@ -89,6 +101,13 @@ OP_QUERY = 2
 OP_QUERY_BATCH = 3
 OP_INGEST = 4
 OP_JSON = 5
+OP_SUBSCRIBE = 6
+OP_WAL_ACK = 7
+
+# Replication stream payload kinds (first byte of every stream frame a
+# subscription receives).
+REPL_WAL_BATCH = 1
+REPL_SNAPSHOT_SEED = 2
 
 # Response statuses
 STATUS_OK = 0
@@ -287,3 +306,111 @@ def decode_batch_response(payload: bytes) -> list[dict]:
             error_type, message = decode_error(block)
             items.append({"ok": False, "error_type": error_type, "error": message})
     return items
+
+
+# --------------------------------------------------------------------------- #
+# Replication payloads (OP_SUBSCRIBE / OP_WAL_ACK / stream frames)
+
+_WAL_BATCH_HEADER = struct.Struct("<BQQII")  # kind, first, last, count, raw_len
+_WAL_RECORD_HEADER = struct.Struct("<QBI")  # lsn, rtype, payload length
+_SEED_HEADER = struct.Struct("<BQI")  # kind, checkpoint_lsn, file count
+
+
+def encode_subscribe(after_lsn: int, follower_id: str) -> bytes:
+    return struct.pack("<Q", after_lsn) + pack_string(follower_id)
+
+
+def decode_subscribe(payload: bytes) -> tuple[int, str]:
+    buffer = memoryview(payload)
+    (after_lsn,) = struct.unpack_from("<Q", buffer, 0)
+    follower_id, _ = unpack_string(buffer, 8)
+    return after_lsn, follower_id
+
+
+def encode_wal_ack(lsn: int) -> bytes:
+    return struct.pack("<Q", lsn)
+
+
+def decode_wal_ack(payload: bytes) -> int:
+    (lsn,) = struct.unpack("<Q", payload)
+    return lsn
+
+
+def encode_wal_batch(records: list[tuple[int, int, bytes]]) -> bytes:
+    """A contiguous run of WAL records, zlib-compressed as one block.
+
+    Redo records of one table are highly self-similar (same column names,
+    overlapping value distributions), so compressing the concatenated run
+    beats per-record compression by a wide margin.
+    """
+    if not records:
+        raise ValueError("a WAL batch must carry at least one record")
+    raw = b"".join(
+        _WAL_RECORD_HEADER.pack(lsn, rtype, len(payload)) + payload
+        for lsn, rtype, payload in records
+    )
+    header = _WAL_BATCH_HEADER.pack(
+        REPL_WAL_BATCH, records[0][0], records[-1][0], len(records), len(raw)
+    )
+    return header + zlib.compress(raw, 1)
+
+
+def decode_wal_batch(payload: bytes) -> list[tuple[int, int, bytes]]:
+    kind, first, last, count, raw_len = _WAL_BATCH_HEADER.unpack_from(payload, 0)
+    if kind != REPL_WAL_BATCH:
+        raise ValueError(f"not a WAL batch frame (kind {kind})")
+    raw = memoryview(zlib.decompress(payload[_WAL_BATCH_HEADER.size :]))
+    if len(raw) != raw_len:
+        raise ValueError("WAL batch length mismatch after decompression")
+    records: list[tuple[int, int, bytes]] = []
+    offset = 0
+    for _ in range(count):
+        lsn, rtype, length = _WAL_RECORD_HEADER.unpack_from(raw, offset)
+        offset += _WAL_RECORD_HEADER.size
+        records.append((lsn, rtype, bytes(raw[offset : offset + length])))
+        offset += length
+    if records and (records[0][0] != first or records[-1][0] != last):
+        raise ValueError("WAL batch LSN range mismatch")
+    return records
+
+
+def encode_snapshot_seed(checkpoint_lsn: int, files: list[tuple[str, bytes]]) -> bytes:
+    """A full snapshot for a follower behind the WAL truncation horizon.
+
+    ``files`` are ``(relative_path, contents)`` pairs — the snapshot
+    directory name plus each file within it, so the follower can install
+    the directory verbatim and recover through the normal snapshot loader.
+    """
+    parts = [_SEED_HEADER.pack(REPL_SNAPSHOT_SEED, checkpoint_lsn, len(files))]
+    for name, data in files:
+        compressed = zlib.compress(data, 1)
+        parts.append(pack_string(name))
+        parts.append(struct.pack("<II", len(data), len(compressed)))
+        parts.append(compressed)
+    return b"".join(parts)
+
+
+def decode_snapshot_seed(payload: bytes) -> tuple[int, list[tuple[str, bytes]]]:
+    buffer = memoryview(payload)
+    kind, checkpoint_lsn, count = _SEED_HEADER.unpack_from(buffer, 0)
+    if kind != REPL_SNAPSHOT_SEED:
+        raise ValueError(f"not a snapshot seed frame (kind {kind})")
+    offset = _SEED_HEADER.size
+    files: list[tuple[str, bytes]] = []
+    for _ in range(count):
+        name, offset = unpack_string(buffer, offset)
+        raw_len, comp_len = struct.unpack_from("<II", buffer, offset)
+        offset += 8
+        data = zlib.decompress(bytes(buffer[offset : offset + comp_len]))
+        offset += comp_len
+        if len(data) != raw_len:
+            raise ValueError(f"seed file {name!r} length mismatch")
+        files.append((name, data))
+    return checkpoint_lsn, files
+
+
+def decode_replication_kind(payload: bytes) -> int:
+    """The stream-frame kind byte (REPL_WAL_BATCH / REPL_SNAPSHOT_SEED)."""
+    if not payload:
+        raise ValueError("empty replication stream frame")
+    return payload[0]

@@ -48,8 +48,10 @@ import asyncio
 import json
 import math
 import socket
+import struct
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
+from pathlib import Path
 
 from ..core.engine import AqpResult
 from ..core.params import PairwiseHistParams
@@ -418,6 +420,7 @@ class QueryServer:
         line_limit: int = DEFAULT_LINE_LIMIT,
         max_inflight_queries: int | None = DEFAULT_MAX_INFLIGHT_QUERIES,
         max_inflight_ingests: int | None = DEFAULT_MAX_INFLIGHT_INGESTS,
+        replication=None,
     ) -> None:
         self.service = service
         self.host = host
@@ -425,6 +428,10 @@ class QueryServer:
         self.line_limit = line_limit
         self.max_inflight_queries = max_inflight_queries
         self.max_inflight_ingests = max_inflight_ingests
+        #: Optional :class:`repro.replication.ReplicationState`: which
+        #: replication role this process plays (None = no replication;
+        #: the ``status`` op then reports role "standalone").
+        self.replication = replication
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.StreamWriter] = set()
         #: In-flight request counts per admission class (event-loop-local,
@@ -582,6 +589,10 @@ class QueryServer:
         happens — clients match responses to requests by id.
         """
         tasks: set[asyncio.Task] = set()
+        #: follower_id of the subscription (if any) living on this
+        #: connection — OP_WAL_ACK frames carry only an LSN and are
+        #: attributed to it.
+        subscriber_id: str | None = None
         try:
             while True:
                 try:
@@ -607,6 +618,36 @@ class QueryServer:
                     await writer.drain()
                     break
                 payload = await reader.readexactly(payload_len)
+                if op == framing.OP_WAL_ACK:
+                    # One-way: no response frame, no admission slot.
+                    rep = self.replication
+                    if subscriber_id is not None and rep is not None and rep.hub is not None:
+                        rep.hub.update_ack(
+                            subscriber_id, framing.decode_wal_ack(payload)
+                        )
+                    continue
+                if op == framing.OP_SUBSCRIBE:
+                    try:
+                        after_lsn, follower_id = framing.decode_subscribe(payload)
+                    except (ValueError, struct.error) as exc:
+                        writer.write(
+                            framing.encode_frame(
+                                framing.STATUS_ERROR,
+                                request_id,
+                                framing.encode_error(type(exc).__name__, str(exc)),
+                            )
+                        )
+                        await writer.drain()
+                        continue
+                    subscriber_id = follower_id
+                    task = asyncio.ensure_future(
+                        self._serve_subscription(
+                            writer, request_id, after_lsn, follower_id
+                        )
+                    )
+                    tasks.add(task)
+                    task.add_done_callback(tasks.discard)
+                    continue
                 kind = "ingest" if op == framing.OP_INGEST else "query"
                 request = None
                 if op == framing.OP_JSON:
@@ -687,6 +728,77 @@ class QueryServer:
         finally:
             self._release(kind)
 
+    async def _serve_subscription(
+        self, writer: asyncio.StreamWriter, request_id: int, after_lsn: int, follower_id: str
+    ) -> None:
+        """Run one replication subscription for the connection's lifetime."""
+        rep = self.replication
+        try:
+            if rep is None or rep.hub is None:
+                raise ValueError(
+                    "this server does not accept replication subscriptions"
+                )
+            await rep.hub.stream(writer, request_id, after_lsn, follower_id)
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # the follower went away; its grace-period floor remains
+        except Exception as exc:
+            message = exc.args[0] if exc.args else str(exc)
+            try:
+                writer.write(
+                    framing.encode_frame(
+                        framing.STATUS_ERROR,
+                        request_id,
+                        framing.encode_error(type(exc).__name__, str(message)),
+                    )
+                )
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError, RuntimeError):
+                pass
+
+    # ------------------------------------------------------------------ #
+    # Replication gates
+
+    def _require_writable(self) -> None:
+        """Reject external mutations on a read replica (the apply loop
+        bypasses the wire entirely, so it is unaffected)."""
+        rep = self.replication
+        if rep is not None and rep.role == "replica":
+            upstream = (
+                rep.follower.status["upstream"] if rep.follower is not None else "?"
+            )
+            raise ValueError(
+                f"this worker is a read-only replica (following {upstream}); "
+                "send writes to the primary"
+            )
+
+    async def _commit_gate(self) -> None:
+        """Between committing a mutation and acknowledging it: re-check the
+        epoch fence, then wait for the semi-synchronous replication barrier.
+
+        The order matters — a fenced zombie must not ack even a mutation
+        its followers already replicated, because the new primary's history
+        may be about to diverge from it.
+        """
+        rep = self.replication
+        if rep is None:
+            return
+        if rep.epoch_file is not None:
+            from ..replication.fence import check_fence
+
+            check_fence(rep.epoch_file, rep.epoch)
+        hub = rep.hub
+        if hub is not None and hub.ack_replicas > 0:
+            lsn = hub.database.wal.last_lsn
+            if not await hub.wait_replicated(lsn):
+                raise RuntimeError(
+                    f"replication barrier timed out: lsn {lsn} was not "
+                    f"acknowledged by {hub.ack_replicas} follower(s); the "
+                    "mutation is durable locally but deliberately "
+                    "unacknowledged — retry"
+                )
+
     async def _execute_binary_op(
         self, op: int, payload: bytes, request: dict | None
     ) -> bytes:
@@ -715,8 +827,10 @@ class QueryServer:
             items = await asyncio.gather(*(run_one(sql) for sql in sqls))
             return framing.encode_batch_response(list(items))
         if op == framing.OP_INGEST:
+            self._require_writable()
             table_name, rows, coalesce = framing.decode_ingest(payload)
             result = await self.service.ingest(table_name, rows, coalesce=coalesce)
+            await self._commit_gate()
             # Same crash drill as the JSON path: the batch is WAL-committed
             # but the acknowledgement never leaves the process.  Cluster
             # tests arm this to pin the front end's exactly-once recovery.
@@ -776,16 +890,19 @@ class QueryServer:
                 raise ValueError("query requests need a 'sql' field")
             return encode_result(await self.service.query(request["sql"]))
         if op == "ingest":
+            self._require_writable()
             table_name, rows = self._rows_from_request(request)
             result = await self.service.ingest(
                 table_name, rows, coalesce=bool(request.get("coalesce", True))
             )
+            await self._commit_gate()
             # The nastiest distributed window: the batch is WAL-committed
             # but the acknowledgement never leaves the process.  Cluster
             # tests arm this to pin the front end's exactly-once recovery.
             maybe_crash("server.ingest.before_ack")
             return _encode_ingest(result)
         if op == "register":
+            self._require_writable()
             table_name, rows = self._rows_from_request(request, registered=False)
             params = request.get("params")
             managed = await self.service.register_table(
@@ -793,17 +910,26 @@ class QueryServer:
                 params=wire.params_from_payload(params) if params is not None else None,
                 partition_size=request.get("partition_size"),
             )
+            await self._commit_gate()
             return {
                 "table": managed.name,
                 "rows": managed.num_rows,
                 "partitions": managed.num_partitions,
             }
         if op == "drop":
+            self._require_writable()
             table_name = request.get("table")
             if not isinstance(table_name, str):
                 raise ValueError("drop requests need a 'table' name")
             await self.service.drop_table(table_name)
+            await self._commit_gate()
             return {"table": table_name, "dropped": True}
+        if op == "status":
+            return self._status_payload()
+        if op == "promote":
+            return await self._promote(request)
+        if op == "follow":
+            return self._follow(request)
         if op == "checkpoint":
             result = await self.service.checkpoint()
             return {
@@ -816,6 +942,91 @@ class QueryServer:
         if op == "persist":
             return {"last_lsn": await self.service.persist()}
         raise ValueError(f"unknown op {op!r}")
+
+    # ------------------------------------------------------------------ #
+    # Observability + role transitions
+
+    def _status_payload(self) -> dict:
+        """The ``status`` op: LSNs, replication role/lag, shed + cache stats."""
+        rep = self.replication
+        payload: dict = {
+            "role": rep.role if rep is not None else "standalone",
+            "epoch": rep.epoch if rep is not None else 0,
+            "shed_counts": dict(self.shed_counts),
+        }
+        inner = getattr(self.service, "service", None)
+        if inner is not None:
+            cache_stats = getattr(inner, "cache_stats", None)
+            if cache_stats is not None:
+                payload["cache_stats"] = {
+                    table: dict(stats) for table, stats in cache_stats.items()
+                }
+            database = getattr(inner, "database", None)
+            wal = getattr(database, "wal", None)
+            if wal is not None:
+                durable = wal.last_lsn
+                # The follower applies through the durable commit path, so
+                # applied == durable on every role.
+                payload["durable_lsn"] = durable
+                payload["applied_lsn"] = durable
+                payload["last_checkpoint_lsn"] = database.last_checkpoint_lsn
+        if rep is not None and rep.hub is not None:
+            followers = rep.hub.subscriber_snapshot()
+            payload["followers"] = followers
+            payload["replicated_lsn"] = rep.hub.replicated_lsn()
+            if followers and "durable_lsn" in payload:
+                payload["replication_lag"] = payload["durable_lsn"] - min(
+                    f["acked_lsn"] for f in followers.values()
+                )
+        if rep is not None and rep.follower is not None:
+            payload["follower"] = dict(rep.follower.status)
+        return payload
+
+    async def _promote(self, request: dict) -> dict:
+        """Turn this replica into the shard's primary at a new epoch.
+
+        The caller (the cluster front end) has already bumped the epoch
+        file, fencing the old primary; this end stops the follower loop
+        and starts a replication hub so the surviving replicas can
+        re-subscribe here.
+        """
+        rep = self.replication
+        if rep is None or rep.role != "replica" or rep.follower is None:
+            raise ValueError("only a running replica can be promoted")
+        epoch = request.get("epoch")
+        if not isinstance(epoch, int):
+            raise ValueError("promote requests need an integer 'epoch'")
+        from ..replication.primary import ReplicationHub
+
+        loop = asyncio.get_running_loop()
+        follower, rep.follower = rep.follower, None
+        await loop.run_in_executor(None, follower.shutdown)
+        inner = self.service.service
+        hub = ReplicationHub(inner.database, ack_replicas=rep.ack_replicas)
+        hub.attach()
+        rep.hub = hub
+        rep.role = "primary"
+        rep.epoch = epoch
+        return {
+            "role": "primary",
+            "epoch": epoch,
+            "applied_lsn": inner.database.wal.last_lsn,
+        }
+
+    def _follow(self, request: dict) -> dict:
+        """Repoint this replica's subscription at a new primary."""
+        rep = self.replication
+        if rep is None or rep.follower is None:
+            raise ValueError("this worker is not following anyone")
+        host = request.get("host")
+        port = request.get("port")
+        if not isinstance(host, str) or not isinstance(port, int):
+            raise ValueError("follow requests need 'host' and an integer 'port'")
+        rep.follower.retarget(host, port)
+        return {
+            "upstream": f"{host}:{port}",
+            "applied_lsn": self.service.service.database.wal.last_lsn,
+        }
 
     def _rows_from_request(
         self, request: dict, registered: bool = True
@@ -981,6 +1192,59 @@ def _build_arg_parser():
         help="admission control: ingests in flight beyond this are shed "
         "with an Overloaded error (0 disables the limit)",
     )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        help="(with --shards) follower workers per shard; they serve "
+        "staleness-bounded read scatters and one is promoted when the "
+        "shard's primary dies",
+    )
+    parser.add_argument(
+        "--max-replica-lag",
+        type=int,
+        default=256,
+        help="(cluster) a replica serves reads only while its applied LSN "
+        "is within this many records of the primary's durable LSN",
+    )
+    parser.add_argument(
+        "--replica-of",
+        default=None,
+        metavar="HOST:PORT",
+        help="run as a read replica subscribed to the given primary "
+        "(requires --data-dir; the worker refuses external writes)",
+    )
+    parser.add_argument(
+        "--follower-id",
+        default=None,
+        help="stable subscriber identity for --replica-of (defaults to the "
+        "data directory name)",
+    )
+    parser.add_argument(
+        "--epoch",
+        type=int,
+        default=0,
+        help="replication epoch this worker was spawned at (fencing)",
+    )
+    parser.add_argument(
+        "--epoch-file",
+        default=None,
+        help="path to the shard's epoch file; mutations re-check it before "
+        "acking, so a fenced zombie primary cannot acknowledge writes",
+    )
+    parser.add_argument(
+        "--ack-replicas",
+        type=int,
+        default=0,
+        help="semi-synchronous replication: delay each mutation ack until "
+        "this many followers durably acknowledged it (0 = async)",
+    )
+    parser.add_argument(
+        "--ack-timeout",
+        type=float,
+        default=30.0,
+        help="seconds a mutation ack may wait on the replication barrier",
+    )
     return parser
 
 
@@ -991,6 +1255,27 @@ def _admission_kwargs(args) -> dict:
     }
 
 
+def _install_stop_handlers(loop, stop: asyncio.Event) -> None:
+    """SIGINT/SIGTERM set the stop event for a graceful shutdown.
+
+    ``REPRO_HANG_ON_SIGTERM=1`` registers a no-op SIGTERM handler instead —
+    the wedged-worker drill for the supervisor's SIGTERM → SIGKILL
+    escalation (the process then only dies to SIGKILL).
+    """
+    import os
+    import signal
+
+    hang = os.environ.get("REPRO_HANG_ON_SIGTERM") == "1"
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            if hang and signum == signal.SIGTERM:
+                loop.add_signal_handler(signum, lambda: None)
+            else:
+                loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # non-unix event loops
+            pass
+
+
 async def serve_cluster(args) -> None:
     """Run a sharded cluster front end until SIGINT/SIGTERM.
 
@@ -999,8 +1284,6 @@ async def serve_cluster(args) -> None:
     :class:`~repro.cluster.service.ClusterQueryService` and serves the
     same JSON-lines protocol on the front-end port.
     """
-    import signal
-
     from ..cluster.service import AsyncClusterService, ClusterQueryService
     from ..storage.cluster import ClusterLayout
 
@@ -1017,6 +1300,8 @@ async def serve_cluster(args) -> None:
             mode="process",
             expected_shards=args.shards,
             partition_size=args.partition_size,
+            replicas=args.replicas or None,
+            max_replica_lag=args.max_replica_lag,
             worker_options=worker_options,
         )
         print(
@@ -1030,15 +1315,13 @@ async def serve_cluster(args) -> None:
             path=args.data_dir or None,
             mode="process",
             partition_size=args.partition_size,
+            replicas=args.replicas,
+            max_replica_lag=args.max_replica_lag,
             worker_options=worker_options,
         )
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
-    for signum in (signal.SIGINT, signal.SIGTERM):
-        try:
-            loop.add_signal_handler(signum, stop.set)
-        except NotImplementedError:  # non-unix event loops
-            pass
+    _install_stop_handlers(loop, stop)
     try:
         async with AsyncClusterService(
             cluster, max_workers=args.workers
@@ -1054,12 +1337,82 @@ async def serve_cluster(args) -> None:
         await loop.run_in_executor(None, cluster.close)
 
 
+async def serve_replica(args) -> None:
+    """Run a read replica: recover the local data dir, subscribe to the
+    primary, serve queries (and refuse external writes) until stopped."""
+    from ..replication import FollowerLoop, ReplicaApplier, ReplicationState
+
+    if not args.data_dir:
+        raise SystemExit("--replica-of requires --data-dir")
+    host, _, port_text = args.replica_of.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise SystemExit("--replica-of must be HOST:PORT")
+    database = Database.open(
+        args.data_dir, fsync=args.fsync, partition_size=args.partition_size
+    )
+    service = ConcurrentQueryService(
+        database=database, result_cache_size=args.result_cache_size
+    )
+    applier = ReplicaApplier(service)
+    follower_id = args.follower_id or Path(args.data_dir).name
+    follower = FollowerLoop(applier, follower_id, host, int(port_text))
+    replication = ReplicationState(
+        role="replica",
+        epoch=args.epoch,
+        epoch_file=Path(args.epoch_file) if args.epoch_file else None,
+        follower=follower,
+        ack_replicas=args.ack_replicas,
+    )
+    checkpointer = BackgroundCheckpointer(
+        service, interval_seconds=args.checkpoint_interval
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    _install_stop_handlers(loop, stop)
+    async with AsyncQueryService(
+        service=service,
+        max_workers=args.workers,
+        max_batch_delay=args.coalesce_delay,
+    ) as async_service:
+        async with QueryServer(
+            async_service,
+            host=args.host,
+            port=args.port,
+            replication=replication,
+            **_admission_kwargs(args),
+        ) as server:
+            checkpointer.start()
+            follower.start()
+            print(f"listening on {server.host}:{server.port}", flush=True)
+            try:
+                await stop.wait()
+            finally:
+                # A promotion swaps rep.follower for a hub; only stop the
+                # loop if we are still following someone.
+                if replication.follower is not None:
+                    await loop.run_in_executor(
+                        None, replication.follower.shutdown
+                    )
+                final = await loop.run_in_executor(None, checkpointer.stop)
+                if final is None and checkpointer.last_error is not None:
+                    print(
+                        "final checkpoint failed: "
+                        f"{checkpointer.last_error!r}; the next start "
+                        "will recover this state from the WAL instead",
+                        flush=True,
+                    )
+    database.close()
+
+
 async def serve(args) -> None:
     """Run a server until SIGINT/SIGTERM; durable when --data-dir is set."""
-    import signal
-
-    if getattr(args, "shards", 1) > 1:
+    if getattr(args, "shards", 1) > 1 or getattr(args, "replicas", 0) > 0:
+        # Replicas are follower subprocesses under the cluster supervisor,
+        # so even a 1-shard deployment with replicas is a cluster.
         await serve_cluster(args)
+        return
+    if getattr(args, "replica_of", None):
+        await serve_replica(args)
         return
 
     if args.data_dir:
@@ -1096,20 +1449,41 @@ async def serve(args) -> None:
         if args.data_dir
         else None
     )
+    replication = None
+    if args.data_dir:
+        # Every durable server can feed followers; it only *behaves* as a
+        # fenced/semi-sync primary when the cluster wires it up that way.
+        from ..replication import ReplicationHub, ReplicationState
+
+        ack_replicas = getattr(args, "ack_replicas", 0)
+        epoch_file = getattr(args, "epoch_file", None)
+        hub = ReplicationHub(
+            database,
+            ack_replicas=ack_replicas,
+            ack_timeout=getattr(args, "ack_timeout", 30.0),
+        )
+        hub.attach()
+        replication = ReplicationState(
+            role="primary" if (epoch_file or ack_replicas) else "standalone",
+            epoch=getattr(args, "epoch", 0),
+            epoch_file=Path(epoch_file) if epoch_file else None,
+            hub=hub,
+            ack_replicas=ack_replicas,
+        )
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
-    for signum in (signal.SIGINT, signal.SIGTERM):
-        try:
-            loop.add_signal_handler(signum, stop.set)
-        except NotImplementedError:  # non-unix event loops
-            pass
+    _install_stop_handlers(loop, stop)
     async with AsyncQueryService(
         service=service,
         max_workers=args.workers,
         max_batch_delay=args.coalesce_delay,
     ) as async_service:
         async with QueryServer(
-            async_service, host=args.host, port=args.port, **_admission_kwargs(args)
+            async_service,
+            host=args.host,
+            port=args.port,
+            replication=replication,
+            **_admission_kwargs(args),
         ) as server:
             if checkpointer is not None:
                 checkpointer.start()

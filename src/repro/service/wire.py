@@ -290,6 +290,18 @@ class ClusterClient:
     def persist(self) -> int:
         return self.call({"op": "persist"})["last_lsn"]
 
+    def status(self) -> dict:
+        """Replication/health snapshot (role, LSNs, lag, shed counts)."""
+        return self.call({"op": "status"})
+
+    def promote(self, epoch: int) -> dict:
+        """Tell a replica to become the primary at ``epoch``."""
+        return self.call({"op": "promote", "epoch": epoch})
+
+    def follow(self, host: str, port: int) -> dict:
+        """Repoint a replica's subscription at a new primary."""
+        return self.call({"op": "follow", "host": host, "port": port})
+
 
 # --------------------------------------------------------------------------- #
 # Pipelined binary client
@@ -572,3 +584,15 @@ class PipelinedClient:
 
     def persist(self) -> int:
         return self.call({"op": "persist"})["last_lsn"]
+
+    def status(self) -> dict:
+        """Replication/health snapshot (role, LSNs, lag, shed counts)."""
+        return self.call({"op": "status"})
+
+    def promote(self, epoch: int) -> dict:
+        """Tell a replica to become the primary at ``epoch``."""
+        return self.call({"op": "promote", "epoch": epoch})
+
+    def follow(self, host: str, port: int) -> dict:
+        """Repoint a replica's subscription at a new primary."""
+        return self.call({"op": "follow", "host": host, "port": port})

@@ -115,6 +115,16 @@ def shard_dir_name(index: int) -> str:
     return f"{_SHARD_PREFIX}{index:05d}"
 
 
+def replica_dir_name(index: int, replica: int) -> str:
+    """Data directory name for replica ``replica`` of shard ``index``."""
+    return f"{_SHARD_PREFIX}{index:05d}-replica-{replica:02d}"
+
+
+def epoch_file_name(index: int) -> str:
+    """Per-shard epoch (fencing) file name at the cluster root."""
+    return f"{_SHARD_PREFIX}{index:05d}.epoch"
+
+
 @dataclass
 class ClusterLayout:
     """The on-disk shape of one cluster root directory."""
@@ -134,11 +144,31 @@ class ClusterLayout:
     def shard_paths(self, num_shards: int) -> list[Path]:
         return [self.shard_path(i) for i in range(num_shards)]
 
-    def ensure(self, num_shards: int) -> None:
-        """Create the root and every shard data directory."""
+    def replica_path(self, index: int, replica: int) -> Path:
+        return self.root / replica_dir_name(index, replica)
+
+    def epoch_path(self, index: int) -> Path:
+        return self.root / epoch_file_name(index)
+
+    def detect_replicas(self, num_shards: int) -> int:
+        """Replicas-per-shard inferred from the directory listing.
+
+        Replica directories are created eagerly for every shard, so the
+        count of shard 0's replica dirs is the cluster-wide setting.
+        """
+        count = 0
+        while self.replica_path(0, count).is_dir():
+            count += 1
+        return count
+
+    def ensure(self, num_shards: int, replicas: int = 0) -> None:
+        """Create the root and every shard (and replica) data directory."""
         self.root.mkdir(parents=True, exist_ok=True)
         for path in self.shard_paths(num_shards):
             path.mkdir(parents=True, exist_ok=True)
+        for index in range(num_shards):
+            for replica in range(replicas):
+                self.replica_path(index, replica).mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------ #
     # Manifest I/O

@@ -117,6 +117,11 @@ class DurableDatabase(Database):
         self._checkpoint_mutex = threading.Lock()
         self._last_checkpoint_lsn = 0
         self.recovery_info: RecoveryInfo | None = None
+        #: Optional hook returning the replication retention floor (the
+        #: minimum follower-acknowledged LSN, or ``None`` when no follower
+        #: is registered).  Checkpoints keep every WAL record above it so
+        #: a live subscriber can always resume from the log.
+        self.retention_floor = None
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -181,6 +186,37 @@ class DurableDatabase(Database):
     def persist(self) -> int:
         """fsync the WAL; every acknowledged mutation is now on stable media."""
         return self.wal.sync()
+
+    # ------------------------------------------------------------------ #
+    # Replication support
+
+    @property
+    def last_checkpoint_lsn(self) -> int:
+        """LSN covered by the most recent checkpoint (0 before the first)."""
+        return self._last_checkpoint_lsn
+
+    def _retention_floor_lsn(self) -> int | None:
+        hook = self.retention_floor
+        if hook is None:
+            return None
+        try:
+            return hook()
+        except Exception:
+            # A broken floor hook must not fail checkpoints; worst case
+            # the truncation is less conservative than replication wants
+            # and a fallen-behind follower reseeds from a snapshot.
+            return None
+
+    def uninstall_table(self, name: str) -> None:
+        """Remove a table from the catalog *without* logging a drop.
+
+        Replication reseed only: the follower is about to replace its
+        entire catalog with the primary's snapshot, and its WAL is reset
+        alongside, so a logged drop would be both wrong (the primary never
+        dropped it) and unreplayable.
+        """
+        with self._durable_mutex:
+            self._tables.pop(name, None)
 
     # ------------------------------------------------------------------ #
     # Checkpoints
@@ -252,7 +288,9 @@ class DurableDatabase(Database):
                 fsync=self.wal.fsync,
             )
             maybe_crash("checkpoint.before_truncate")
-            self.wal.truncate_through(state.checkpoint_lsn)
+            self.wal.truncate_through(
+                state.checkpoint_lsn, retain_after_lsn=self._retention_floor_lsn()
+            )
             self._last_checkpoint_lsn = state.checkpoint_lsn
             return CheckpointResult(
                 checkpoint_lsn=state.checkpoint_lsn,

@@ -512,6 +512,28 @@ def _load(
     return LoadedSnapshot(checkpoint_lsn=checkpoint_lsn, path=path, tables=tables)
 
 
+def read_snapshot_files(
+    snapshots_dir: str | os.PathLike,
+) -> tuple[int, str, list[tuple[str, bytes]]] | None:
+    """``(checkpoint_lsn, dir_name, [(relative_path, contents), ...])`` of
+    the newest snapshot that validates, or ``None``.
+
+    The file list includes the manifest, so installing the files verbatim
+    into a ``dir_name`` directory elsewhere yields a snapshot that
+    :func:`load_latest_snapshot` accepts — this is how a replication
+    primary seeds a follower that has fallen behind the WAL horizon.
+    """
+    for path in _snapshot_paths(Path(snapshots_dir)):
+        validated = _validate(path)
+        if validated is None:
+            continue
+        checkpoint_lsn, payloads = validated
+        files = [(f"{path.name}/{_MANIFEST_NAME}", (path / _MANIFEST_NAME).read_bytes())]
+        files.extend((f"{path.name}/{name}", data) for name, data in payloads.items())
+        return checkpoint_lsn, path.name, files
+    return None
+
+
 def load_latest_snapshot(snapshots_dir: str | os.PathLike) -> LoadedSnapshot | None:
     """Load the newest snapshot that validates, or ``None`` if there is none.
 

@@ -117,6 +117,9 @@ class WriteAheadLog:
         self._mutex = threading.Lock()
         self._file = None
         self._segment_path: Path | None = None
+        #: In-flight :meth:`read_records` iterators, token -> ``after_lsn``.
+        #: Truncation never deletes a segment such a reader still needs.
+        self._active_readers: dict[object, int] = {}
         #: Byte offset of the last appended record within the active
         #: segment — consumed (once) by :meth:`rollback_last`.
         self._last_append_offset: int | None = None
@@ -185,6 +188,21 @@ class WriteAheadLog:
         with self._mutex:
             return self._last_lsn
 
+    def first_lsn(self) -> int:
+        """Lowest LSN still readable from the log.
+
+        ``last_lsn + 1`` when the log holds no records (empty or fully
+        truncated) — i.e. the log can serve exactly ``lsn >= first_lsn()``.
+        Replication uses this as the truncation horizon: a follower whose
+        position is below ``first_lsn() - 1`` cannot be caught up from the
+        log alone and needs a snapshot seed.
+        """
+        with self._mutex:
+            segments = self.segment_paths()
+            if not segments:
+                return self._last_lsn + 1
+            return int(segments[0].name[: -len(_SEGMENT_SUFFIX)])
+
     def append(self, rtype: int, payload: bytes) -> int:
         """Durably append one record, returning its LSN."""
         with self._mutex:
@@ -252,36 +270,69 @@ class WriteAheadLog:
 
         Stops silently at the first torn or corrupt record — by
         construction everything after it was never acknowledged.
+
+        While the iterator is live it registers ``after_lsn`` as a
+        retention floor, so a concurrent :meth:`truncate_through` (e.g. a
+        background checkpoint) cannot unlink a segment out from under it.
+        Exhaust or ``close()`` the iterator promptly — an abandoned one
+        holds the floor until garbage collection.
         """
+        token = object()
         with self._mutex:
             self._file.flush()
             segments = self.segment_paths()
-        expect = None
-        for path in segments:
-            for record, _ in _read_segment(path, expect):
-                expect = record.lsn + 1
-                if record.lsn > after_lsn:
-                    yield record
+            self._active_readers[token] = after_lsn
+        try:
+            # Skip segments that cannot contain lsn > after_lsn: a segment
+            # is fully covered when its successor's first LSN (encoded in
+            # the file name) is <= after_lsn + 1.  A tailing subscriber
+            # polling the log then re-reads only the segment it is
+            # positioned in, not the whole history.
+            start = 0
+            for index, successor in enumerate(segments[1:]):
+                if int(successor.name[: -len(_SEGMENT_SUFFIX)]) <= after_lsn + 1:
+                    start = index + 1
+            expect = None
+            for path in segments[start:]:
+                for record, _ in _read_segment(path, expect):
+                    expect = record.lsn + 1
+                    if record.lsn > after_lsn:
+                        yield record
+        finally:
+            with self._mutex:
+                self._active_readers.pop(token, None)
 
     # ------------------------------------------------------------------ #
     # Truncation
 
-    def truncate_through(self, lsn: int) -> list[str]:
+    def truncate_through(self, lsn: int, retain_after_lsn: int | None = None) -> list[str]:
         """Drop segments made obsolete by a checkpoint at ``lsn``.
 
         A segment may be deleted once every record in it has LSN ``<= lsn``.
         If the *active* segment is itself fully covered, it is rotated
         first so its file can go too; the new empty segment is named by
         the next LSN, keeping the chain contiguous.
+
+        ``retain_after_lsn`` lowers the effective truncation point: every
+        record with LSN ``> retain_after_lsn`` stays readable, so the
+        segment containing ``retain_after_lsn + 1`` is never deleted.
+        Replication passes the minimum acknowledged follower position here
+        so a live subscriber is never truncated out from under.  In-flight
+        :meth:`read_records` iterators impose the same floor implicitly.
         """
         with self._mutex:
-            if self._last_lsn <= lsn and self._file.tell() > 0:
+            floor = lsn
+            if retain_after_lsn is not None:
+                floor = min(floor, retain_after_lsn)
+            for reader_after in self._active_readers.values():
+                floor = min(floor, reader_after)
+            if self._last_lsn <= floor and self._file.tell() > 0:
                 self._rotate_locked()
             segments = self.segment_paths()
             removed: list[str] = []
             for path, successor in zip(segments, segments[1:]):
                 first_of_next = int(successor.name[: -len(_SEGMENT_SUFFIX)])
-                if first_of_next <= lsn + 1:
+                if first_of_next <= floor + 1:
                     path.unlink()
                     removed.append(path.name)
             return removed
