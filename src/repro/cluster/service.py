@@ -24,6 +24,7 @@ running either in-process (``mode="local"``, tests) or as supervised
 
 from __future__ import annotations
 
+import contextvars
 import math
 import threading
 import time
@@ -35,6 +36,8 @@ from ..core.engine import AqpResult
 from ..core.params import PairwiseHistParams
 from ..data.schema import TableSchema
 from ..data.table import Table
+from ..obs import metrics as obs_metrics
+from ..obs import tracing
 from ..sql.ast import Query
 from ..sql.parser import parse_query_cached
 from ..service.wire import UnsentRequestError
@@ -51,6 +54,29 @@ from .supervisor import ShardSupervisor
 
 #: Connection-level failures that trigger a worker restart.
 _SHARD_FAILURES = (ConnectionError, BrokenPipeError, EOFError, OSError)
+
+_SCATTER_FANOUT = obs_metrics.histogram(
+    "aqp_scatter_fanout",
+    "Number of shards one query scattered to.",
+    buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
+)
+_SHARD_ROUNDTRIP = obs_metrics.histogram(
+    "aqp_shard_roundtrip_seconds",
+    "Front-end-observed round trip of one scattered shard query.",
+    labelnames=("shard",),
+)
+# Pre-bound cells: the scatter path runs per shard per query.
+_SCATTER_FANOUT_CELL = _SCATTER_FANOUT.labels()
+_ROUNDTRIP_CELLS: dict[int, object] = {}
+
+
+def _roundtrip_cell(index: int):
+    cell = _ROUNDTRIP_CELLS.get(index)
+    if cell is None:
+        cell = _ROUNDTRIP_CELLS[index] = _SHARD_ROUNDTRIP.labels(
+            shard=f"{index:05d}"
+        )
+    return cell
 
 
 def shard_params(
@@ -495,11 +521,29 @@ class ClusterQueryService:
 
     def _scatter(self, indices: list[int], fn):
         """Run ``fn(index, shard)`` on many shards concurrently (with the
-        default revive-and-retry crash handling — idempotent ops only)."""
-        futures = [
-            self._pool.submit(self._shard_call, i, lambda i=i: fn(i, self.shards[i]))
-            for i in indices
-        ]
+        default revive-and-retry crash handling — idempotent ops only).
+
+        Each submission runs under a copy of the caller's context so an
+        active trace span is visible on the pool thread (a Context can
+        only be entered once, hence one copy per future).  Untraced calls
+        skip the copies — they cost about a microsecond per shard."""
+        if tracing.current_span() is not None:
+            futures = [
+                self._pool.submit(
+                    contextvars.copy_context().run,
+                    self._shard_call,
+                    i,
+                    lambda i=i: fn(i, self.shards[i]),
+                )
+                for i in indices
+            ]
+        else:
+            futures = [
+                self._pool.submit(
+                    self._shard_call, i, lambda i=i: fn(i, self.shards[i])
+                )
+                for i in indices
+            ]
         return [future.result() for future in futures]
 
     def _scatter_raw(self, indices: list[int], fn):
@@ -699,10 +743,23 @@ class ClusterQueryService:
         plan = plan_query(query)
         sql = str(plan.scattered)
         indices = sorted(entry.registered)
-        raw = self._scatter(indices, lambda i, shard: shard.execute(sql))
-        if query.group_by is None:
-            return gather_scalar(plan, [answers for _, answers in raw])
-        return gather_groups(plan, [groups for _, groups in raw])
+
+        def _shard_execute(i: int, shard):
+            started = time.perf_counter()
+            with tracing.child_span("shard_execute", attrs={"shard": i}):
+                result = shard.execute(sql)
+            _roundtrip_cell(i).observe(time.perf_counter() - started)
+            return result
+
+        with tracing.child_span(
+            "scatter", attrs={"fanout": len(indices), "table": query.table}
+        ):
+            _SCATTER_FANOUT_CELL.observe(len(indices))
+            raw = self._scatter(indices, _shard_execute)
+        with tracing.child_span("gather"):
+            if query.group_by is None:
+                return gather_scalar(plan, [answers for _, answers in raw])
+            return gather_groups(plan, [groups for _, groups in raw])
 
     def execute_scalar(self, query: Query | str) -> AqpResult:
         results = self.execute(query)
@@ -738,6 +795,102 @@ class ClusterQueryService:
         return self._scatter(
             list(range(self.num_shards)), lambda i, shard: shard.persist()
         )
+
+    # ------------------------------------------------------------------ #
+    # Observability fan-out
+
+    def metrics(self) -> dict:
+        """One merged registry snapshot for the whole cluster.
+
+        In local mode every shard shares this process's registry, so the
+        front end's own snapshot *is* the cluster's.  In process mode the
+        front end's series are labelled ``role="frontend"`` and each
+        worker's are labelled ``shard="NNNNN"`` plus
+        ``role="primary"|"replica"``; a worker that cannot be reached is
+        skipped rather than failing the whole scrape.
+        """
+        if self.mode != "process":
+            return obs_metrics.REGISTRY.snapshot()
+        merged: dict = {}
+        obs_metrics.merge_snapshot(
+            merged, obs_metrics.REGISTRY.snapshot(), {"role": "frontend"}
+        )
+        for index, shard in enumerate(self.shards):
+            labels = {"shard": f"{index:05d}", "role": "primary"}
+            try:
+                snapshot = shard.metrics()
+            except Exception:
+                continue  # dead worker: its series are simply absent
+            obs_metrics.merge_snapshot(merged, snapshot, labels)
+            replica_metrics = getattr(shard, "replica_metrics", None)
+            if replica_metrics is None:
+                continue
+            for slot, snapshot in replica_metrics().items():
+                obs_metrics.merge_snapshot(
+                    merged,
+                    snapshot,
+                    {
+                        "shard": f"{index:05d}",
+                        "role": "replica",
+                        "slot": str(slot),
+                    },
+                )
+        return merged
+
+    def trace(self, trace_id: str) -> list[dict]:
+        """Every finished span recorded for ``trace_id``, cluster-wide.
+
+        Merges the front end's ring buffer with each worker's (primaries
+        and replicas), deduplicating on span id — a span can surface twice
+        when a worker is both asked directly and reachable through a
+        replicated shard's fan-out.  Sorted by start time.
+        """
+        spans: dict[str, dict] = {
+            span["span_id"]: span for span in tracing.spans_for(trace_id)
+        }
+        if self.mode == "process":
+            for index in range(self.num_shards):
+                shard = self.shards[index]
+                try:
+                    collected = self._shard_call(
+                        index, lambda s=shard: s.trace(trace_id)
+                    )
+                except Exception:
+                    continue
+                for span in collected:
+                    spans.setdefault(span["span_id"], span)
+        return sorted(spans.values(), key=lambda s: s.get("start", 0.0))
+
+    def status_extra(self) -> dict:
+        """Cluster-wide additions for the ``status`` op payload.
+
+        The front end holds no result cache of its own — the caches live
+        in the workers — so per-table hit/miss stats are gathered from
+        every shard primary and summed.  Before this existed the cluster
+        ``status`` payload silently omitted ``cache_stats`` entirely.
+        """
+        totals: dict[str, dict[str, int]] = {}
+        found = False
+        for index, shard in enumerate(self.shards):
+            if self.mode == "process":
+                try:
+                    stats = self._shard_call(
+                        index, lambda s=shard: s.status()
+                    ).get("cache_stats")
+                except Exception:
+                    continue
+            else:
+                stats = getattr(shard.service, "cache_stats", None)
+                if stats is not None:
+                    stats = {t: dict(s) for t, s in stats.items()}
+            if stats is None:
+                continue
+            found = True
+            for table, counts in stats.items():
+                bucket = totals.setdefault(table, {})
+                for outcome, count in counts.items():
+                    bucket[outcome] = bucket.get(outcome, 0) + int(count)
+        return {"cache_stats": totals} if found else {}
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -805,9 +958,16 @@ class AsyncClusterService:
         from functools import partial
 
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(
-            self._executor, partial(fn, *args, **kwargs)
-        )
+        # run_in_executor does not carry contextvars over, so the active
+        # trace span would vanish on the worker thread without the copy.
+        # Untraced requests skip it (about a microsecond per call).
+        if tracing.current_span() is not None:
+            call = partial(
+                contextvars.copy_context().run, partial(fn, *args, **kwargs)
+            )
+        else:
+            call = partial(fn, *args, **kwargs)
+        return await loop.run_in_executor(self._executor, call)
 
     async def query(self, query):
         return await self._dispatch(self.cluster.execute, query)
@@ -862,3 +1022,15 @@ class AsyncClusterService:
             "rows": entry.num_rows,
             "partitions": entry.num_partitions,
         }
+
+    # ------------------------------------------------------------------ #
+    # Observability
+
+    async def status_extra(self) -> dict:
+        return await self._dispatch(self.cluster.status_extra)
+
+    async def metrics(self) -> dict:
+        return await self._dispatch(self.cluster.metrics)
+
+    async def trace(self, trace_id: str) -> list[dict]:
+        return await self._dispatch(self.cluster.trace, trace_id)

@@ -31,12 +31,26 @@ from pathlib import Path
 
 from ..core.params import PairwiseHistParams
 from ..data.table import Table
+from ..obs import metrics as obs_metrics
+from ..obs import tracing
 from ..service.concurrency import ConcurrentQueryService
 from ..service.database import Database
 from ..service.wire import PipelinedClient, WireError
 from ..sql.ast import UnsupportedQueryError
 from ..sql.parser import ParseError
 from .gather import ShardAnswer
+
+_REPLICA_READ_LAG = obs_metrics.gauge(
+    "aqp_replica_read_lag_records",
+    "Primary durable LSN minus replica applied LSN, as last observed by "
+    "the front end's read-eligibility refresh.",
+    labelnames=("shard", "slot"),
+)
+_REPLICA_ELIGIBLE = obs_metrics.gauge(
+    "aqp_replica_read_eligible",
+    "1 when the replica is in the staleness-bounded read set, else 0.",
+    labelnames=("shard", "slot"),
+)
 
 #: Server error frames translated back into the exception the single-node
 #: service would have raised locally, so cluster callers see identical
@@ -123,6 +137,13 @@ class LocalShard:
 
     def persist(self) -> int:
         return self.service.persist()
+
+    def metrics(self) -> dict:
+        # Local shards share the front end's process, hence its registry.
+        return obs_metrics.REGISTRY.snapshot()
+
+    def trace(self, trace_id: str) -> list[dict]:
+        return tracing.spans_for(trace_id)
 
     def reconnect(self) -> None:  # pragma: no cover - interface symmetry
         pass
@@ -297,11 +318,27 @@ class ProcessShard:
         return self._call(lambda query, bulk: bulk.ingest(table_name, rows))
 
     def execute(self, sql: str):
+        span = tracing.current_span()
+        if span is not None and span.propagate:
+            # A client-traced query bypasses the batcher: the single-query
+            # frame carries the trace trailer, so the worker records its
+            # span under the same trace id.  Untraced queries (the hot
+            # path) keep coalescing into batch frames.
+            query_channel, _, _ = self._channels()
+            trace = (bytes.fromhex(span.trace_id), bytes.fromhex(span.span_id))
+            try:
+                payload = query_channel.query(sql, trace=trace)
+            except WireError as error:
+                _raise_wire_error(error)
+            return self._normalize(payload)
         _, _, batcher = self._channels()
         item = self._await(batcher.submit(sql))
         if not item["ok"]:
             _raise_wire_error(WireError(str(item["error_type"]), str(item["error"])))
-        payload = item["result"]
+        return self._normalize(item["result"])
+
+    @staticmethod
+    def _normalize(payload: dict):
         if "groups" in payload:
             return "groups", {
                 label: [ShardAnswer.from_wire(r) for r in results]
@@ -327,6 +364,14 @@ class ProcessShard:
     def status(self) -> dict:
         """Replication/health snapshot of the worker (role, LSNs, lag)."""
         return self._call(lambda query, bulk: query.status())
+
+    def metrics(self) -> dict:
+        """The worker process's own registry snapshot."""
+        return self._call(lambda query, bulk: query.metrics())
+
+    def trace(self, trace_id: str) -> list[dict]:
+        """Finished spans the worker recorded for ``trace_id``."""
+        return self._call(lambda query, bulk: query.trace(trace_id))
 
     def promote(self, epoch: int) -> dict:
         """Tell a replica worker to become the primary at ``epoch``."""
@@ -437,6 +482,7 @@ class ReplicatedShard:
         with self._mutex:
             replicas = dict(self.replicas)
         eligible = []
+        shard_label = f"{self.index:05d}"
         for slot, shard in sorted(replicas.items()):
             try:
                 status = shard.status()
@@ -445,12 +491,20 @@ class ReplicatedShard:
                     shard.reconnect()
                     status = shard.status()
                 except Exception:
+                    _REPLICA_ELIGIBLE.set(0, shard=shard_label, slot=str(slot))
                     continue
             if status.get("role") != "replica":
+                _REPLICA_ELIGIBLE.set(0, shard=shard_label, slot=str(slot))
                 continue
             applied = int(status.get("applied_lsn", 0))
+            _REPLICA_READ_LAG.set(
+                durable - applied, shard=shard_label, slot=str(slot)
+            )
             if durable - applied <= self.max_lag_records:
                 eligible.append(slot)
+            _REPLICA_ELIGIBLE.set(
+                1 if slot in eligible else 0, shard=shard_label, slot=str(slot)
+            )
         with self._mutex:
             self._eligible = tuple(s for s in eligible if s in self.replicas)
 
@@ -529,6 +583,36 @@ class ReplicatedShard:
 
     def status(self) -> dict:
         return self.primary.status()
+
+    def metrics(self) -> dict:
+        return self.primary.metrics()
+
+    def replica_metrics(self) -> dict[int, dict]:
+        """Registry snapshot from every reachable replica, by slot."""
+        snapshots: dict[int, dict] = {}
+        for slot in self.replica_slots():
+            with self._mutex:
+                shard = self.replicas.get(slot)
+            if shard is None:
+                continue
+            try:
+                snapshots[slot] = shard.metrics()
+            except Exception:
+                continue  # a dead replica only costs its series
+        return snapshots
+
+    def trace(self, trace_id: str) -> list[dict]:
+        spans = list(self.primary.trace(trace_id))
+        for slot in self.replica_slots():
+            with self._mutex:
+                shard = self.replicas.get(slot)
+            if shard is None:
+                continue
+            try:
+                spans.extend(shard.trace(trace_id))
+            except Exception:
+                continue
+        return spans
 
     def close(self) -> None:
         with self._mutex:

@@ -34,9 +34,12 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..obs import log as obs_log
 from ..service.wire import ClusterClient
 
 _LISTENING = re.compile(r"listening on ([\d.]+):(\d+)")
+
+_LOG = obs_log.get_logger("supervisor")
 
 
 def _repro_src_dir() -> str:
@@ -231,6 +234,7 @@ class ShardSupervisor:
             )
         handle = WorkerHandle(index=index, process=process, port=port)
         self.handles[index] = handle
+        _LOG.info("worker_spawned", shard=index, port=port, pid=process.pid)
         return handle
 
     def spawn_replica(self, index: int, replica: int) -> WorkerHandle:
@@ -253,6 +257,9 @@ class ShardSupervisor:
             index=index, process=process, port=port, replica=replica
         )
         self.handles[(index, replica)] = handle
+        _LOG.info(
+            "replica_spawned", shard=index, slot=replica, port=port, pid=process.pid
+        )
         return handle
 
     def _await_port(self, process) -> tuple[int | None, list[str]]:
@@ -329,6 +336,11 @@ class ShardSupervisor:
             handle.process.kill()
         if handle is not None:
             handle.process.wait(timeout=30)
+        _LOG.warning(
+            "worker_restarting",
+            shard=index,
+            old_pid=None if handle is None else handle.process.pid,
+        )
         return self.spawn(index)
 
     def kill(self, key: int | tuple[int, int]) -> None:
@@ -336,6 +348,7 @@ class ShardSupervisor:
         handle = self.handles[key]
         handle.process.send_signal(signal.SIGKILL)
         handle.process.wait(timeout=30)
+        _LOG.warning("worker_killed", key=str(key), pid=handle.process.pid)
 
     # ------------------------------------------------------------------ #
     # Promotion
@@ -353,6 +366,13 @@ class ShardSupervisor:
         deposed = self.handles.pop(index, None)
         self.handles[index] = WorkerHandle(
             index=index, process=promoted.process, port=promoted.port
+        )
+        _LOG.warning(
+            "primary_adopted",
+            shard=index,
+            promoted_slot=replica,
+            promoted_pid=promoted.process.pid,
+            deposed_pid=None if deposed is None else deposed.process.pid,
         )
         if self.replica_data_dirs is not None:
             dirs = self.replica_data_dirs[index]
@@ -385,6 +405,13 @@ class ShardSupervisor:
                 if source.exists():
                     quarantine.mkdir(parents=True, exist_ok=True)
                     os.replace(source, quarantine / name)
+            _LOG.warning(
+                "replica_state_quarantined",
+                shard=index,
+                slot=replica,
+                quarantine=str(quarantine),
+            )
+        _LOG.info("replica_respawning", shard=index, slot=replica, fresh=fresh)
         return self.spawn_replica(index, replica)
 
     # ------------------------------------------------------------------ #
@@ -422,7 +449,14 @@ class ShardSupervisor:
             except subprocess.TimeoutExpired:
                 stragglers.append(handle)
         for handle in stragglers:
+            _LOG.warning(
+                "worker_stop_escalated",
+                shard=handle.index,
+                slot=handle.replica,
+                pid=handle.process.pid,
+            )
             handle.process.kill()
         for handle in stragglers:
             handle.process.wait(timeout=timeout)
+        _LOG.info("fleet_stopped", graceful=graceful, stragglers=len(stragglers))
         self.handles.clear()

@@ -1,0 +1,38 @@
+"""Unified observability: metrics registry, request tracing, structured logs.
+
+Three small, dependency-free modules shared by every layer of the stack:
+
+* :mod:`repro.obs.metrics` — a process-wide, thread-safe registry of
+  counters, gauges and fixed-bucket histograms with named labels.  Every
+  layer (server admission, result cache, WAL, checkpoints, scatter,
+  replication) records into it; the ``metrics`` wire op and the
+  ``/metrics`` HTTP endpoint expose its snapshot.
+* :mod:`repro.obs.tracing` — per-request trace/span ids, a ring buffer
+  of finished spans, and the slow-query log fed from completed root
+  spans.  Trace context crosses thread pools via ``contextvars`` and
+  crosses processes in an optional trailer on AQP1 binary frames.
+* :mod:`repro.obs.log` — a JSON-lines structured logger (level/env
+  gated, trace-id correlated when inside a span) replacing bare
+  ``print`` calls in the supervisor, checkpointer and follower loop.
+
+``REPRO_OBS=off`` disables metric recording and span creation globally
+(the overhead benchmark pins the instrumented-vs-off cost); the
+registries and ops stay functional, they just stop accumulating.
+"""
+
+from __future__ import annotations
+
+from . import log, metrics, tracing
+from .metrics import REGISTRY, counter, gauge, histogram, obs_enabled, set_enabled
+
+__all__ = [
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "log",
+    "metrics",
+    "obs_enabled",
+    "set_enabled",
+    "tracing",
+]

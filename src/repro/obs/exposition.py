@@ -1,0 +1,146 @@
+"""Prometheus text exposition: rendering plus a tiny stdlib HTTP endpoint.
+
+:func:`render_prometheus` turns a registry snapshot (or a merged cluster
+snapshot) into the Prometheus text format (version 0.0.4).
+:class:`MetricsHTTPServer` serves it on ``GET /metrics`` from a daemon
+thread using ``http.server`` only — no third-party dependency — behind
+the ``--metrics-port`` CLI flag.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+__all__ = ["MetricsHTTPServer", "render_prometheus"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _labels_text(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(value)}"' for name, value in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a metrics snapshot as Prometheus text format."""
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        data = snapshot[name]
+        help_text = data.get("help", "")
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {data['type']}")
+        for series in data.get("series", []):
+            labels = series.get("labels", {})
+            if data["type"] == "histogram":
+                cumulative = 0
+                for bound, count in zip(series["buckets"], series["counts"]):
+                    cumulative += count
+                    le = _labels_text(labels, {"le": _format_value(bound)})
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                cumulative += series["counts"][len(series["buckets"])]
+                le = _labels_text(labels, {"le": "+Inf"})
+                lines.append(f"{name}_bucket{le} {cumulative}")
+                lines.append(
+                    f"{name}_sum{_labels_text(labels)} "
+                    f"{_format_value(series['sum'])}"
+                )
+                lines.append(f"{name}_count{_labels_text(labels)} {cumulative}")
+            else:
+                lines.append(
+                    f"{name}{_labels_text(labels)} {_format_value(series['value'])}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+class MetricsHTTPServer:
+    """Serve ``GET /metrics`` from a daemon thread.
+
+    ``snapshot_fn`` is called per request, so a cluster front end can
+    pass its fan-out merge and serve fleet-wide series from one port.
+    """
+
+    def __init__(
+        self,
+        snapshot_fn: Callable[[], dict],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._snapshot_fn = snapshot_fn
+        self._host = host
+        self._requested_port = port
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self.port: int | None = None
+
+    def start(self) -> "MetricsHTTPServer":
+        snapshot_fn = self._snapshot_fn
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - stdlib API
+                if self.path.rstrip("/") not in ("", "/metrics"):
+                    self.send_error(404)
+                    return
+                try:
+                    body = render_prometheus(snapshot_fn()).encode("utf-8")
+                except Exception as exc:  # snapshot failures answer 500, not crash
+                    self.send_error(500, explain=repr(exc))
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, fmt, *args) -> None:  # silence per-request spam
+                pass
+
+        self._httpd = ThreadingHTTPServer((self._host, self._requested_port), Handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

@@ -1,0 +1,101 @@
+"""JSON-lines structured logger, level/env gated, trace-id correlated.
+
+One line per event::
+
+    {"ts": 1754500000.123, "level": "warning", "component": "supervisor",
+     "event": "worker_restarted", "trace_id": "…", "shard": 3}
+
+``REPRO_LOG_LEVEL`` selects the minimum level (``debug`` < ``info`` <
+``warning`` < ``error``; ``off`` silences everything).  Lines go to
+stderr so they never interfere with the supervisor's stdout banner
+scrape.  When the caller is inside a span the trace id is attached
+automatically, which is how slow-query lines and follower/checkpoint
+events correlate with the ``trace`` op output.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+
+__all__ = ["JsonLogger", "get_logger", "set_level"]
+
+_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40, "off": 100}
+
+
+def _env_level() -> int:
+    raw = os.environ.get("REPRO_LOG_LEVEL", "info").strip().lower()
+    return _LEVELS.get(raw, _LEVELS["info"])
+
+
+_threshold = _env_level()
+_write_lock = threading.Lock()
+_loggers: dict[str, "JsonLogger"] = {}
+_loggers_lock = threading.Lock()
+
+
+def set_level(level: str) -> str:
+    """Override the minimum emitted level (``"off"`` silences).
+
+    Returns the previous level name so callers can restore it.
+    """
+    global _threshold
+    previous = next(
+        name for name, rank in _LEVELS.items() if rank == _threshold
+    )
+    _threshold = _LEVELS[level]
+    return previous
+
+
+class JsonLogger:
+    def __init__(self, component: str, stream=None) -> None:
+        self.component = component
+        self._stream = stream
+
+    def log(self, level: str, event: str, **fields) -> None:
+        if _LEVELS[level] < _threshold:
+            return
+        entry = {
+            "ts": time.time(),
+            "level": level,
+            "component": self.component,
+            "event": event,
+        }
+        from . import tracing  # late import: tracing logs slow queries via us
+
+        span = tracing.current_span()
+        if span is not None:
+            entry["trace_id"] = span.trace_id
+        entry.update(fields)
+        line = json.dumps(entry, default=repr, separators=(",", ":"))
+        stream = self._stream if self._stream is not None else sys.stderr
+        with _write_lock:
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except (OSError, ValueError):
+                pass  # a closed stderr must never take the server down
+
+    def debug(self, event: str, **fields) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log("error", event, **fields)
+
+
+def get_logger(component: str) -> JsonLogger:
+    with _loggers_lock:
+        logger = _loggers.get(component)
+        if logger is None:
+            logger = JsonLogger(component)
+            _loggers[component] = logger
+        return logger

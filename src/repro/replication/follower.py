@@ -38,10 +38,36 @@ import struct
 import threading
 from pathlib import Path
 
+from ..obs import log as obs_log
+from ..obs import metrics as obs_metrics
 from ..service import framing
 from ..storage.durable import WAL_DROP, WAL_INGEST, WAL_REGISTER
 from ..storage import codec
 from ..storage.snapshot import load_latest_snapshot
+
+_LOG = obs_log.get_logger("follower")
+
+_APPLIED_LSN = obs_metrics.gauge(
+    "aqp_replication_applied_lsn",
+    "This replica's durably-applied LSN (== its local WAL tip), refreshed "
+    "at metrics-snapshot time.",
+    labelnames=("follower",),
+)
+_UPSTREAM_CONNECTED = obs_metrics.gauge(
+    "aqp_replication_upstream_connected",
+    "1 while this replica's subscription to its primary is up, else 0.",
+    labelnames=("follower",),
+)
+_APPLIED_BATCHES = obs_metrics.counter(
+    "aqp_replication_batches_applied_total",
+    "Shipped WAL batches this replica applied and acknowledged.",
+    labelnames=("follower",),
+)
+_APPLIED_SEEDS = obs_metrics.counter(
+    "aqp_replication_seeds_applied_total",
+    "Snapshot seeds this replica installed (reseed-from-scratch events).",
+    labelnames=("follower",),
+)
 
 
 class ReplicationProtocolError(RuntimeError):
@@ -159,6 +185,11 @@ class FollowerLoop(threading.Thread):
         self._halt = threading.Event()
         self._sock_mutex = threading.Lock()
         self._sock: socket.socket | None = None
+        # The applied position only moves when the apply loop commits, but
+        # a scrape can land between batches — refresh at snapshot time so
+        # the gauge always reflects the WAL tip (WeakMethod: the loop's
+        # death unregisters the hook).
+        obs_metrics.REGISTRY.add_collector(self._collect_metrics)
         #: Observability for the ``status`` op.
         self.status: dict = {
             "upstream": f"{primary_host}:{primary_port}",
@@ -168,6 +199,13 @@ class FollowerLoop(threading.Thread):
             "last_error": None,
             "fatal": None,
         }
+
+    def _collect_metrics(self) -> None:
+        """Refresh this replica's gauges (registry snapshot hook)."""
+        _APPLIED_LSN.set(self.applier.applied_lsn, follower=self.follower_id)
+        _UPSTREAM_CONNECTED.set(
+            1 if self.status.get("connected") else 0, follower=self.follower_id
+        )
 
     # ------------------------------------------------------------------ #
     # Control
@@ -213,12 +251,26 @@ class FollowerLoop(threading.Thread):
                 # durable position.
                 self.status["connected"] = False
                 self.status["last_error"] = f"{type(exc).__name__}: {exc}"
+                _LOG.warning(
+                    "subscription_lost",
+                    follower=self.follower_id,
+                    upstream=self.status.get("upstream"),
+                    error=str(exc),
+                    error_type=type(exc).__name__,
+                    backoff_seconds=backoff,
+                )
                 self._halt.wait(backoff)
                 backoff = min(backoff * 2, self.max_backoff)
             except Exception as exc:  # divergence/bug: do not spin on it
                 self.status["connected"] = False
                 self.status["fatal"] = f"{type(exc).__name__}: {exc}"
-                print(f"[follower {self.follower_id}] fatal: {exc}", flush=True)
+                _LOG.error(
+                    "follower_fatal",
+                    follower=self.follower_id,
+                    upstream=self.status.get("upstream"),
+                    error=str(exc),
+                    error_type=type(exc).__name__,
+                )
                 return
 
     def _run_subscription(self) -> None:
@@ -254,9 +306,16 @@ class FollowerLoop(threading.Thread):
                     for lsn, rtype, record_payload in framing.decode_wal_batch(payload):
                         self.applier.apply(lsn, rtype, record_payload)
                     self.status["batches"] += 1
+                    _APPLIED_BATCHES.inc(follower=self.follower_id)
                 elif kind == framing.REPL_SNAPSHOT_SEED:
                     self.applier.reseed(*framing.decode_snapshot_seed(payload))
                     self.status["seeds"] += 1
+                    _APPLIED_SEEDS.inc(follower=self.follower_id)
+                    _LOG.info(
+                        "reseeded",
+                        follower=self.follower_id,
+                        applied_lsn=self.applier.applied_lsn,
+                    )
                 else:
                     raise ReplicationProtocolError(f"unknown stream kind {kind}")
                 sock.sendall(

@@ -33,8 +33,26 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from ..obs import metrics as obs_metrics
 from ..service import framing
 from ..storage.snapshot import read_snapshot_files
+
+_ACK_LAG = obs_metrics.gauge(
+    "aqp_replication_ack_lag_records",
+    "Primary WAL tip minus the follower's acknowledged LSN, computed at "
+    "metrics-snapshot time (a dead follower's lag keeps growing).",
+    labelnames=("follower",),
+)
+_FOLLOWER_CONNECTED = obs_metrics.gauge(
+    "aqp_replication_follower_connected",
+    "1 while the follower's subscription stream is up, else 0.",
+    labelnames=("follower",),
+)
+_FOLLOWER_ACKED_LSN = obs_metrics.gauge(
+    "aqp_replication_acked_lsn",
+    "The follower's last durably-acknowledged LSN as seen by the primary.",
+    labelnames=("follower",),
+)
 
 #: Keep a disconnected follower's retention floor this long (seconds).
 DEFAULT_RETENTION_GRACE = 300.0
@@ -82,6 +100,24 @@ class ReplicationHub:
     def attach(self) -> None:
         """Wire this hub's retention floor into the database's checkpoints."""
         self.database.retention_floor = self.retention_floor
+        # Lag is computed when the registry is scraped, not when acks
+        # arrive: a follower that died stops acking, and its lag must keep
+        # growing against the advancing WAL tip.  WeakMethod inside the
+        # registry keeps this from pinning the hub alive.
+        obs_metrics.REGISTRY.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        """Refresh per-follower gauges (registry snapshot hook)."""
+        tip = self.database.wal.last_lsn
+        with self._mutex:
+            states = [
+                (s.follower_id, s.acked_lsn, s.connected)
+                for s in self._subscribers.values()
+            ]
+        for follower_id, acked_lsn, connected in states:
+            _ACK_LAG.set(max(tip - acked_lsn, 0), follower=follower_id)
+            _FOLLOWER_ACKED_LSN.set(acked_lsn, follower=follower_id)
+            _FOLLOWER_CONNECTED.set(1 if connected else 0, follower=follower_id)
 
     # ------------------------------------------------------------------ #
     # Subscriber registry

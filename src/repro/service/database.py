@@ -33,8 +33,21 @@ from ..core.synopsis import PairwiseHist
 from ..data.table import Table
 from ..gd.greedygd import GreedyGDConfig
 from ..gd.partitioned import DEFAULT_PARTITION_SIZE, PartitionedStore
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
 from ..sql.ast import Query
 from ..sql.parser import parse_query_cached
+
+_RESULT_CACHE_LOOKUPS = obs_metrics.counter(
+    "aqp_result_cache_lookups_total",
+    "Synopsis-version-keyed result cache lookups, by table and outcome.",
+    labelnames=("table", "outcome"),
+)
+_SYNOPSIS_BUILDS = obs_metrics.counter(
+    "aqp_synopsis_builds_total",
+    "Per-partition synopsis builds (registration + incremental ingest).",
+    labelnames=("table",),
+)
 
 
 @dataclass
@@ -226,6 +239,7 @@ class Database:
             store=None,
             construction_seconds=time.perf_counter() - start,
         )
+        _SYNOPSIS_BUILDS.inc(len(synopses), table=table.name)
         return ManagedTable(
             name=table.name,
             store=store,
@@ -361,6 +375,7 @@ class Database:
             managed.partition_synopses = staged.synopses
             managed.committed_partitions = staged.partitions
             managed.synopsis_builds += len(staged.affected)
+            _SYNOPSIS_BUILDS.inc(len(staged.affected), table=staged.table_name)
             managed.engine.refresh_synopsis(staged.merged)
             # The swap invalidates every cached result for this table:
             # caches key on (table, version), and this version is fresh.
@@ -435,6 +450,9 @@ class QueryService:
         self._result_cache_lock = threading.Lock()
         #: Per-table ``{"hits": n, "misses": n}`` counters (observability).
         self.cache_stats: dict[str, dict[str, int]] = {}
+        #: Pre-bound registry cells per table — the lookup path must not
+        #: pay label resolution on every query.
+        self._cache_cells: dict[str, tuple] = {}
 
     # ------------------------------------------------------------------ #
     # Catalog passthrough
@@ -511,27 +529,46 @@ class QueryService:
         simply ages out of the LRU.
         """
         if isinstance(query, str):
-            sql, parsed = query, parse_query_cached(query)
+            with obs_tracing.child_span("parse"):
+                sql, parsed = query, parse_query_cached(query)
         else:
             sql, parsed = str(query), query
         if self.result_cache_size <= 0:
-            return self._execute_engine(parsed, scalar)
+            with obs_tracing.child_span("execute", attrs={"table": parsed.table}):
+                return self._execute_engine(parsed, scalar)
         version = self.database.table(parsed.table).synopsis_version
         key = (parsed.table, version, scalar, sql)
         stats = self.cache_stats.setdefault(parsed.table, {"hits": 0, "misses": 0})
-        with self._result_cache_lock:
-            cached = self._result_cache.get(key)
+        cells = self._cache_cells.get(parsed.table)
+        if cells is None:
+            cells = self._cache_cells[parsed.table] = (
+                _RESULT_CACHE_LOOKUPS.labels(table=parsed.table, outcome="hit"),
+                _RESULT_CACHE_LOOKUPS.labels(table=parsed.table, outcome="miss"),
+            )
+        with obs_tracing.child_span(
+            "cache_lookup", attrs={"table": parsed.table}
+        ) as lookup:
+            with self._result_cache_lock:
+                cached = self._result_cache.get(key)
+                if cached is not None:
+                    self._result_cache.move_to_end(key)
+                    stats["hits"] += 1
             if cached is not None:
-                self._result_cache.move_to_end(key)
-                stats["hits"] += 1
+                cells[0].inc()
+                if lookup is not None:
+                    lookup.set_attr("outcome", "hit")
                 return cached
-        result = self._execute_engine(parsed, scalar)
+            if lookup is not None:
+                lookup.set_attr("outcome", "miss")
+        with obs_tracing.child_span("execute", attrs={"table": parsed.table}):
+            result = self._execute_engine(parsed, scalar)
         with self._result_cache_lock:
             stats["misses"] += 1
             self._result_cache[key] = result
             self._result_cache.move_to_end(key)
             while len(self._result_cache) > self.result_cache_size:
                 self._result_cache.popitem(last=False)
+        cells[1].inc()
         return result
 
     def _purge_cache(self, table_name: str) -> None:

@@ -118,10 +118,43 @@ STATUS_OVERLOADED = 2
 #: equivalent ``{"ok": false, "error_type": "Overloaded"}``).
 OVERLOADED_ERROR_TYPE = "Overloaded"
 
+#: High bit of the op byte: a 24-byte trace trailer (16-byte trace id +
+#: 8-byte span id) follows the payload.  ``payload_len`` still counts
+#: the payload alone, so readers that mask the flag off parse the frame
+#: exactly as before; clients that never set the flag are byte-identical
+#: to the pre-trace protocol.
+TRACE_FLAG = 0x80
 
-def encode_frame(tag: int, request_id: int, payload: bytes = b"") -> bytes:
-    """One complete frame (request or response — the layout is shared)."""
-    return HEADER.pack(tag, request_id, len(payload)) + payload
+#: Trace trailer: raw trace id then parent span id.
+TRACE_TRAILER = struct.Struct("<16s8s")
+TRACE_TRAILER_SIZE = TRACE_TRAILER.size
+
+
+def encode_frame(
+    tag: int,
+    request_id: int,
+    payload: bytes = b"",
+    trace: tuple[bytes, bytes] | None = None,
+) -> bytes:
+    """One complete frame (request or response — the layout is shared).
+
+    ``trace=(trace_id16, span_id8)`` appends the trace trailer and sets
+    :data:`TRACE_FLAG` on the tag byte.
+    """
+    if trace is None:
+        return HEADER.pack(tag, request_id, len(payload)) + payload
+    trace_id, span_id = trace
+    return (
+        HEADER.pack(tag | TRACE_FLAG, request_id, len(payload))
+        + payload
+        + TRACE_TRAILER.pack(trace_id, span_id)
+    )
+
+
+def decode_trace_trailer(trailer: bytes) -> tuple[bytes, bytes]:
+    """(trace_id16, span_id8) from the 24-byte trailer."""
+    trace_id, span_id = TRACE_TRAILER.unpack(trailer)
+    return trace_id, span_id
 
 
 def decode_header(header: bytes) -> tuple[int, int, int]:

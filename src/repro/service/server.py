@@ -45,10 +45,12 @@ server restarted on the same directory recovers every table.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
 import math
 import socket
 import struct
+import time
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
 from pathlib import Path
@@ -56,6 +58,8 @@ from pathlib import Path
 from ..core.engine import AqpResult
 from ..core.params import PairwiseHistParams
 from ..data.table import Table
+from ..obs import metrics as obs_metrics
+from ..obs import tracing
 from ..sql.ast import Query
 from ..sql.parser import ParseError
 from ..storage.checkpointer import BackgroundCheckpointer
@@ -86,6 +90,33 @@ DEFAULT_LINE_LIMIT = 32 * 1024 * 1024
 #: ``None`` disables a limit.  One batch frame counts as one query slot.
 DEFAULT_MAX_INFLIGHT_QUERIES = 256
 DEFAULT_MAX_INFLIGHT_INGESTS = 64
+
+_REQUEST_LATENCY = obs_metrics.histogram(
+    "aqp_request_latency_seconds",
+    "Wall time serving one admitted request, by admission class.",
+    labelnames=("kind",),
+)
+_REQUESTS_SHED = obs_metrics.counter(
+    "aqp_requests_shed_total",
+    "Requests refused at admission control, by admission class.",
+    labelnames=("kind",),
+)
+
+# Pre-bound label cells: the per-request path must not pay kwargs/label
+# resolution (see Counter.labels / Histogram.labels).
+_LATENCY_CELLS = {
+    kind: _REQUEST_LATENCY.labels(kind=kind) for kind in ("query", "ingest")
+}
+_SHED_CELLS = {
+    kind: _REQUESTS_SHED.labels(kind=kind) for kind in ("query", "ingest")
+}
+
+
+def _observe_latency(kind: str, seconds: float) -> None:
+    cell = _LATENCY_CELLS.get(kind)
+    if cell is None:
+        cell = _LATENCY_CELLS[kind] = _REQUEST_LATENCY.labels(kind=kind)
+    cell.observe(seconds)
 
 
 class AsyncQueryService:
@@ -160,9 +191,17 @@ class AsyncQueryService:
         if self._closed:
             raise RuntimeError("the async query service is closed")
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(
-            self._executor, partial(fn, *args, **kwargs)
-        )
+        # run_in_executor does not carry contextvars into the worker
+        # thread; copy the caller's context so the active trace span (if
+        # any) is visible to the service's child spans.  Untraced requests
+        # skip the copy — it costs about a microsecond per call.
+        if tracing.current_span() is not None:
+            call = partial(
+                contextvars.copy_context().run, partial(fn, *args, **kwargs)
+            )
+        else:
+            call = partial(fn, *args, **kwargs)
+        return await loop.run_in_executor(self._executor, call)
 
     # ------------------------------------------------------------------ #
     # Coroutine API
@@ -277,6 +316,42 @@ class AsyncQueryService:
     async def persist(self) -> int:
         """fsync the WAL; returns the last durable LSN."""
         return await self._dispatch(self.service.persist)
+
+    # ------------------------------------------------------------------ #
+    # Observability
+
+    async def status_extra(self) -> dict:
+        """Cache stats + LSN positions for the ``status`` op payload.
+
+        Both async facades implement this, so the server's status payload
+        is complete on every deployment shape (the cluster facade fans the
+        equivalent out to its workers).
+        """
+        extra: dict = {}
+        inner = self.service
+        cache_stats = getattr(inner, "cache_stats", None)
+        if cache_stats is not None:
+            extra["cache_stats"] = {
+                table: dict(stats) for table, stats in cache_stats.items()
+            }
+        database = getattr(inner, "database", None)
+        wal = getattr(database, "wal", None)
+        if wal is not None:
+            durable = wal.last_lsn
+            # The follower applies through the durable commit path, so
+            # applied == durable on every role.
+            extra["durable_lsn"] = durable
+            extra["applied_lsn"] = durable
+            extra["last_checkpoint_lsn"] = database.last_checkpoint_lsn
+        return extra
+
+    async def metrics(self) -> dict:
+        """This process's registry snapshot (the cluster facade fans out)."""
+        return obs_metrics.REGISTRY.snapshot()
+
+    async def trace(self, trace_id: str) -> list[dict]:
+        """Finished spans recorded in this process for ``trace_id``."""
+        return tracing.spans_for(trace_id)
 
     # ------------------------------------------------------------------ #
     # Ingest coalescing
@@ -454,7 +529,11 @@ class QueryServer:
         """Reserve one in-flight slot, or refuse (caller sheds the request)."""
         limit = self._limit_for(kind)
         if limit is not None and self._inflight[kind] >= limit:
+            # shed_counts stays the per-server source of truth for the
+            # status payload; the registry mirrors it for the metrics op
+            # and the /metrics scrape.
             self.shed_counts[kind] += 1
+            _SHED_CELLS[kind].inc()
             return False
         self._inflight[kind] += 1
         return True
@@ -600,6 +679,8 @@ class QueryServer:
                 except asyncio.IncompleteReadError:
                     break
                 op, request_id, payload_len = framing.decode_header(header)
+                traced = bool(op & framing.TRACE_FLAG)
+                op &= ~framing.TRACE_FLAG
                 if payload_len > self.line_limit:
                     # readexactly() is not bounded by the stream limit the
                     # way readline() is, so enforce it explicitly; the
@@ -618,6 +699,10 @@ class QueryServer:
                     await writer.drain()
                     break
                 payload = await reader.readexactly(payload_len)
+                trace: tuple[bytes, bytes] | None = None
+                if traced:
+                    trailer = await reader.readexactly(framing.TRACE_TRAILER_SIZE)
+                    trace = framing.decode_trace_trailer(trailer)
                 if op == framing.OP_WAL_ACK:
                     # One-way: no response frame, no admission slot.
                     rep = self.replication
@@ -687,7 +772,7 @@ class QueryServer:
                     continue
                 task = asyncio.ensure_future(
                     self._serve_frame(
-                        writer, op, request_id, payload, kind, request
+                        writer, op, request_id, payload, kind, request, trace
                     )
                 )
                 tasks.add(task)
@@ -706,11 +791,13 @@ class QueryServer:
         payload: bytes,
         kind: str,
         request: dict | None,
+        trace: tuple[bytes, bytes] | None = None,
     ) -> None:
         """Execute one admitted binary frame and write its response."""
+        started = time.perf_counter()
         try:
             try:
-                body = await self._execute_binary_op(op, payload, request)
+                body = await self._execute_binary_op(op, payload, request, trace)
                 status = framing.STATUS_OK
             except asyncio.CancelledError:
                 raise
@@ -726,6 +813,7 @@ class QueryServer:
             except (ConnectionResetError, BrokenPipeError, RuntimeError):
                 pass  # client went away; nothing to answer
         finally:
+            _observe_latency(kind, time.perf_counter() - started)
             self._release(kind)
 
     async def _serve_subscription(
@@ -800,13 +888,20 @@ class QueryServer:
                 )
 
     async def _execute_binary_op(
-        self, op: int, payload: bytes, request: dict | None
+        self,
+        op: int,
+        payload: bytes,
+        request: dict | None,
+        trace: tuple[bytes, bytes] | None = None,
     ) -> bytes:
         if op == framing.OP_PING:
             return b""
         if op == framing.OP_QUERY:
             sql = framing.decode_query(payload)
-            return framing.encode_result(encode_result(await self.service.query(sql)))
+            hex_trace = (trace[0].hex(), trace[1].hex()) if trace else None
+            with self._query_span(sql, hex_trace):
+                result = await self.service.query(sql)
+            return framing.encode_result(encode_result(result))
         if op == framing.OP_QUERY_BATCH:
             sqls = framing.decode_query_batch(payload)
 
@@ -856,6 +951,7 @@ class QueryServer:
                 "error": self._overloaded_message(kind),
                 "error_type": framing.OVERLOADED_ERROR_TYPE,
             }
+        started = time.perf_counter()
         try:
             return {"ok": True, "result": await self._execute_op(request)}
         except _CLIENT_ERRORS as exc:
@@ -867,6 +963,7 @@ class QueryServer:
             # connections or stack traces (e.g. a query racing close()).
             return self._error(exc)
         finally:
+            _observe_latency(kind, time.perf_counter() - started)
             self._release(kind)
 
     @staticmethod
@@ -888,7 +985,10 @@ class QueryServer:
         if op == "query":
             if "sql" not in request:
                 raise ValueError("query requests need a 'sql' field")
-            return encode_result(await self.service.query(request["sql"]))
+            sql = request["sql"]
+            with self._query_span(sql, self._trace_from_request(request)):
+                result = await self.service.query(sql)
+            return encode_result(result)
         if op == "ingest":
             self._require_writable()
             table_name, rows = self._rows_from_request(request)
@@ -925,7 +1025,14 @@ class QueryServer:
             await self._commit_gate()
             return {"table": table_name, "dropped": True}
         if op == "status":
-            return self._status_payload()
+            return await self._status_payload()
+        if op == "metrics":
+            return {"metrics": await self.service.metrics()}
+        if op == "trace":
+            trace_id = request.get("trace_id")
+            if not isinstance(trace_id, str):
+                raise ValueError("trace requests need a 'trace_id' string")
+            return {"trace_id": trace_id, "spans": await self.service.trace(trace_id)}
         if op == "promote":
             return await self._promote(request)
         if op == "follow":
@@ -946,7 +1053,48 @@ class QueryServer:
     # ------------------------------------------------------------------ #
     # Observability + role transitions
 
-    def _status_payload(self) -> dict:
+    def _query_attrs(self, sql) -> dict:
+        rep = self.replication
+        return {
+            "sql": sql if isinstance(sql, str) and len(sql) <= 200 else str(sql)[:200],
+            "server_role": rep.role if rep is not None else "standalone",
+        }
+
+    def _query_span(self, sql, trace: tuple[str, str] | None):
+        """Root span for one query request.
+
+        When the client supplied trace ids (binary trailer / JSON
+        ``"trace"`` key) the span adopts them and is marked for wire
+        propagation, so a cluster front end forwards the trace to its
+        shard workers and a worker joins its parse/cache spans to the
+        caller's tree.  Untraced requests take the span-free
+        :func:`~repro.obs.tracing.slow_watch` path: no span tree is
+        built unless the query crosses the slow-query threshold, in
+        which case a completed root span is synthesised for the log and
+        the ring buffer.
+        """
+        if trace is not None:
+            return tracing.root_span(
+                "query",
+                trace_id=trace[0],
+                parent_id=trace[1],
+                attrs=self._query_attrs(sql),
+            )
+        return tracing.slow_watch("query", lambda: self._query_attrs(sql))
+
+    @staticmethod
+    def _trace_from_request(request: dict) -> tuple[str, str] | None:
+        """(trace_id, span_id) from a JSON-dialect ``"trace"`` key, if sane."""
+        trace = request.get("trace")
+        if not isinstance(trace, dict):
+            return None
+        trace_id = trace.get("trace_id")
+        span_id = trace.get("span_id")
+        if isinstance(trace_id, str) and isinstance(span_id, str):
+            return trace_id, span_id
+        return None
+
+    async def _status_payload(self) -> dict:
         """The ``status`` op: LSNs, replication role/lag, shed + cache stats."""
         rep = self.replication
         payload: dict = {
@@ -954,22 +1102,12 @@ class QueryServer:
             "epoch": rep.epoch if rep is not None else 0,
             "shed_counts": dict(self.shed_counts),
         }
-        inner = getattr(self.service, "service", None)
-        if inner is not None:
-            cache_stats = getattr(inner, "cache_stats", None)
-            if cache_stats is not None:
-                payload["cache_stats"] = {
-                    table: dict(stats) for table, stats in cache_stats.items()
-                }
-            database = getattr(inner, "database", None)
-            wal = getattr(database, "wal", None)
-            if wal is not None:
-                durable = wal.last_lsn
-                # The follower applies through the durable commit path, so
-                # applied == durable on every role.
-                payload["durable_lsn"] = durable
-                payload["applied_lsn"] = durable
-                payload["last_checkpoint_lsn"] = database.last_checkpoint_lsn
+        status_extra = getattr(self.service, "status_extra", None)
+        if status_extra is not None:
+            # Both async facades implement this (the cluster one fans out
+            # to its workers), so cache stats and LSN positions show up on
+            # every deployment shape — not just a wrapped QueryService.
+            payload.update(await status_extra())
         if rep is not None and rep.hub is not None:
             followers = rep.hub.subscriber_snapshot()
             payload["followers"] = followers
@@ -1245,6 +1383,22 @@ def _build_arg_parser():
         default=30.0,
         help="seconds a mutation ack may wait on the replication barrier",
     )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="serve a Prometheus-text /metrics endpoint on this port "
+        "(0 picks a free port; a cluster front end serves the fan-out "
+        "merged fleet registry)",
+    )
+    parser.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        help="log completed root query spans slower than this many "
+        "milliseconds as structured JSON lines (default: "
+        "REPRO_SLOW_QUERY_MS, else off)",
+    )
     return parser
 
 
@@ -1253,6 +1407,25 @@ def _admission_kwargs(args) -> dict:
         "max_inflight_queries": args.max_inflight_queries or None,
         "max_inflight_ingests": args.max_inflight_ingests or None,
     }
+
+
+def _apply_slow_query_threshold(args) -> None:
+    millis = getattr(args, "slow_query_ms", None)
+    if millis is not None:
+        tracing.TRACER.slow_threshold_seconds = max(millis, 0.0) / 1000.0
+
+
+def _start_metrics_endpoint(args, snapshot_fn):
+    """Start the /metrics HTTP endpoint when --metrics-port was given."""
+    if getattr(args, "metrics_port", None) is None:
+        return None
+    from ..obs.exposition import MetricsHTTPServer
+
+    endpoint = MetricsHTTPServer(
+        snapshot_fn, host=args.host, port=args.metrics_port
+    ).start()
+    print(f"metrics on {args.host}:{endpoint.port}", flush=True)
+    return endpoint
 
 
 def _install_stop_handlers(loop, stop: asyncio.Event) -> None:
@@ -1322,6 +1495,8 @@ async def serve_cluster(args) -> None:
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     _install_stop_handlers(loop, stop)
+    _apply_slow_query_threshold(args)
+    metrics_endpoint = _start_metrics_endpoint(args, cluster.metrics)
     try:
         async with AsyncClusterService(
             cluster, max_workers=args.workers
@@ -1332,6 +1507,8 @@ async def serve_cluster(args) -> None:
                 print(f"listening on {server.host}:{server.port}", flush=True)
                 await stop.wait()
     finally:
+        if metrics_endpoint is not None:
+            metrics_endpoint.stop()
         # Graceful worker shutdown: SIGTERM triggers each worker's final
         # checkpoint, so the next start recovers from snapshots.
         await loop.run_in_executor(None, cluster.close)
@@ -1369,6 +1546,10 @@ async def serve_replica(args) -> None:
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     _install_stop_handlers(loop, stop)
+    _apply_slow_query_threshold(args)
+    metrics_endpoint = _start_metrics_endpoint(
+        args, obs_metrics.REGISTRY.snapshot
+    )
     async with AsyncQueryService(
         service=service,
         max_workers=args.workers,
@@ -1401,6 +1582,8 @@ async def serve_replica(args) -> None:
                         "will recover this state from the WAL instead",
                         flush=True,
                     )
+    if metrics_endpoint is not None:
+        metrics_endpoint.stop()
     database.close()
 
 
@@ -1473,6 +1656,10 @@ async def serve(args) -> None:
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     _install_stop_handlers(loop, stop)
+    _apply_slow_query_threshold(args)
+    metrics_endpoint = _start_metrics_endpoint(
+        args, obs_metrics.REGISTRY.snapshot
+    )
     async with AsyncQueryService(
         service=service,
         max_workers=args.workers,
@@ -1502,6 +1689,8 @@ async def serve(args) -> None:
                             "will recover this state from the WAL instead",
                             flush=True,
                         )
+    if metrics_endpoint is not None:
+        metrics_endpoint.stop()
     if args.data_dir:
         database.close()
 

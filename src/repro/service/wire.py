@@ -254,8 +254,12 @@ class ClusterClient:
     def stat(self, table: str) -> dict:
         return self.call({"op": "stat", "table": table})
 
-    def query(self, sql: str) -> dict:
-        return self.call({"op": "query", "sql": sql})
+    def query(self, sql: str, trace: tuple[str, str] | None = None) -> dict:
+        """``trace=(trace_id_hex, span_id_hex)`` tags the query for tracing."""
+        request: dict = {"op": "query", "sql": sql}
+        if trace is not None:
+            request["trace"] = {"trace_id": trace[0], "span_id": trace[1]}
+        return self.call(request)
 
     def ingest(self, table: str, rows: Table | dict, coalesce: bool = True) -> dict:
         payload = table_payload(rows) if isinstance(rows, Table) else rows
@@ -301,6 +305,14 @@ class ClusterClient:
     def follow(self, host: str, port: int) -> dict:
         """Repoint a replica's subscription at a new primary."""
         return self.call({"op": "follow", "host": host, "port": port})
+
+    def metrics(self) -> dict:
+        """Registry snapshot (fan-out merged when talking to a cluster)."""
+        return self.call({"op": "metrics"})["metrics"]
+
+    def trace(self, trace_id: str) -> list[dict]:
+        """Finished spans for ``trace_id`` (fan-out merged on a cluster)."""
+        return self.call({"op": "trace", "trace_id": trace_id})["spans"]
 
 
 # --------------------------------------------------------------------------- #
@@ -406,8 +418,17 @@ class PipelinedClient:
     # ------------------------------------------------------------------ #
     # Frame plumbing
 
-    def _submit(self, op: int, payload: bytes) -> Future:
-        """Write one request frame; its future resolves with the response."""
+    def _submit(
+        self,
+        op: int,
+        payload: bytes,
+        trace: tuple[bytes, bytes] | None = None,
+    ) -> Future:
+        """Write one request frame; its future resolves with the response.
+
+        ``trace=(trace_id16, span_id8)`` appends the trace trailer so the
+        server joins this request to an existing trace.
+        """
         future: Future = Future()
         with self._send_lock:
             sock = self._sock
@@ -428,7 +449,7 @@ class PipelinedClient:
                     ) from self._dead_exc
                 self._pending[request_id] = (future, op)
             try:
-                sock.sendall(framing.encode_frame(op, request_id, payload))
+                sock.sendall(framing.encode_frame(op, request_id, payload, trace))
             except OSError as exc:
                 with self._pending_lock:
                     self._pending.pop(request_id, None)
@@ -512,9 +533,11 @@ class PipelinedClient:
     def submit_ping(self) -> Future:
         return self._submit(framing.OP_PING, b"")
 
-    def submit_query(self, sql: str) -> Future:
+    def submit_query(
+        self, sql: str, trace: tuple[bytes, bytes] | None = None
+    ) -> Future:
         """Future of a decoded result payload (same shape as the JSON path)."""
-        return self._submit(framing.OP_QUERY, framing.encode_query(sql))
+        return self._submit(framing.OP_QUERY, framing.encode_query(sql), trace)
 
     def submit_query_batch(self, sqls: list[str]) -> Future:
         """Future of per-query outcome dicts (``ok``/``result``/``error``)."""
@@ -545,8 +568,8 @@ class PipelinedClient:
     def stat(self, table: str) -> dict:
         return self.call({"op": "stat", "table": table})
 
-    def query(self, sql: str) -> dict:
-        return self._result(self.submit_query(sql))
+    def query(self, sql: str, trace: tuple[bytes, bytes] | None = None) -> dict:
+        return self._result(self.submit_query(sql, trace))
 
     def query_batch(self, sqls: list[str]) -> list[dict]:
         return self._result(self.submit_query_batch(sqls))
@@ -596,3 +619,11 @@ class PipelinedClient:
     def follow(self, host: str, port: int) -> dict:
         """Repoint a replica's subscription at a new primary."""
         return self.call({"op": "follow", "host": host, "port": port})
+
+    def metrics(self) -> dict:
+        """Registry snapshot (fan-out merged when talking to a cluster)."""
+        return self.call({"op": "metrics"})["metrics"]
+
+    def trace(self, trace_id: str) -> list[dict]:
+        """Finished spans for ``trace_id`` (fan-out merged on a cluster)."""
+        return self.call({"op": "trace", "trace_id": trace_id})["spans"]

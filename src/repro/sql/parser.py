@@ -19,6 +19,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 
+from ..obs import metrics as obs_metrics
 from .ast import (
     AggregateFunction,
     Aggregation,
@@ -204,6 +205,15 @@ PARSE_CACHE_SIZE = 512
 _parse_cache: OrderedDict[str, Query] = OrderedDict()
 _parse_cache_lock = threading.Lock()
 
+_PARSE_CACHE_LOOKUPS = obs_metrics.counter(
+    "aqp_parse_cache_lookups_total",
+    "SQL-text to AST parse cache lookups, by outcome.",
+    labelnames=("outcome",),
+)
+# Pre-bound cells: parse-cache hits sit on the per-query hot path.
+_PARSE_CACHE_HIT = _PARSE_CACHE_LOOKUPS.labels(outcome="hit")
+_PARSE_CACHE_MISS = _PARSE_CACHE_LOOKUPS.labels(outcome="miss")
+
 
 def parse_query_cached(sql: str) -> Query:
     """Like :func:`parse_query`, memoized on the exact SQL text (LRU).
@@ -218,13 +228,16 @@ def parse_query_cached(sql: str) -> Query:
         query = _parse_cache.get(sql)
         if query is not None:
             _parse_cache.move_to_end(sql)
-            return query
+    if query is not None:
+        _PARSE_CACHE_HIT.inc()
+        return query
     query = parse_query(sql)
     with _parse_cache_lock:
         _parse_cache[sql] = query
         _parse_cache.move_to_end(sql)
         while len(_parse_cache) > PARSE_CACHE_SIZE:
             _parse_cache.popitem(last=False)
+    _PARSE_CACHE_MISS.inc()
     return query
 
 

@@ -13,7 +13,10 @@ from __future__ import annotations
 
 import threading
 
+from ..obs import log as obs_log
 from .durable import CheckpointResult
+
+_LOG = obs_log.get_logger("checkpointer")
 
 
 class BackgroundCheckpointer:
@@ -97,11 +100,19 @@ class BackgroundCheckpointer:
             result = self.target.checkpoint()
         except Exception as exc:
             self.last_error = exc
+            _LOG.error("checkpoint_failed", error=str(exc), error_type=type(exc).__name__)
             return None
         self.last_error = None
         self.last_result = result
         if result.skipped:
             self.checkpoints_skipped += 1
+            _LOG.debug("checkpoint_skipped", checkpoint_lsn=result.checkpoint_lsn)
         else:
             self.checkpoints_written += 1
+            _LOG.info(
+                "checkpoint_written",
+                checkpoint_lsn=result.checkpoint_lsn,
+                tables=result.tables,
+                seconds=round(result.seconds, 6),
+            )
         return result

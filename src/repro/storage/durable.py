@@ -35,6 +35,7 @@ from pathlib import Path
 from ..core.engine import PairwiseHistEngine
 from ..core.synopsis import PairwiseHist
 from ..data.table import Table
+from ..obs import metrics as obs_metrics
 from ..service.database import Database, IngestResult, ManagedTable, StagedIngest
 from . import codec
 from .faults import maybe_crash
@@ -53,6 +54,22 @@ from .wal import DEFAULT_SEGMENT_BYTES, WriteAheadLog
 WAL_REGISTER = 1
 WAL_INGEST = 2
 WAL_DROP = 3
+
+_CHECKPOINT_SECONDS = obs_metrics.histogram(
+    "aqp_checkpoint_seconds",
+    "Wall time of one checkpoint call, including the no-op fast path.",
+)
+_CHECKPOINTS = obs_metrics.counter(
+    "aqp_checkpoints_total",
+    "Checkpoint calls, by outcome (written vs. skipped-no-change).",
+    labelnames=("outcome",),
+)
+_CHECKPOINT_BLOBS = obs_metrics.counter(
+    "aqp_checkpoint_blobs_total",
+    "Partition blobs per written checkpoint: hard-linked from the previous "
+    "snapshot vs. rewritten from memory.",
+    labelnames=("disposition",),
+)
 
 
 @dataclass
@@ -271,13 +288,17 @@ class DurableDatabase(Database):
             start = time.perf_counter()
             state = self._capture()
             if state.checkpoint_lsn == self._last_checkpoint_lsn:
+                elapsed = time.perf_counter() - start
+                _CHECKPOINT_SECONDS.observe(elapsed)
+                _CHECKPOINTS.inc(outcome="skipped")
                 return CheckpointResult(
                     checkpoint_lsn=state.checkpoint_lsn,
                     path=None,
                     tables=len(state.tables),
-                    seconds=time.perf_counter() - start,
+                    seconds=elapsed,
                     skipped=True,
                 )
+            blob_stats: dict[str, int] = {}
             path = write_snapshot(
                 self.snapshots_dir,
                 state,
@@ -286,17 +307,24 @@ class DurableDatabase(Database):
                 # snapshot must be on stable media before the WAL records
                 # it covers are truncated away.
                 fsync=self.wal.fsync,
+                blob_stats=blob_stats,
             )
             maybe_crash("checkpoint.before_truncate")
             self.wal.truncate_through(
                 state.checkpoint_lsn, retain_after_lsn=self._retention_floor_lsn()
             )
             self._last_checkpoint_lsn = state.checkpoint_lsn
+            elapsed = time.perf_counter() - start
+            _CHECKPOINT_SECONDS.observe(elapsed)
+            _CHECKPOINTS.inc(outcome="written")
+            for disposition, count in blob_stats.items():
+                if count:
+                    _CHECKPOINT_BLOBS.inc(count, disposition=disposition)
             return CheckpointResult(
                 checkpoint_lsn=state.checkpoint_lsn,
                 path=path,
                 tables=len(state.tables),
-                seconds=time.perf_counter() - start,
+                seconds=elapsed,
             )
 
     # ------------------------------------------------------------------ #

@@ -253,8 +253,15 @@ def write_snapshot(
     keep: int = 2,
     fsync: bool = False,
     format_version: int | None = None,
+    blob_stats: dict[str, int] | None = None,
 ) -> Path:
     """Write one snapshot atomically; returns the published directory.
+
+    ``blob_stats``, when given, is filled in place with per-disposition
+    partition-blob counts for this snapshot: ``"linked"`` (reused from the
+    previous snapshot — hard link, verified copy, or shared with an earlier
+    table in the same snapshot) vs. ``"rewritten"`` (serialized from
+    memory).  The return type is unchanged.
 
     Everything lands in a temp directory first; the manifest is the last
     file written inside it, then one ``os.replace`` publishes the whole
@@ -292,6 +299,10 @@ def write_snapshot(
     tmp_path.mkdir(parents=True)
     files: list[tuple[str, int, int]] = []
     written: set[str] = set()
+    if blob_stats is None:
+        blob_stats = {}
+    blob_stats.setdefault("linked", 0)
+    blob_stats.setdefault("rewritten", 0)
 
     def _write(name: str, payload: bytes) -> None:
         path = tmp_path / name
@@ -331,6 +342,7 @@ def write_snapshot(
                 f"table-{index:05d}.partitions",
                 _frame_blobs([dump_partition(p) for p in table.partitions]),
             )
+            blob_stats["rewritten"] += len(table.partitions)
             maybe_crash("snapshot.mid_write")
             return
         known = (
@@ -354,6 +366,9 @@ def write_snapshot(
                 setattr(
                     partition, _BLOB_ATTR, (name, len(payload), zlib.crc32(payload))
                 )
+                blob_stats["rewritten"] += 1
+            else:
+                blob_stats["linked"] += 1
             names.append(name)
         maybe_crash("snapshot.mid_write")
         _write(f"table-{index:05d}.parts", _encode_parts_index(names))

@@ -26,15 +26,40 @@ from __future__ import annotations
 import os
 import struct
 import threading
+import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
 
+from ..obs import metrics as obs_metrics
 from .faults import crash_points_armed, maybe_crash
 
 _HEADER = struct.Struct("<QBII")  # lsn, record type, payload length, crc32
 _SEGMENT_SUFFIX = ".wal"
+
+_WAL_APPENDS = obs_metrics.counter(
+    "aqp_wal_appends_total", "WAL records durably appended."
+)
+_WAL_APPENDED_BYTES = obs_metrics.counter(
+    "aqp_wal_appended_bytes_total", "Framed bytes appended to the WAL."
+)
+_WAL_FSYNCS = obs_metrics.counter(
+    "aqp_wal_fsyncs_total", "fsync() calls issued by the WAL."
+)
+_WAL_FSYNC_SECONDS = obs_metrics.histogram(
+    "aqp_wal_fsync_seconds", "Wall time of each WAL fsync."
+)
+_WAL_ROTATIONS = obs_metrics.counter(
+    "aqp_wal_segment_rotations_total", "WAL segment-file rotations."
+)
+# Rebind to the pre-resolved cells — these run on every append/fsync and
+# must not pay label handling (the metrics have no labels anyway).
+_WAL_APPENDS = _WAL_APPENDS.labels()
+_WAL_APPENDED_BYTES = _WAL_APPENDED_BYTES.labels()
+_WAL_FSYNCS = _WAL_FSYNCS.labels()
+_WAL_FSYNC_SECONDS = _WAL_FSYNC_SECONDS.labels()
+_WAL_ROTATIONS = _WAL_ROTATIONS.labels()
 
 #: Default segment rotation threshold.
 DEFAULT_SEGMENT_BYTES = 16 * 1024 * 1024
@@ -225,9 +250,14 @@ class WriteAheadLog:
                 self._file.write(frame)
             self._file.flush()
             if self.fsync:
+                fsync_started = time.perf_counter()
                 os.fsync(self._file.fileno())
+                _WAL_FSYNCS.inc()
+                _WAL_FSYNC_SECONDS.observe(time.perf_counter() - fsync_started)
             self._last_lsn = lsn
             self._last_append_offset = start
+            _WAL_APPENDS.inc()
+            _WAL_APPENDED_BYTES.inc(len(frame))
             return lsn
 
     def rollback_last(self, lsn: int) -> None:
@@ -253,7 +283,10 @@ class WriteAheadLog:
         """Flush and fsync whatever has been appended; returns the last LSN."""
         with self._mutex:
             self._file.flush()
+            fsync_started = time.perf_counter()
             os.fsync(self._file.fileno())
+            _WAL_FSYNCS.inc()
+            _WAL_FSYNC_SECONDS.observe(time.perf_counter() - fsync_started)
             return self._last_lsn
 
     def _rotate_locked(self) -> None:
@@ -261,6 +294,7 @@ class WriteAheadLog:
         self._segment_path = self.directory / _segment_name(self._last_lsn + 1)
         self._segment_path.touch()
         self._file = self._segment_path.open("ab")
+        _WAL_ROTATIONS.inc()
 
     # ------------------------------------------------------------------ #
     # Reading

@@ -256,6 +256,48 @@ def test_wire_frame_header_layout_pinned():
     ) == (0, 1, 2)
 
 
+def test_traced_frame_trailer_layout_pinned():
+    """The trace trailer is frozen: flag bit on the op byte, 24 raw bytes
+    *after* the payload, and ``payload_len`` counting the payload only —
+    an old client that never sets the flag produces (and an old server
+    that never sees it receives) byte-identical untraced frames."""
+    trace_id = bytes(range(16))
+    span_id = bytes(range(16, 24))
+    frame = framing.encode_frame(
+        framing.OP_QUERY, 0x0102030405060708, b"pay", trace=(trace_id, span_id)
+    )
+    assert frame == (
+        struct.pack("<BQI", 2 | 0x80, 0x0102030405060708, 3)
+        + b"pay"
+        + trace_id
+        + span_id
+    )
+    assert framing.TRACE_FLAG == 0x80
+    assert framing.TRACE_TRAILER_SIZE == 24
+    op, request_id, length = framing.decode_header(frame[: framing.HEADER_SIZE])
+    assert op & framing.TRACE_FLAG
+    assert op & ~framing.TRACE_FLAG == framing.OP_QUERY
+    assert length == 3  # payload only — the trailer is not counted
+    assert framing.decode_trace_trailer(frame[framing.HEADER_SIZE + 3 :]) == (
+        trace_id,
+        span_id,
+    )
+    # No trace, no change: untraced frames are byte-identical to the seed.
+    untraced = framing.encode_frame(framing.OP_QUERY, 0x0102030405060708, b"pay")
+    assert untraced == struct.pack("<BQI", 2, 0x0102030405060708, 3) + b"pay"
+    # No legacy op collides with the flag bit (all < 0x80).
+    for op_value in (
+        framing.OP_PING,
+        framing.OP_QUERY,
+        framing.OP_QUERY_BATCH,
+        framing.OP_INGEST,
+        framing.OP_JSON,
+        framing.OP_SUBSCRIBE,
+        framing.OP_WAL_ACK,
+    ):
+        assert op_value < framing.TRACE_FLAG
+
+
 def test_wire_query_payloads_pinned():
     sql = "SELECT COUNT(*) FROM stream"
     assert framing.encode_query(sql) == legacy_string(sql)
