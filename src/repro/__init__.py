@@ -67,11 +67,12 @@ from .service import (
 )
 from .service import ClusterClient
 from .cluster import ClusterQueryService, ShardRouter, ShardSupervisor
+from .audit import AccuracyAuditor, WorkloadLog
 from .sql.parser import parse_query
 from .sql.ast import AggregateFunction, Query
 from .storage import BackgroundCheckpointer, DurableDatabase, WriteAheadLog
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AqpResult",
@@ -117,6 +118,8 @@ __all__ = [
     "ClusterQueryService",
     "ShardRouter",
     "ShardSupervisor",
+    "AccuracyAuditor",
+    "WorkloadLog",
     "BackgroundCheckpointer",
     "DurableDatabase",
     "WriteAheadLog",

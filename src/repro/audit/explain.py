@@ -1,0 +1,159 @@
+"""EXPLAIN / EXPLAIN ANALYZE: structured plans for AQP queries.
+
+The plan a query *would* take is fully determined by pure inputs — the
+parsed AST, the owning table's catalog entry, and the scatter-gather
+planner — so EXPLAIN builds it without executing anything:
+
+* parse-cache and result-cache state (non-perturbing peeks),
+* the route (table, partitions, synopsis version, rows),
+* per-aggregation synopsis consultation and bound derivation (which 1-d
+  histogram carries the weightings, whether the single-column fast path
+  applies, and how code-domain estimates map back to the data domain),
+* the scatter-gather recombination plan — companion COUNT/AVG
+  aggregations and predicate-range clamps — via :func:`gather_section`.
+
+:func:`gather_section` is shared by the single-node and cluster EXPLAIN
+paths **and** calls the same :func:`~repro.cluster.gather.plan_query`
+the cluster's execute path scatters with, so a single-node EXPLAIN of a
+query agrees with the cluster's actual fan-out plan by construction.
+
+``EXPLAIN ANALYZE`` additionally executes the query under a fresh trace
+id and attaches the resulting span tree (per-stage timings; across the
+wire this includes shard-side spans) plus the encoded result.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import time
+
+from ..cluster.gather import _CLAMPABLE, plan_query, predicate_range
+from ..obs import tracing as obs_tracing
+from ..sql.ast import Query
+from ..sql.parser import parse_cache_contains, parse_query_cached
+from .workload import normalize_query
+
+__all__ = ["build_explain", "gather_section", "split_explain"]
+
+_EXPLAIN_RE = re.compile(r"^\s*EXPLAIN(\s+ANALYZE)?\s+(.+)$", re.IGNORECASE | re.DOTALL)
+
+
+def split_explain(sql: str) -> tuple[bool, str] | None:
+    """Detect the SQL-prefix form: ``(analyze, inner_sql)`` or ``None``."""
+    match = _EXPLAIN_RE.match(sql)
+    if match is None:
+        return None
+    return match.group(1) is not None, match.group(2).strip()
+
+
+def _finite_or_none(value: float) -> float | None:
+    return value if math.isfinite(value) else None
+
+
+def gather_section(query: Query) -> dict:
+    """How a cluster would scatter this query and recombine the answers.
+
+    Built from the same :func:`plan_query` the front end executes with.
+    """
+    plan = plan_query(query)
+    aggregations = []
+    for position, aggregation in enumerate(plan.aggregations):
+        entry = {
+            "aggregation": str(aggregation),
+            "position": position,
+            "companion_count_index": plan.count_index[position],
+            "companion_mean_index": plan.mean_index[position],
+            "clamp": None,
+        }
+        if aggregation.func in _CLAMPABLE:
+            lo, hi = predicate_range(query, aggregation.column)
+            entry["clamp"] = {
+                "lower": _finite_or_none(lo),
+                "upper": _finite_or_none(hi),
+            }
+        aggregations.append(entry)
+    return {
+        "scattered_sql": str(plan.scattered),
+        "scattered_aggregations": [str(a) for a in plan.scattered.aggregations],
+        "aggregations": aggregations,
+    }
+
+
+def query_section(query: Query) -> dict:
+    return {
+        "table": query.table,
+        "aggregations": [str(a) for a in query.aggregations],
+        "predicate": None if query.predicate is None else str(query.predicate),
+        "group_by": query.group_by,
+        "template": normalize_query(query),
+    }
+
+
+def analyze_section(execute, trace_fn, sql: str) -> dict:
+    """Execute under a fresh propagated trace and collect its span tree.
+
+    ``execute`` runs the query; ``trace_fn(trace_id)`` returns the span
+    dicts (for a cluster front end this is its fan-out ``trace`` merge,
+    so shard-side spans appear too).
+    """
+    from ..service.server import encode_result  # late: server imports us
+
+    trace_id = obs_tracing.new_trace_id()
+    start = time.perf_counter()
+    with obs_tracing.root_span(
+        "explain_analyze", trace_id=trace_id, attrs={"sql": sql}
+    ):
+        result = execute(sql)
+    wall = time.perf_counter() - start
+    return {
+        "trace_id": trace_id,
+        "wall_seconds": wall,
+        "result": encode_result(result),
+        "spans": trace_fn(trace_id),
+    }
+
+
+def build_explain(service, sql: str, *, analyze: bool = False) -> dict:
+    """Build the single-node plan for ``sql`` against a QueryService."""
+    parse_cached = parse_cache_contains(sql)
+    query = parse_query_cached(sql)
+    managed = service.table(query.table)
+    version = managed.synopsis_version
+    with service._result_cache_lock:
+        # Scalar and list executions cache under distinct keys; EXPLAIN
+        # reports a hit if either shape of this SQL is cached.
+        result_cached = any(
+            (query.table, version, scalar, sql) in service._result_cache
+            for scalar in (False, True)
+        )
+    engine = managed.engine
+    plan = {
+        "sql": sql,
+        "node": "single",
+        "query": query_section(query),
+        "parse_cache": {"cached": parse_cached},
+        "result_cache": {
+            "cached": bool(service.result_cache_size > 0 and result_cached),
+            "synopsis_version": version,
+        },
+        "route": {
+            "table": query.table,
+            "rows": managed.num_rows,
+            "partitions": managed.num_partitions,
+            "partition_synopses": len(managed.partition_synopses),
+            "synopsis_version": version,
+        },
+        "synopsis": [
+            engine.explain_aggregation(aggregation, query)
+            for aggregation in query.aggregations
+        ],
+        "gather": gather_section(query),
+    }
+    if analyze:
+        plan["analyze"] = analyze_section(
+            service.execute,
+            lambda trace_id: obs_tracing.spans_for(trace_id),
+            sql,
+        )
+    return plan

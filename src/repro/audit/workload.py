@@ -1,0 +1,236 @@
+"""Workload analytics log: normalized query templates with rollups.
+
+Following the query-log-compression observation of Xie et al. ("Query Log
+Compression for Workload Analytics"), the service does not retain raw SQL
+text per request — dashboards re-send the same handful of shapes with
+different literals, so the log keys on the query *template*: the parsed
+AST rendered back to SQL with every predicate literal replaced by ``?``.
+
+:class:`WorkloadLog` is a bounded LRU ring of such templates.  Each entry
+carries the observed frequency, the most recent concrete SQL text (the
+auditor replays it for stratified ground-truth sampling), a latency
+rollup, and the accuracy rollup the auditor feeds back.  Snapshots are
+plain dicts so the ``workload`` wire op can ship and merge them across a
+cluster's shards.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from ..sql.ast import Condition, Predicate, PredicateNode, Query
+from ..sql.parser import ParseError, parse_query_cached
+
+__all__ = ["WorkloadLog", "normalize_query", "normalize_sql"]
+
+#: Default bound on distinct templates kept (entries, not bytes).
+DEFAULT_WORKLOAD_CAPACITY = 256
+
+
+def _render_predicate(predicate: Predicate) -> str:
+    """Render a predicate with every literal replaced by ``?``."""
+    if isinstance(predicate, Condition):
+        return f"{predicate.column} {predicate.op.value} ?"
+    sep = f" {predicate.op.value} "
+    parts = []
+    for child in predicate.children:
+        text = _render_predicate(child)
+        if isinstance(child, PredicateNode):
+            text = f"({text})"
+        parts.append(text)
+    return sep.join(parts)
+
+
+def normalize_query(query: Query) -> str:
+    """The template of a parsed query: its SQL with literals as ``?``."""
+    select = ", ".join(str(a) for a in query.aggregations)
+    sql = f"SELECT {select} FROM {query.table}"
+    if query.predicate is not None:
+        sql += f" WHERE {_render_predicate(query.predicate)}"
+    if query.group_by:
+        sql += f" GROUP BY {query.group_by}"
+    return sql + ";"
+
+
+def normalize_sql(sql: str) -> str:
+    """Parse and normalize a SQL string (raises :class:`ParseError`)."""
+    return normalize_query(parse_query_cached(sql))
+
+
+class _TemplateEntry:
+    """Rollups for one normalized template."""
+
+    __slots__ = (
+        "template",
+        "count",
+        "last_sql",
+        "latency_total",
+        "latency_max",
+        "audited",
+        "violations",
+        "error_sum",
+        "error_max",
+    )
+
+    def __init__(self, template: str) -> None:
+        self.template = template
+        self.count = 0
+        self.last_sql = ""
+        self.latency_total = 0.0
+        self.latency_max = 0.0
+        self.audited = 0
+        self.violations = 0
+        self.error_sum = 0.0
+        self.error_max = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "template": self.template,
+            "count": self.count,
+            "last_sql": self.last_sql,
+            "latency": {
+                "count": self.count,
+                "total_seconds": self.latency_total,
+                "max_seconds": self.latency_max,
+            },
+            "audit": {
+                "audited": self.audited,
+                "violations": self.violations,
+                "error_sum": self.error_sum,
+                "error_max": self.error_max,
+            },
+        }
+
+
+class WorkloadLog:
+    """Bounded ring of normalized query templates with rollups.
+
+    Thread-safe; :meth:`observe` sits on the per-query hot path, so the
+    SQL-text → template normalization is memoized (dashboards re-send
+    byte-identical text) and each observation is one lock acquisition.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_WORKLOAD_CAPACITY) -> None:
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, _TemplateEntry] = OrderedDict()
+        #: Raw SQL → template memo, bounded alongside the ring.
+        self._memo: dict[str, str] = {}
+        self._evicted = 0
+        #: Round-robin cursor for the auditor's stratified replay.
+        self._cursor = 0
+
+    def _template_for(self, sql: str) -> str | None:
+        template = self._memo.get(sql)
+        if template is None:
+            try:
+                template = normalize_sql(sql)
+            except ParseError:
+                return None
+            if len(self._memo) >= 4 * self.capacity:
+                self._memo.clear()  # rare: unbounded distinct raw texts
+            self._memo[sql] = template
+        return template
+
+    def observe(self, sql: str, seconds: float) -> None:
+        """Record one served query (hot path)."""
+        template = self._template_for(sql)
+        if template is None:
+            return
+        with self._lock:
+            entry = self._entries.get(template)
+            if entry is None:
+                entry = self._entries[template] = _TemplateEntry(template)
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self._evicted += 1
+            else:
+                self._entries.move_to_end(template)
+            entry.count += 1
+            entry.last_sql = sql
+            entry.latency_total += seconds
+            if seconds > entry.latency_max:
+                entry.latency_max = seconds
+
+    def record_audit(self, sql: str, error: float, violated: bool) -> None:
+        """Feed one audit outcome back into the owning template's rollup."""
+        template = self._template_for(sql)
+        if template is None:
+            return
+        with self._lock:
+            entry = self._entries.get(template)
+            if entry is None:
+                return  # template aged out of the ring since the audit
+            entry.audited += 1
+            if violated:
+                entry.violations += 1
+            entry.error_sum += error
+            if error > entry.error_max:
+                entry.error_max = error
+
+    def replay_samples(self, limit: int) -> list[str]:
+        """Up to ``limit`` concrete SQL texts, one per template, rotating.
+
+        Stratified replay: every audit interval covers *different*
+        templates round-robin, so low-frequency shapes still get audited
+        even when live sampling never picks them.
+        """
+        with self._lock:
+            templates = list(self._entries.values())
+            if not templates or limit <= 0:
+                return []
+            start = self._cursor % len(templates)
+            picked = [
+                templates[(start + i) % len(templates)]
+                for i in range(min(limit, len(templates)))
+            ]
+            self._cursor = (start + len(picked)) % len(templates)
+            return [entry.last_sql for entry in picked if entry.last_sql]
+
+    def snapshot(self) -> dict:
+        """Plain-dict view for the ``workload`` wire op, busiest first."""
+        with self._lock:
+            entries = sorted(
+                self._entries.values(), key=lambda e: e.count, reverse=True
+            )
+            return {
+                "capacity": self.capacity,
+                "evicted": self._evicted,
+                "templates": [entry.to_dict() for entry in entries],
+            }
+
+    @staticmethod
+    def merge_snapshots(snapshots: list[dict]) -> dict:
+        """Merge per-shard snapshots into one cluster-wide view."""
+        merged: dict[str, dict] = {}
+        capacity = 0
+        evicted = 0
+        for snapshot in snapshots:
+            capacity = max(capacity, snapshot.get("capacity", 0))
+            evicted += snapshot.get("evicted", 0)
+            for entry in snapshot.get("templates", []):
+                into = merged.get(entry["template"])
+                if into is None:
+                    merged[entry["template"]] = {
+                        "template": entry["template"],
+                        "count": entry["count"],
+                        "last_sql": entry["last_sql"],
+                        "latency": dict(entry["latency"]),
+                        "audit": dict(entry["audit"]),
+                    }
+                    continue
+                into["count"] += entry["count"]
+                into["latency"]["count"] += entry["latency"]["count"]
+                into["latency"]["total_seconds"] += entry["latency"]["total_seconds"]
+                into["latency"]["max_seconds"] = max(
+                    into["latency"]["max_seconds"], entry["latency"]["max_seconds"]
+                )
+                into["audit"]["audited"] += entry["audit"]["audited"]
+                into["audit"]["violations"] += entry["audit"]["violations"]
+                into["audit"]["error_sum"] += entry["audit"]["error_sum"]
+                into["audit"]["error_max"] = max(
+                    into["audit"]["error_max"], entry["audit"]["error_max"]
+                )
+        templates = sorted(merged.values(), key=lambda e: e["count"], reverse=True)
+        return {"capacity": capacity, "evicted": evicted, "templates": templates}

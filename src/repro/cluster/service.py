@@ -893,6 +893,93 @@ class ClusterQueryService:
         return {"cache_stats": totals} if found else {}
 
     # ------------------------------------------------------------------ #
+    # Answer-quality observability (repro.audit)
+
+    def explain(self, sql: str, analyze: bool = False) -> dict:
+        """The actual scatter-gather plan this front end would execute.
+
+        The ``gather`` section comes from the same
+        :func:`~repro.cluster.gather.plan_query` that :meth:`execute`
+        scatters with, so a single-node EXPLAIN of the same SQL agrees
+        with this plan by construction.
+        """
+        from ..audit.explain import analyze_section, gather_section, query_section
+        from ..sql.parser import parse_cache_contains
+
+        parse_cached = parse_cache_contains(sql)
+        query = parse_query_cached(sql)
+        entry = self.table(query.table)
+        indices = sorted(entry.registered)
+        plan = {
+            "sql": sql,
+            "node": "cluster",
+            "query": query_section(query),
+            "parse_cache": {"cached": parse_cached},
+            "route": {
+                "table": query.table,
+                "shards": indices,
+                "fanout": len(indices),
+                "rows": entry.rows,
+                "shard_rows": {
+                    str(i): entry.shard_rows.get(i, 0) for i in indices
+                },
+                "shard_partitions": {
+                    str(i): entry.shard_partitions.get(i, 0) for i in indices
+                },
+            },
+            "gather": gather_section(query),
+        }
+        if analyze:
+            plan["analyze"] = analyze_section(self.execute, self.trace, sql)
+        return plan
+
+    def workload(self) -> dict:
+        """One merged workload log for the whole cluster.
+
+        Shards see only their scattered slice of each query, so the
+        per-shard templates carry the *scattered* SQL; merging sums their
+        frequencies and rollups per template.  An unreachable worker is
+        skipped rather than failing the scrape.
+        """
+        from ..audit.workload import WorkloadLog
+
+        snapshots = []
+        for index, shard in enumerate(self.shards):
+            try:
+                if self.mode == "process":
+                    snapshot = self._shard_call(index, lambda s=shard: s.workload())
+                else:
+                    snapshot = shard.workload()
+            except Exception:
+                continue
+            snapshots.append(snapshot)
+        return WorkloadLog.merge_snapshots(snapshots)
+
+    def audit_stats(self) -> dict:
+        """Merged accuracy-auditor counters across every shard."""
+        from ..audit.auditor import AccuracyAuditor
+
+        stats = []
+        for index, shard in enumerate(self.shards):
+            try:
+                if self.mode == "process":
+                    payload = self._shard_call(index, lambda s=shard: s.audit())
+                else:
+                    payload = shard.audit()
+            except Exception:
+                continue
+            stats.append(payload)
+        return AccuracyAuditor.merge_stats(stats)
+
+    def ready(self) -> bool:
+        """Every worker reachable — the cluster's ``/readyz`` predicate."""
+        if self.supervisor is None:
+            return True
+        return all(
+            self.supervisor.ping(index) for index in range(self.num_shards)
+        )
+
+    # ------------------------------------------------------------------ #
     # Lifecycle
 
     def close(self, graceful: bool = True) -> None:
@@ -1034,3 +1121,12 @@ class AsyncClusterService:
 
     async def trace(self, trace_id: str) -> list[dict]:
         return await self._dispatch(self.cluster.trace, trace_id)
+
+    async def explain(self, sql: str, analyze: bool = False) -> dict:
+        return await self._dispatch(self.cluster.explain, sql, analyze)
+
+    async def workload(self) -> dict:
+        return await self._dispatch(self.cluster.workload)
+
+    async def audit_stats(self) -> dict:
+        return await self._dispatch(self.cluster.audit_stats)

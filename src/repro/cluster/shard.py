@@ -145,6 +145,12 @@ class LocalShard:
     def trace(self, trace_id: str) -> list[dict]:
         return tracing.spans_for(trace_id)
 
+    def workload(self) -> dict:
+        return self.service.workload_snapshot()
+
+    def audit(self) -> dict:
+        return self.service.audit_snapshot()
+
     def reconnect(self) -> None:  # pragma: no cover - interface symmetry
         pass
 
@@ -372,6 +378,14 @@ class ProcessShard:
     def trace(self, trace_id: str) -> list[dict]:
         """Finished spans the worker recorded for ``trace_id``."""
         return self._call(lambda query, bulk: query.trace(trace_id))
+
+    def workload(self) -> dict:
+        """The worker's workload-log snapshot."""
+        return self._call(lambda query, bulk: query.workload())
+
+    def audit(self) -> dict:
+        """The worker's accuracy-auditor stats."""
+        return self._call(lambda query, bulk: query.audit())
 
     def promote(self, epoch: int) -> dict:
         """Tell a replica worker to become the primary at ``epoch``."""
@@ -613,6 +627,36 @@ class ReplicatedShard:
             except Exception:
                 continue
         return spans
+
+    def _fan_in(self, fn) -> list[dict]:
+        """``fn(worker)`` on the primary plus every reachable replica —
+        reads round-robin across them, so each worker holds only its
+        slice of the workload/audit state."""
+        payloads = []
+        try:
+            payloads.append(fn(self.primary))
+        except Exception:
+            pass
+        for slot in self.replica_slots():
+            with self._mutex:
+                shard = self.replicas.get(slot)
+            if shard is None:
+                continue
+            try:
+                payloads.append(fn(shard))
+            except Exception:
+                continue
+        return payloads
+
+    def workload(self) -> dict:
+        from ..audit.workload import WorkloadLog
+
+        return WorkloadLog.merge_snapshots(self._fan_in(lambda w: w.workload()))
+
+    def audit(self) -> dict:
+        from ..audit.auditor import AccuracyAuditor
+
+        return AccuracyAuditor.merge_stats(self._fan_in(lambda w: w.audit()))
 
     def close(self) -> None:
         with self._mutex:

@@ -77,6 +77,9 @@ class ShardSupervisor:
         workers_per_shard: int = 2,
         result_cache_size: int | None = None,
         fsync: bool = False,
+        audit_sample: float = 0.0,
+        audit_interval: float | None = None,
+        workload_capacity: int | None = None,
         startup_timeout: float = 120.0,
         python: str = sys.executable,
         crash_point: str | None = None,
@@ -95,6 +98,11 @@ class ShardSupervisor:
         self.workers_per_shard = workers_per_shard
         self.result_cache_size = result_cache_size
         self.fsync = fsync
+        #: Per-worker accuracy-auditing knobs: workers own the rows, so the
+        #: auditor daemon runs inside each worker, not the front end.
+        self.audit_sample = audit_sample
+        self.audit_interval = audit_interval
+        self.workload_capacity = workload_capacity
         self.startup_timeout = startup_timeout
         self.python = python
         #: When set, workers spawn with ``REPRO_CRASH_POINT`` armed at this
@@ -149,6 +157,12 @@ class ShardSupervisor:
             argv += ["--partition-size", str(self.partition_size)]
         if self.result_cache_size is not None:
             argv += ["--result-cache-size", str(self.result_cache_size)]
+        if self.audit_sample:
+            argv += ["--audit-sample", str(self.audit_sample)]
+            if self.audit_interval is not None:
+                argv += ["--audit-interval", str(self.audit_interval)]
+        if self.workload_capacity is not None:
+            argv += ["--workload-capacity", str(self.workload_capacity)]
         if data_dir is not None:
             argv += [
                 "--data-dir",

@@ -195,6 +195,52 @@ class PairwiseHistEngine:
     def sampling_ratio(self) -> float:
         return self.synopsis.sampling_ratio
 
+    def explain_aggregation(self, aggregation: Aggregation, query: Query) -> dict:
+        """Plan introspection for EXPLAIN: which synopsis parts one
+        aggregation of ``query`` would consult and how its code-domain
+        estimate maps back to the data domain (:meth:`_inverse_transform`).
+
+        Pure — mirrors :meth:`_execute_single` without executing.
+        """
+        column = self._aggregation_column(aggregation, query)
+        hist = self.synopsis.hist1d.get(column)
+        pred_cols = predicate_columns(query.predicate)
+        single_column = all(c == column for c in pred_cols) if pred_cols else True
+        info = {
+            "aggregation": str(aggregation),
+            "weightings_column": column,
+            "single_column": single_column,
+            "histogram_bins": None if hist is None else int(hist.num_bins),
+            "sampling_ratio": float(self.synopsis.sampling_ratio),
+            "min_points": self.synopsis.params.min_points,
+        }
+        func = aggregation.func
+        if func is AggregateFunction.COUNT:
+            info["bounds"] = {"method": "count_passthrough"}
+            return info
+        transform = self.preprocessor[column]
+        if transform.is_categorical:
+            info["bounds"] = {"method": "categorical_passthrough"}
+            return info
+        scale = float(transform.scale)
+        offset = float(transform.offset)
+        if func is AggregateFunction.VAR:
+            info["bounds"] = {"method": "scale_squared", "scale": scale}
+        elif func is AggregateFunction.SUM:
+            info["bounds"] = {
+                "method": "sum_with_count_bounds",
+                "scale": scale,
+                "offset": offset,
+                "rho": float(self.synopsis.sampling_ratio),
+            }
+        else:  # AVG / MIN / MAX / MEDIAN
+            info["bounds"] = {
+                "method": "affine_inverse",
+                "scale": scale,
+                "offset": offset,
+            }
+        return info
+
     # ------------------------------------------------------------------ #
     # Query execution
 

@@ -95,6 +95,13 @@ class ColumnTransform:
                     out[i] = None
             return out
         values = codes.astype(float) / self.scale + self.offset
+        if self.scale != 1.0:
+            # ``scale`` is always ``10 ** decimals``; snapping back onto
+            # the decimal grid makes reconstruction bit-identical to the
+            # quantized ingest values (the division re-introduces a ULP
+            # of float error that would otherwise leak into exact
+            # recomputations, e.g. the accuracy auditor's ground truth).
+            values = np.round(values, int(round(np.log10(self.scale))))
         if null_mask is not None:
             values = values.copy()
             values[null_mask] = np.nan

@@ -95,8 +95,10 @@ class MetricsHTTPServer:
         snapshot_fn: Callable[[], dict],
         host: str = "127.0.0.1",
         port: int = 0,
+        ready_fn: Callable[[], bool] | None = None,
     ) -> None:
         self._snapshot_fn = snapshot_fn
+        self._ready_fn = ready_fn
         self._host = host
         self._requested_port = port
         self._httpd: ThreadingHTTPServer | None = None
@@ -105,10 +107,36 @@ class MetricsHTTPServer:
 
     def start(self) -> "MetricsHTTPServer":
         snapshot_fn = self._snapshot_fn
+        ready_fn = self._ready_fn
 
         class Handler(BaseHTTPRequestHandler):
+            def _answer(self, status: int, body: bytes, content_type: str) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
             def do_GET(self) -> None:  # noqa: N802 - stdlib API
-                if self.path.rstrip("/") not in ("", "/metrics"):
+                path = self.path.rstrip("/")
+                if path == "/healthz":
+                    # Liveness: answering at all is the signal.
+                    self._answer(200, b"ok\n", "text/plain; charset=utf-8")
+                    return
+                if path == "/readyz":
+                    # Readiness: recovery finished and (cluster front end)
+                    # every shard is reachable.  No ready_fn → ready once
+                    # the endpoint is up.
+                    try:
+                        ready = True if ready_fn is None else bool(ready_fn())
+                    except Exception:
+                        ready = False
+                    body = b"ready\n" if ready else b"not ready\n"
+                    self._answer(
+                        200 if ready else 503, body, "text/plain; charset=utf-8"
+                    )
+                    return
+                if path not in ("", "/metrics"):
                     self.send_error(404)
                     return
                 try:
@@ -116,11 +144,7 @@ class MetricsHTTPServer:
                 except Exception as exc:  # snapshot failures answer 500, not crash
                     self.send_error(500, explain=repr(exc))
                     return
-                self.send_response(200)
-                self.send_header("Content-Type", CONTENT_TYPE)
-                self.send_header("Content-Length", str(len(body)))
-                self.end_headers()
-                self.wfile.write(body)
+                self._answer(200, body, CONTENT_TYPE)
 
             def log_message(self, fmt, *args) -> None:  # silence per-request spam
                 pass

@@ -21,7 +21,7 @@ import sys
 import threading
 import time
 
-__all__ = ["JsonLogger", "get_logger", "set_level"]
+__all__ = ["JsonLogger", "RotatingFileStream", "get_logger", "set_level"]
 
 _LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40, "off": 100}
 
@@ -48,6 +48,50 @@ def set_level(level: str) -> str:
     )
     _threshold = _LEVELS[level]
     return previous
+
+
+class RotatingFileStream:
+    """Size-bounded append stream with a keep-N rotation cap.
+
+    Plugs in as a :class:`JsonLogger` ``stream``: a slow-query-heavy
+    workload writes one JSON line per slow query, and without a bound
+    that file grows until the disk fills.  When the live file exceeds
+    ``max_bytes`` it is rotated to ``path.1`` (shifting ``path.1`` →
+    ``path.2`` …); at most ``keep`` rotated files are retained, so total
+    disk usage is bounded by roughly ``(keep + 1) * max_bytes``.
+    """
+
+    def __init__(self, path, max_bytes: int, keep: int = 3) -> None:
+        self.path = str(path)
+        self.max_bytes = max(1, int(max_bytes))
+        self.keep = max(1, int(keep))
+        self._lock = threading.Lock()
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    def write(self, text: str) -> int:
+        with self._lock:
+            if self._file.tell() + len(text) > self.max_bytes:
+                self._rotate()
+            return self._file.write(text)
+
+    def flush(self) -> None:
+        with self._lock:
+            self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            self._file.close()
+
+    def _rotate(self) -> None:
+        self._file.close()
+        for index in range(self.keep, 0, -1):
+            source = self.path if index == 1 else f"{self.path}.{index - 1}"
+            target = f"{self.path}.{index}"
+            try:
+                os.replace(source, target)
+            except OSError:
+                pass  # source may not exist yet; never fail a log write
+        self._file = open(self.path, "a", encoding="utf-8")
 
 
 class JsonLogger:

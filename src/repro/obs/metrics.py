@@ -20,7 +20,9 @@ queryable so the ``metrics`` op keeps answering.
 from __future__ import annotations
 
 import os
+import platform as _platform
 import threading
+import time as _time
 import weakref
 from bisect import bisect_left
 from typing import Callable, Iterable
@@ -482,3 +484,44 @@ def obs_enabled() -> bool:
 def set_enabled(enabled: bool) -> None:
     """Toggle metric recording and span creation process-wide (tests, bench)."""
     REGISTRY.enabled = bool(enabled)
+
+
+# --------------------------------------------------------------------------- #
+# Build / process identity
+
+_BUILD_INFO = REGISTRY.gauge(
+    "repro_build_info",
+    "Constant 1; the labels carry the build identity.",
+    labelnames=("version", "python"),
+)
+_PROCESS_START = REGISTRY.gauge(
+    "repro_process_start_time_seconds",
+    "Unix time this process started recording metrics.",
+)
+_START_TIME = _time.time()
+
+
+def _package_version() -> str:
+    import sys
+
+    module = sys.modules.get("repro")
+    version = getattr(module, "__version__", None) if module is not None else None
+    return version or "unknown"
+
+
+class _BuildInfoCollector:
+    """Stamps the identity gauges at snapshot time.
+
+    Lazy on purpose: the package version lives in ``repro.__init__``,
+    which is still importing when this module loads.
+    """
+
+    def collect(self) -> None:
+        _BUILD_INFO.set(
+            1.0, version=_package_version(), python=_platform.python_version()
+        )
+        _PROCESS_START.set(_START_TIME)
+
+
+_BUILD_COLLECTOR = _BuildInfoCollector()
+REGISTRY.add_collector(_BUILD_COLLECTOR.collect)

@@ -154,6 +154,23 @@ def _env_slow_threshold() -> float | None:
     return millis / 1000.0 if millis >= 0 else None
 
 
+#: Default size cap (MB) on the slow-query log file before rotation.
+DEFAULT_SLOW_LOG_MAX_MB = 16.0
+#: Rotated generations kept next to the live file (``path.1`` … ``path.N``).
+SLOW_LOG_KEEP = 3
+
+
+def _env_slow_log_max_mb() -> float:
+    raw = os.environ.get("REPRO_SLOW_LOG_MAX_MB", "").strip()
+    if not raw:
+        return DEFAULT_SLOW_LOG_MAX_MB
+    try:
+        max_mb = float(raw)
+    except ValueError:
+        return DEFAULT_SLOW_LOG_MAX_MB
+    return max_mb if max_mb > 0 else DEFAULT_SLOW_LOG_MAX_MB
+
+
 class Tracer:
     """Ring buffer of finished spans plus the slow-query hook."""
 
@@ -163,6 +180,34 @@ class Tracer:
         #: Root spans at or above this duration (seconds) hit the
         #: slow-query log; ``None`` disables it.
         self.slow_threshold_seconds: float | None = _env_slow_threshold()
+        #: Dedicated slow-query sink (size-rotated file); ``None`` means
+        #: slow-query lines go to stderr via the shared logger.
+        self._slow_logger = None
+        slow_log_file = os.environ.get("REPRO_SLOW_LOG_FILE", "").strip()
+        if slow_log_file:
+            self.configure_slow_log(slow_log_file, _env_slow_log_max_mb())
+
+    def configure_slow_log(
+        self,
+        path: str | None,
+        max_mb: float = DEFAULT_SLOW_LOG_MAX_MB,
+        keep: int = SLOW_LOG_KEEP,
+    ) -> None:
+        """Route slow-query lines to a size-rotated file (``None`` → stderr).
+
+        ``max_mb`` bounds each generation; at most ``keep`` rotated files
+        are retained (``REPRO_SLOW_LOG_MAX_MB`` / ``--slow-log-max-mb``),
+        so a slow-heavy workload cannot fill the disk.
+        """
+        from . import log as _log  # late import: log imports tracing
+
+        if path is None:
+            self._slow_logger = None
+            return
+        stream = _log.RotatingFileStream(
+            path, max_bytes=int(max_mb * 1024 * 1024), keep=keep
+        )
+        self._slow_logger = _log.JsonLogger("slow_query", stream=stream)
 
     def record(self, span: Span) -> None:
         # Finished Span objects go in as-is; the dict conversion is paid
@@ -181,7 +226,8 @@ class Tracer:
     def _log_slow(self, entry: dict) -> None:
         from . import log as _log  # late import: log imports tracing
 
-        _log.get_logger("slow_query").warning(
+        logger = self._slow_logger or _log.get_logger("slow_query")
+        logger.warning(
             "slow_query",
             trace_id=entry["trace_id"],
             span_id=entry["span_id"],

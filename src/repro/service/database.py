@@ -453,6 +453,11 @@ class QueryService:
         #: Pre-bound registry cells per table — the lookup path must not
         #: pay label resolution on every query.
         self._cache_cells: dict[str, tuple] = {}
+        #: Answer-quality observability hooks (``repro.audit``): both are
+        #: ``None`` unless attached, and the hot path pays a single
+        #: attribute check when they are.
+        self.workload_log = None
+        self.auditor = None
 
     # ------------------------------------------------------------------ #
     # Catalog passthrough
@@ -519,6 +524,30 @@ class QueryService:
         return engine.execute_scalar(query) if scalar else engine.execute(query)
 
     def _cached_execute(self, query: Query | str, scalar: bool = False):
+        """Execute, feeding the answer-quality hooks when attached.
+
+        With no workload log or auditor attached (the default) this is a
+        two-attribute check on top of :meth:`_serve_cached`.  The
+        auditor's own re-executions bypass the hooks (``in_audit``), so
+        audit traffic never pollutes the workload log or re-samples
+        itself into a feedback loop.
+        """
+        workload = self.workload_log
+        auditor = self.auditor
+        if workload is None and auditor is None:
+            return self._serve_cached(query, scalar)
+        if auditor is not None and auditor.in_audit:
+            return self._serve_cached(query, scalar)
+        sql = query if isinstance(query, str) else str(query)
+        started = time.perf_counter()
+        result = self._serve_cached(query, scalar)
+        if workload is not None:
+            workload.observe(sql, time.perf_counter() - started)
+        if auditor is not None:
+            auditor.consider(sql)
+        return result
+
+    def _serve_cached(self, query: Query | str, scalar: bool = False):
         """Execute through the synopsis-version-keyed result cache.
 
         The key is ``(table, synopsis_version, scalar, sql_text)``; the
@@ -592,3 +621,26 @@ class QueryService:
     def query_scalar(self, query: Query | str) -> AqpResult:
         """Alias for :meth:`execute_scalar` matching the async front end."""
         return self.execute_scalar(query)
+
+    # ------------------------------------------------------------------ #
+    # Answer-quality observability (repro.audit)
+
+    def explain(self, sql: str, analyze: bool = False) -> dict:
+        """Structured plan for ``sql`` (see :mod:`repro.audit.explain`)."""
+        from ..audit.explain import build_explain
+
+        return build_explain(self, sql, analyze=analyze)
+
+    def workload_snapshot(self) -> dict:
+        """The workload log's template ring (empty when none is attached)."""
+        if self.workload_log is None:
+            return {"capacity": 0, "evicted": 0, "templates": []}
+        return self.workload_log.snapshot()
+
+    def audit_snapshot(self) -> dict:
+        """The auditor's counters and recent violations (or ``enabled: False``)."""
+        if self.auditor is None:
+            return {"enabled": False}
+        stats = self.auditor.stats()
+        stats["enabled"] = True
+        return stats

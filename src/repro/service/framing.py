@@ -42,8 +42,8 @@ Ops / payloads
   JSON round trip for row payloads); OK payload is a JSON object.
 * ``OP_JSON`` (5) — a JSON-encoded request object (the same shape the
   JSON-lines protocol accepts), for cold-path ops (register, drop,
-  tables, stat, checkpoint, persist, status, promote, follow); OK
-  payload is the JSON result.
+  tables, stat, checkpoint, persist, status, promote, follow, explain,
+  workload, audit); OK payload is the JSON result.
 * ``OP_SUBSCRIBE`` (6) — ``<Q after_lsn>`` + ``pack_string(follower_id)``.
   A replication follower sends this once; the server then streams
   ``STATUS_OK`` frames tagged with the subscribe request id for the life

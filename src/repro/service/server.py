@@ -50,11 +50,13 @@ import json
 import math
 import socket
 import struct
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
 from pathlib import Path
 
+from ..audit.explain import split_explain
 from ..core.engine import AqpResult
 from ..core.params import PairwiseHistParams
 from ..data.table import Table
@@ -352,6 +354,18 @@ class AsyncQueryService:
     async def trace(self, trace_id: str) -> list[dict]:
         """Finished spans recorded in this process for ``trace_id``."""
         return tracing.spans_for(trace_id)
+
+    async def explain(self, sql: str, analyze: bool = False) -> dict:
+        """Structured EXPLAIN plan (``analyze=True`` also executes)."""
+        return await self._dispatch(self.service.explain, sql, analyze)
+
+    async def workload(self) -> dict:
+        """The workload log's normalized-template snapshot."""
+        return await self._dispatch(self.service.workload_snapshot)
+
+    async def audit_stats(self) -> dict:
+        """The accuracy auditor's counters and recent violations."""
+        return await self._dispatch(self.service.audit_snapshot)
 
     # ------------------------------------------------------------------ #
     # Ingest coalescing
@@ -986,6 +1000,12 @@ class QueryServer:
             if "sql" not in request:
                 raise ValueError("query requests need a 'sql' field")
             sql = request["sql"]
+            # SQL-prefix form: "EXPLAIN [ANALYZE] <query>" through the
+            # ordinary query op answers the structured plan instead.
+            prefixed = split_explain(sql) if isinstance(sql, str) else None
+            if prefixed is not None:
+                analyze, inner_sql = prefixed
+                return {"explain": await self.service.explain(inner_sql, analyze)}
             with self._query_span(sql, self._trace_from_request(request)):
                 result = await self.service.query(sql)
             return encode_result(result)
@@ -1033,6 +1053,20 @@ class QueryServer:
             if not isinstance(trace_id, str):
                 raise ValueError("trace requests need a 'trace_id' string")
             return {"trace_id": trace_id, "spans": await self.service.trace(trace_id)}
+        if op == "explain":
+            sql = request.get("sql")
+            if not isinstance(sql, str):
+                raise ValueError("explain requests need a 'sql' string")
+            analyze = bool(request.get("analyze", False))
+            prefixed = split_explain(sql)
+            if prefixed is not None:  # accept the prefix here too
+                analyze = prefixed[0] or analyze
+                sql = prefixed[1]
+            return {"explain": await self.service.explain(sql, analyze)}
+        if op == "workload":
+            return {"workload": await self.service.workload()}
+        if op == "audit":
+            return {"audit": await self.service.audit_stats()}
         if op == "promote":
             return await self._promote(request)
         if op == "follow":
@@ -1399,6 +1433,42 @@ def _build_arg_parser():
         "milliseconds as structured JSON lines (default: "
         "REPRO_SLOW_QUERY_MS, else off)",
     )
+    parser.add_argument(
+        "--slow-log-file",
+        default=None,
+        help="route slow-query JSON lines to this size-rotated file "
+        "instead of stderr (default: REPRO_SLOW_LOG_FILE, else stderr)",
+    )
+    parser.add_argument(
+        "--slow-log-max-mb",
+        type=float,
+        default=tracing.DEFAULT_SLOW_LOG_MAX_MB,
+        help="rotate the slow-query log file at this size; at most "
+        f"{tracing.SLOW_LOG_KEEP} rotated generations are kept "
+        "(default: REPRO_SLOW_LOG_MAX_MB, else %(default)s)",
+    )
+    parser.add_argument(
+        "--audit-sample",
+        type=float,
+        default=0.0,
+        help="fraction of served queries the background accuracy auditor "
+        "recomputes exactly against the lossless GD rows (0 disables; "
+        "try 0.01)",
+    )
+    parser.add_argument(
+        "--audit-interval",
+        type=float,
+        default=5.0,
+        help="seconds between background audit passes (with --audit-sample)",
+    )
+    parser.add_argument(
+        "--workload-capacity",
+        type=int,
+        default=256,
+        help="distinct normalized query templates the workload analytics "
+        "log retains (LRU; 0 disables the log and the auditor's "
+        "stratified replay)",
+    )
     return parser
 
 
@@ -1413,16 +1483,44 @@ def _apply_slow_query_threshold(args) -> None:
     millis = getattr(args, "slow_query_ms", None)
     if millis is not None:
         tracing.TRACER.slow_threshold_seconds = max(millis, 0.0) / 1000.0
+    path = getattr(args, "slow_log_file", None)
+    if path:
+        tracing.TRACER.configure_slow_log(
+            path,
+            max_mb=getattr(args, "slow_log_max_mb", tracing.DEFAULT_SLOW_LOG_MAX_MB),
+        )
 
 
-def _start_metrics_endpoint(args, snapshot_fn):
+def _attach_answer_quality(service, args):
+    """Wire the workload log and (optionally) the accuracy auditor onto a
+    query service; returns the started auditor (or ``None``) so the serve
+    loop can stop its daemon on shutdown."""
+    capacity = getattr(args, "workload_capacity", 0) or 0
+    if capacity > 0:
+        from ..audit.workload import WorkloadLog
+
+        service.workload_log = WorkloadLog(capacity=capacity)
+    sample = getattr(args, "audit_sample", 0.0) or 0.0
+    if sample > 0:
+        from ..audit.auditor import AccuracyAuditor
+
+        service.auditor = AccuracyAuditor(
+            service,
+            sample_rate=sample,
+            interval_seconds=getattr(args, "audit_interval", 5.0),
+            workload=service.workload_log,
+        ).start()
+    return service.auditor
+
+
+def _start_metrics_endpoint(args, snapshot_fn, ready_fn=None):
     """Start the /metrics HTTP endpoint when --metrics-port was given."""
     if getattr(args, "metrics_port", None) is None:
         return None
     from ..obs.exposition import MetricsHTTPServer
 
     endpoint = MetricsHTTPServer(
-        snapshot_fn, host=args.host, port=args.metrics_port
+        snapshot_fn, host=args.host, port=args.metrics_port, ready_fn=ready_fn
     ).start()
     print(f"metrics on {args.host}:{endpoint.port}", flush=True)
     return endpoint
@@ -1466,6 +1564,10 @@ async def serve_cluster(args) -> None:
         "workers_per_shard": args.workers,
         "fsync": args.fsync,
         "result_cache_size": args.result_cache_size,
+        # Workers own the rows, so auditing runs inside each worker.
+        "audit_sample": args.audit_sample,
+        "audit_interval": args.audit_interval,
+        "workload_capacity": args.workload_capacity,
     }
     if args.data_dir and ClusterLayout(args.data_dir).read_manifest() is not None:
         cluster = ClusterQueryService.open(
@@ -1496,7 +1598,14 @@ async def serve_cluster(args) -> None:
     loop = asyncio.get_running_loop()
     _install_stop_handlers(loop, stop)
     _apply_slow_query_threshold(args)
-    metrics_endpoint = _start_metrics_endpoint(args, cluster.metrics)
+    listening = threading.Event()
+    metrics_endpoint = _start_metrics_endpoint(
+        args,
+        cluster.metrics,
+        # Ready = the front end accepts connections AND every worker
+        # answers a supervisor ping.
+        ready_fn=lambda: listening.is_set() and cluster.ready(),
+    )
     try:
         async with AsyncClusterService(
             cluster, max_workers=args.workers
@@ -1505,6 +1614,7 @@ async def serve_cluster(args) -> None:
                 front_end, host=args.host, port=args.port, **_admission_kwargs(args)
             ) as server:
                 print(f"listening on {server.host}:{server.port}", flush=True)
+                listening.set()
                 await stop.wait()
     finally:
         if metrics_endpoint is not None:
@@ -1547,8 +1657,12 @@ async def serve_replica(args) -> None:
     loop = asyncio.get_running_loop()
     _install_stop_handlers(loop, stop)
     _apply_slow_query_threshold(args)
+    # Replicas are the preferred audit host: replication applies the same
+    # committed batches, so the exact recomputation never taxes the primary.
+    auditor = _attach_answer_quality(service, args)
+    listening = threading.Event()
     metrics_endpoint = _start_metrics_endpoint(
-        args, obs_metrics.REGISTRY.snapshot
+        args, obs_metrics.REGISTRY.snapshot, ready_fn=listening.is_set
     )
     async with AsyncQueryService(
         service=service,
@@ -1565,11 +1679,14 @@ async def serve_replica(args) -> None:
             checkpointer.start()
             follower.start()
             print(f"listening on {server.host}:{server.port}", flush=True)
+            listening.set()
             try:
                 await stop.wait()
             finally:
                 # A promotion swaps rep.follower for a hub; only stop the
                 # loop if we are still following someone.
+                if auditor is not None:
+                    await loop.run_in_executor(None, auditor.stop)
                 if replication.follower is not None:
                     await loop.run_in_executor(
                         None, replication.follower.shutdown
@@ -1657,8 +1774,12 @@ async def serve(args) -> None:
     loop = asyncio.get_running_loop()
     _install_stop_handlers(loop, stop)
     _apply_slow_query_threshold(args)
+    auditor = _attach_answer_quality(service, args)
+    # Readiness: recovery already completed above (Database.open replays
+    # the WAL before returning), so ready == accepting connections.
+    listening = threading.Event()
     metrics_endpoint = _start_metrics_endpoint(
-        args, obs_metrics.REGISTRY.snapshot
+        args, obs_metrics.REGISTRY.snapshot, ready_fn=listening.is_set
     )
     async with AsyncQueryService(
         service=service,
@@ -1675,9 +1796,12 @@ async def serve(args) -> None:
             if checkpointer is not None:
                 checkpointer.start()
             print(f"listening on {server.host}:{server.port}", flush=True)
+            listening.set()
             try:
                 await stop.wait()
             finally:
+                if auditor is not None:
+                    await loop.run_in_executor(None, auditor.stop)
                 if checkpointer is not None:
                     # Final checkpoint so the next start recovers from a
                     # snapshot instead of replaying the whole WAL.

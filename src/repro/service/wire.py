@@ -314,6 +314,18 @@ class ClusterClient:
         """Finished spans for ``trace_id`` (fan-out merged on a cluster)."""
         return self.call({"op": "trace", "trace_id": trace_id})["spans"]
 
+    def explain(self, sql: str, analyze: bool = False) -> dict:
+        """Structured EXPLAIN plan; ``analyze=True`` also executes."""
+        return self.call({"op": "explain", "sql": sql, "analyze": analyze})["explain"]
+
+    def workload(self) -> dict:
+        """Normalized-template workload log (fan-out merged on a cluster)."""
+        return self.call({"op": "workload"})["workload"]
+
+    def audit(self) -> dict:
+        """Accuracy-auditor stats (fan-out merged on a cluster)."""
+        return self.call({"op": "audit"})["audit"]
+
 
 # --------------------------------------------------------------------------- #
 # Pipelined binary client
@@ -569,6 +581,12 @@ class PipelinedClient:
         return self.call({"op": "stat", "table": table})
 
     def query(self, sql: str, trace: tuple[bytes, bytes] | None = None) -> dict:
+        from ..audit.explain import split_explain
+
+        # The binary result block cannot carry a structured plan, so the
+        # SQL-prefix form rides the OP_JSON cold path instead.
+        if split_explain(sql) is not None:
+            return self.call({"op": "query", "sql": sql})
         return self._result(self.submit_query(sql, trace))
 
     def query_batch(self, sqls: list[str]) -> list[dict]:
@@ -627,3 +645,15 @@ class PipelinedClient:
     def trace(self, trace_id: str) -> list[dict]:
         """Finished spans for ``trace_id`` (fan-out merged on a cluster)."""
         return self.call({"op": "trace", "trace_id": trace_id})["spans"]
+
+    def explain(self, sql: str, analyze: bool = False) -> dict:
+        """Structured EXPLAIN plan; ``analyze=True`` also executes."""
+        return self.call({"op": "explain", "sql": sql, "analyze": analyze})["explain"]
+
+    def workload(self) -> dict:
+        """Normalized-template workload log (fan-out merged on a cluster)."""
+        return self.call({"op": "workload"})["workload"]
+
+    def audit(self) -> dict:
+        """Accuracy-auditor stats (fan-out merged on a cluster)."""
+        return self.call({"op": "audit"})["audit"]

@@ -241,6 +241,17 @@ def parse_query_cached(sql: str) -> Query:
     return query
 
 
+def parse_cache_contains(sql: str) -> bool:
+    """Non-perturbing peek: is this exact SQL text cached?
+
+    EXPLAIN reports parse-cache state without touching LRU order or the
+    hit/miss counters, so explaining a query never changes the plan it
+    reports.
+    """
+    with _parse_cache_lock:
+        return sql in _parse_cache
+
+
 def clear_parse_cache() -> None:
     """Drop every cached AST (tests)."""
     with _parse_cache_lock:
